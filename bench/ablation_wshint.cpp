@@ -1,0 +1,47 @@
+// Ablation for the working-set-size source: the paper's API takes ws_size
+// from the user-level scheduler but notes "the working set size also can be
+// estimated by the kernel using the incoming process' run during the
+// previous time quantum". Compares kernel estimation against the
+// scheduler-declared value on the memory-stressed MG setup.
+
+#include <cstdio>
+
+#include "harness/figures.hpp"
+#include "harness/runner.hpp"
+
+int main() {
+  using namespace apsim;
+
+  std::printf("Working-set source ablation: 2x MG.B serial, 750 MB usable, "
+              "so/ao/ai/bg\n\n");
+
+  ExperimentConfig base = figure_base(NpbApp::kMG, 1,
+                                      fig7_usable_mb(NpbApp::kMG),
+                                      PolicySet::all());
+  ExperimentConfig batch_config = base;
+  batch_config.batch_mode = true;
+  const RunOutcome batch = run_batch(batch_config);
+
+  Table table({"ws_size source", "makespan (s)", "overhead",
+               "pages replayed"});
+  auto add = [&](const char* name, bool use_hint) {
+    ExperimentConfig config = base;
+    config.pass_ws_hint = use_hint;
+    const RunOutcome outcome = run_gang(config);
+    table.add_row(
+        {name, Table::fmt(to_seconds(outcome.makespan), 0),
+         Table::pct(switching_overhead(outcome.makespan, batch.makespan), 1),
+         std::to_string(outcome.pages_replayed)});
+  };
+  add("kernel estimate (previous quantum)", false);
+  add("scheduler-declared ws_size", true);
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Shape check: the kernel estimate starts at zero (no history) and "
+      "converges to the\nreferenced set, so the first rotations drain less "
+      "and preserve residual pages; a\nstatic full-footprint declaration "
+      "over-evicts from the first switch and locks the\nrotation into "
+      "full-drain/full-replay. The paper's fallback estimate is not merely\n"
+      "adequate — on read-heavy MG it beats the naive declaration.\n");
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Regenerates Figure 6: paging-activity traces of two gang-scheduled LU
+// class C jobs on four machines under orig, so, so/ao and so/ao/ai/bg.
+
+#include <iostream>
+
+#include "harness/figures.hpp"
+
+int main() {
+  const auto figure = apsim::run_fig6();
+  apsim::print_figure(std::cout, figure);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Regenerates Figure 7: serial NPB class B benchmarks on one machine —
+// completion time, job-switching overhead, and paging-overhead reduction
+// for the original kernel vs all four adaptive mechanisms.
+
+#include <iostream>
+
+#include "harness/figures.hpp"
+
+int main() {
+  const auto figure = apsim::run_fig7();
+  apsim::print_figure(std::cout, figure);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Regenerates Figure 8: parallel NPB benchmarks on 2 and 4 machines —
+// completion time, job-switching overhead, and paging-overhead reduction.
+
+#include <iostream>
+
+#include "harness/figures.hpp"
+
+int main() {
+  const auto figure = apsim::run_fig8();
+  apsim::print_figure(std::cout, figure);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Regenerates Figure 9: the per-mechanism ablation on LU (orig, ai, so,
+// so/ao, so/ao/bg, so/ao/ai/bg) for serial, 2-machine and 4-machine runs.
+
+#include <iostream>
+
+#include "harness/figures.hpp"
+
+int main() {
+  const auto figure = apsim::run_fig9();
+  apsim::print_figure(std::cout, figure);
+  return 0;
+}

@@ -1,0 +1,142 @@
+// google-benchmark micro-benchmarks for the substrate hot paths: event
+// queue, RNG, disk cost model, swap-slot allocator, clock reclaim sweep,
+// VMM touch fast path, and the RLE page recorder.
+
+#include <benchmark/benchmark.h>
+
+#include "core/page_record.hpp"
+#include "disk/disk_model.hpp"
+#include "disk/swap_device.hpp"
+#include "mem/vmm.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace apsim {
+namespace {
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    EventQueue queue;
+    for (std::size_t i = 0; i < n; ++i) {
+      (void)queue.schedule(static_cast<SimTime>(rng.next_below(1 << 20)),
+                           [] {});
+    }
+    while (!queue.empty()) {
+      benchmark::DoNotOptimize(queue.pop().time);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1024)->Arg(16384);
+
+void BM_RngZipf(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.zipf(100000, 0.9));
+  }
+}
+BENCHMARK(BM_RngZipf);
+
+void BM_DiskServiceTime(benchmark::State& state) {
+  DiskModel model{DiskParams{}};
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto head = static_cast<BlockNum>(rng.next_below(1 << 20));
+    const auto start = static_cast<BlockNum>(rng.next_below(1 << 20));
+    benchmark::DoNotOptimize(model.service_time(head, start, 16));
+  }
+}
+BENCHMARK(BM_DiskServiceTime);
+
+void BM_SwapAllocFree(benchmark::State& state) {
+  Simulator sim;
+  Disk disk(sim, DiskParams{.num_blocks = 1 << 20});
+  SwapDevice swap(disk, 0, 1 << 20);
+  std::vector<SlotRun> runs;
+  for (auto _ : state) {
+    runs = swap.alloc_pages(512, 128);
+    for (const auto& run : runs) {
+      for (std::int64_t i = 0; i < run.count; ++i) {
+        swap.free_slot(run.start + i);
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 512);
+}
+BENCHMARK(BM_SwapAllocFree);
+
+struct VmmBench {
+  Simulator sim;
+  Disk disk{sim, DiskParams{.num_blocks = 1 << 20}};
+  SwapDevice swap{disk, 0, 1 << 20};
+  Vmm vmm{sim, swap, VmmParams{.total_frames = 1 << 18}};
+};
+
+void BM_VmmTouchFastPath(benchmark::State& state) {
+  VmmBench bench;
+  const Pid pid = bench.vmm.create_process(1 << 16);
+  for (VPage v = 0; v < (1 << 16); ++v) {
+    if (!bench.vmm.touch(pid, v, true)) {
+      bench.vmm.fault(pid, v, true, [] {});
+      bench.sim.run();
+    }
+  }
+  auto& space = bench.vmm.space(pid);
+  VPage v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench.vmm.touch(space, v, false));
+    v = (v + 1) & 0xFFFF;
+  }
+}
+BENCHMARK(BM_VmmTouchFastPath);
+
+void BM_ClockPolicySweep(benchmark::State& state) {
+  VmmBench bench;
+  const Pid pid = bench.vmm.create_process(1 << 16);
+  for (VPage v = 0; v < (1 << 16); ++v) {
+    if (!bench.vmm.touch(pid, v, true)) {
+      bench.vmm.fault(pid, v, true, [] {});
+      bench.sim.run();
+    }
+  }
+  ClockReclaimPolicy policy;
+  for (auto _ : state) {
+    auto victims = policy.select_victims(bench.vmm, 32);
+    benchmark::DoNotOptimize(victims.size());
+    // Re-reference so the next sweep has work to do.
+    for (const auto& victim : victims) {
+      benchmark::DoNotOptimize(bench.vmm.touch(victim.pid, victim.vpage, false));
+    }
+  }
+}
+BENCHMARK(BM_ClockPolicySweep);
+
+void BM_PageRecorderSequential(benchmark::State& state) {
+  const auto n = static_cast<VPage>(state.range(0));
+  for (auto _ : state) {
+    PageRecorder recorder;
+    for (VPage v = 0; v < n; ++v) recorder.record(v);
+    benchmark::DoNotOptimize(recorder.runs().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PageRecorderSequential)->Arg(4096)->Arg(65536);
+
+void BM_PageRecorderFragmented(benchmark::State& state) {
+  const auto n = static_cast<VPage>(state.range(0));
+  for (auto _ : state) {
+    PageRecorder recorder;
+    for (VPage v = 0; v < n; ++v) recorder.record((v * 2) % n);
+    benchmark::DoNotOptimize(recorder.runs().size());
+  }
+}
+BENCHMARK(BM_PageRecorderFragmented)->Arg(4096);
+
+}  // namespace
+}  // namespace apsim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// Cluster demo: two parallel LU jobs (one MPI rank per node) gang-scheduled
+// across a simulated 4-node cluster, with adaptive paging compacting the
+// job-switch paging on every node simultaneously. Prints per-node paging
+// totals, the per-rank time breakdown, and the cluster-level result.
+
+#include <cstdio>
+
+#include "cluster/cluster.hpp"
+#include "gang/gang_scheduler.hpp"
+#include "metrics/table.hpp"
+#include "net/mpi.hpp"
+#include "workloads/npb.hpp"
+
+namespace {
+
+struct ClusterRun {
+  double makespan_s = 0.0;
+  std::vector<std::uint64_t> node_pages_in;
+  std::vector<double> rank_fault_wait_s;
+  std::vector<double> rank_comm_wait_s;
+};
+
+ClusterRun run(const apsim::PolicySet& policy) {
+  using namespace apsim;
+  constexpr int kNodes = 4;
+
+  NodeParams node;
+  node.vmm.total_frames = mb_to_pages(256.0);
+  node.wired_mb = 256.0 - 120.0;  // 120 MB usable per node
+  node.swap_slots = mb_to_pages(1024.0);
+  node.disk.num_blocks = node.swap_slots;
+  Cluster cluster(kNodes, node);
+
+  GangParams params;
+  params.quantum = 60 * kSecond;
+  params.pager.policy = policy;
+  GangScheduler scheduler(cluster, params);
+
+  const WorkloadSpec spec = npb_spec(NpbApp::kLU, NpbClass::kB);
+  std::vector<std::unique_ptr<Process>> procs;
+  std::vector<std::unique_ptr<MpiComm>> comms;
+  for (int j = 0; j < 2; ++j) {
+    Job& job = scheduler.create_job("LU#" + std::to_string(j));
+    auto comm = std::make_unique<MpiComm>(cluster.sim(), cluster.network(),
+                                          kNodes);
+    for (int n = 0; n < kNodes; ++n) {
+      NpbBuildOptions options;
+      options.nprocs = kNodes;
+      options.seed = 11 + static_cast<std::uint64_t>(j);
+      options.iterations_scale = 0.4;
+      const Pid pid = cluster.node(n).vmm().create_process(
+          spec.footprint_pages(kNodes));
+      procs.push_back(std::make_unique<Process>(
+          "LU#" + std::to_string(j) + ":r" + std::to_string(n), pid,
+          build_npb_program(spec, options)));
+      cluster.node(n).cpu().attach(*procs.back());
+      comm->bind(n, *procs.back(), n);
+      job.add_process(n, *procs.back());
+    }
+    comms.push_back(std::move(comm));
+  }
+  // CPUs host one rank of each job: dispatch comm ops by job id.
+  for (int n = 0; n < kNodes; ++n) {
+    cluster.node(n).cpu().set_comm_handler(
+        [&comms](Process& p, const CommOp& op, std::function<void()> resume) {
+          comms[static_cast<std::size_t>(p.job_id)]->enter(p, op,
+                                                           std::move(resume));
+        });
+  }
+
+  scheduler.start();
+  cluster.sim().run_until([&] { return scheduler.all_finished(); },
+                          24 * 3600 * kSecond);
+
+  ClusterRun result;
+  result.makespan_s = to_seconds(scheduler.makespan());
+  for (int n = 0; n < kNodes; ++n) {
+    result.node_pages_in.push_back(static_cast<std::uint64_t>(
+        cluster.node(n).vmm().pagein_series().total()));
+  }
+  for (const auto& p : procs) {
+    result.rank_fault_wait_s.push_back(to_seconds(p->stats().fault_wait));
+    result.rank_comm_wait_s.push_back(to_seconds(p->stats().comm_wait));
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace apsim;
+  std::printf("Gang-scheduling 2x parallel LU (4 ranks each) on a 4-node "
+              "cluster, 120 MB/node...\n\n");
+
+  const ClusterRun orig = run(PolicySet::original());
+  const ClusterRun adaptive = run(PolicySet::all());
+
+  Table table({"metric", "orig", "so/ao/ai/bg"});
+  table.add_row({"makespan", Table::seconds(orig.makespan_s),
+                 Table::seconds(adaptive.makespan_s)});
+  for (std::size_t n = 0; n < orig.node_pages_in.size(); ++n) {
+    table.add_row({"node" + std::to_string(n) + " pages swapped in",
+                   std::to_string(orig.node_pages_in[n]),
+                   std::to_string(adaptive.node_pages_in[n])});
+  }
+  double orig_fault = 0, adpt_fault = 0, orig_comm = 0, adpt_comm = 0;
+  for (std::size_t i = 0; i < orig.rank_fault_wait_s.size(); ++i) {
+    orig_fault += orig.rank_fault_wait_s[i];
+    adpt_fault += adaptive.rank_fault_wait_s[i];
+    orig_comm += orig.rank_comm_wait_s[i];
+    adpt_comm += adaptive.rank_comm_wait_s[i];
+  }
+  table.add_row({"total rank fault-wait", Table::seconds(orig_fault),
+                 Table::seconds(adpt_fault)});
+  table.add_row({"total rank comm-wait (gang skew)",
+                 Table::seconds(orig_comm), Table::seconds(adpt_comm)});
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Adaptive paging makes all four nodes page simultaneously at "
+              "the switch, so ranks\nreach their next barrier together — "
+              "both fault-wait and comm-wait shrink.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Policy explorer: a small CLI over the experiment harness. Pick an NPB
+// app, data class, node count, usable memory, quantum and a set of policy
+// combinations; get the paper's metrics (completion, switching overhead,
+// paging reduction) for each combination.
+//
+// Usage:
+//   policy_explorer [app] [class] [nodes] [usable_mb] [quantum_s] [policies...]
+// Defaults: LU B 1 230 300 orig so so/ao so/ao/ai/bg
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/figures.hpp"
+#include "harness/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace apsim;
+
+  NpbApp app = NpbApp::kLU;
+  NpbClass cls = NpbClass::kB;
+  int nodes = 1;
+  double usable_mb = 230.0;
+  double quantum_s = 300.0;
+  std::vector<std::string> combos = {"orig", "so", "so/ao", "so/ao/ai/bg"};
+
+  try {
+    if (argc > 1) app = parse_app(argv[1]);
+    if (argc > 2) cls = parse_class(argv[2]);
+    if (argc > 3) nodes = std::atoi(argv[3]);
+    if (argc > 4) usable_mb = std::atof(argv[4]);
+    if (argc > 5) quantum_s = std::atof(argv[5]);
+    if (argc > 6) {
+      combos.clear();
+      for (int i = 6; i < argc; ++i) {
+        (void)PolicySet::parse(argv[i]);  // validate early
+        combos.emplace_back(argv[i]);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::fprintf(stderr,
+                 "usage: %s [LU|SP|CG|IS|MG] [S|W|A|B|C] [nodes] [usable_mb] "
+                 "[quantum_s] [policies...]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  const WorkloadSpec spec = npb_spec(app, cls);
+  std::printf("%s class %s: footprint %.0f MB/process on %d node(s), "
+              "%.0f MB usable, %.0fs quanta\n\n",
+              std::string(to_string(app)).c_str(),
+              std::string(to_string(cls)).c_str(), spec.footprint_mb(nodes),
+              nodes, usable_mb, quantum_s);
+
+  ExperimentConfig base = figure_base(app, nodes, usable_mb,
+                                      PolicySet::original());
+  base.cls = cls;
+  base.quantum = static_cast<SimDuration>(quantum_s * kSecond);
+
+  // Batch baseline first.
+  ExperimentConfig batch_config = base;
+  batch_config.batch_mode = true;
+  const RunOutcome batch = run_batch(batch_config);
+  if (batch.makespan < 0) {
+    std::fprintf(stderr, "batch baseline did not finish within the horizon\n");
+    return 1;
+  }
+
+  Table table({"policy", "makespan (s)", "overhead", "reduction vs orig",
+               "pages in", "pages out"});
+  double orig_overhead = -1.0;
+  for (const auto& combo : combos) {
+    ExperimentConfig config = base;
+    config.policy = PolicySet::parse(combo);
+    const RunOutcome gang = run_gang(config);
+    if (gang.makespan < 0) {
+      table.add_row({combo, "(timeout)", "-", "-", "-", "-"});
+      continue;
+    }
+    const double overhead = switching_overhead(gang.makespan, batch.makespan);
+    if (combo == "orig" || orig_overhead < 0.0) {
+      if (!config.policy.any()) orig_overhead = overhead;
+    }
+    table.add_row({combo, Table::fmt(to_seconds(gang.makespan), 0),
+                   Table::pct(overhead),
+                   orig_overhead > 0.0
+                       ? Table::pct(paging_reduction(overhead, orig_overhead))
+                       : std::string("-"),
+                   std::to_string(gang.pages_swapped_in),
+                   std::to_string(gang.pages_swapped_out)});
+  }
+  std::printf("batch baseline: %.0fs\n\n%s", to_seconds(batch.makespan),
+              table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,17 @@
+#include "cluster/cluster.hpp"
+
+#include <cassert>
+
+namespace apsim {
+
+Cluster::Cluster(int num_nodes, const NodeParams& node_params,
+                 NetParams net_params, std::uint64_t seed)
+    : sim_(seed), net_(sim_, num_nodes, net_params) {
+  assert(num_nodes > 0);
+  nodes_.reserve(static_cast<std::size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(sim_, node_params, i));
+  }
+}
+
+}  // namespace apsim

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+/// \file cluster.hpp
+/// The whole modelled system: a Simulator, N identical nodes, and the
+/// interconnect. Experiments construct one Cluster per configuration; sweep
+/// runners construct many Clusters, one per worker thread (shared-nothing).
+
+namespace apsim {
+
+class Cluster {
+ public:
+  Cluster(int num_nodes, const NodeParams& node_params,
+          NetParams net_params = {}, std::uint64_t seed = 1);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] Network& network() { return net_; }
+  [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] Node& node(int i) { return *nodes_[static_cast<std::size_t>(i)]; }
+
+ private:
+  Simulator sim_;
+  Network net_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace apsim

@@ -1,0 +1,18 @@
+#include "cluster/node.hpp"
+
+namespace apsim {
+
+Node::Node(Simulator& sim, const NodeParams& params, int index)
+    : index_(index),
+      disk_(sim, params.disk),
+      swap_(disk_, 0,
+            params.swap_slots > 0 ? params.swap_slots
+                                  : params.disk.num_blocks),
+      vmm_(sim, swap_, params.vmm),
+      cpu_(sim, vmm_, params.cpu) {
+  if (params.wired_mb > 0.0) {
+    vmm_.wire_down(mb_to_pages(params.wired_mb));
+  }
+}
+
+}  // namespace apsim

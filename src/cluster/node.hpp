@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "disk/disk.hpp"
+#include "disk/swap_device.hpp"
+#include "mem/vmm.hpp"
+#include "proc/cpu.hpp"
+#include "sim/simulator.hpp"
+
+/// \file node.hpp
+/// One compute node of the modelled cluster: CPU executor, VMM, and a local
+/// disk holding the swap partition — the paper's per-machine configuration
+/// (1 GB RAM, local swap, one application process per gang job).
+
+namespace apsim {
+
+struct NodeParams {
+  DiskParams disk;
+  /// Size of the swap partition, in page slots (defaults to the whole disk).
+  std::int64_t swap_slots = 0;
+  VmmParams vmm;
+  CpuParams cpu;
+
+  /// Megabytes wired down at boot (the paper's mlock() trick for stressing
+  /// memory). Applied after watermark sanity checks.
+  double wired_mb = 0.0;
+};
+
+class Node {
+ public:
+  Node(Simulator& sim, const NodeParams& params, int index);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] int index() const { return index_; }
+  [[nodiscard]] Disk& disk() { return disk_; }
+  [[nodiscard]] SwapDevice& swap() { return swap_; }
+  [[nodiscard]] Vmm& vmm() { return vmm_; }
+  [[nodiscard]] Cpu& cpu() { return cpu_; }
+
+ private:
+  int index_;
+  Disk disk_;
+  SwapDevice swap_;
+  Vmm vmm_;
+  Cpu cpu_;
+};
+
+}  // namespace apsim

@@ -1,0 +1,38 @@
+#include "core/page_record.hpp"
+
+namespace apsim {
+
+void PageRecorder::record(VPage addr) {
+  ++pages_;
+  if (!runs_.empty()) {
+    PageRun& last = runs_.back();
+    if (addr == last.start + last.count) {
+      ++last.count;
+      return;
+    }
+  }
+  runs_.push_back(PageRun{addr, 1});
+}
+
+std::vector<PageRun> PageRecorder::take() {
+  auto out = std::move(runs_);
+  runs_.clear();
+  pages_ = 0;
+  return out;
+}
+
+void PageRecorder::clear() {
+  runs_.clear();
+  pages_ = 0;
+}
+
+std::int64_t PageRecorder::encoded_bytes() const {
+  // One (base, offset) record per run: 8-byte address + 4-byte count.
+  return static_cast<std::int64_t>(runs_.size()) * 12;
+}
+
+std::int64_t PageRecorder::flat_bytes() const {
+  return pages_ * 8;  // one 8-byte address per page
+}
+
+}  // namespace apsim

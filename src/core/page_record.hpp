@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/vmm.hpp"
+
+/// \file page_record.hpp
+/// The adaptive page-in recorder (paper §3.3, Figure 4): as a process's
+/// pages are flushed at a job switch, record them as (base address, offset)
+/// runs — the paper's run-length encoding that keeps the kernel-memory cost
+/// of the record small, since flushed pages are largely contiguous. On the
+/// process's next switch-in the recorded list is replayed as artificial
+/// faults in large block reads.
+
+namespace apsim {
+
+class PageRecorder {
+ public:
+  /// Record one flushed page. Extends the current run when \p addr is
+  /// exactly contiguous with it (the common case for swept address spaces);
+  /// otherwise opens a new run.
+  void record(VPage addr);
+
+  [[nodiscard]] const std::vector<PageRun>& runs() const { return runs_; }
+  [[nodiscard]] std::int64_t pages() const { return pages_; }
+  [[nodiscard]] bool empty() const { return runs_.empty(); }
+
+  /// Move the recorded runs out, leaving the recorder empty.
+  [[nodiscard]] std::vector<PageRun> take();
+
+  void clear();
+
+  /// Kernel memory the record costs under run-length encoding, vs. what a
+  /// flat page list would cost — the saving the paper calls "substantial".
+  [[nodiscard]] std::int64_t encoded_bytes() const;
+  [[nodiscard]] std::int64_t flat_bytes() const;
+
+ private:
+  std::vector<PageRun> runs_;
+  std::int64_t pages_ = 0;
+};
+
+}  // namespace apsim

@@ -1,0 +1,49 @@
+#include "core/policy.hpp"
+
+#include <stdexcept>
+
+namespace apsim {
+
+PolicySet PolicySet::parse(std::string_view text) {
+  PolicySet set;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t sep = text.find('/', pos);
+    const std::string_view token =
+        text.substr(pos, sep == std::string_view::npos ? text.size() - pos
+                                                       : sep - pos);
+    if (token == "so") {
+      set.selective_out = true;
+    } else if (token == "ao") {
+      set.aggressive_out = true;
+    } else if (token == "ai") {
+      set.adaptive_in = true;
+    } else if (token == "bg") {
+      set.bg_write = true;
+    } else if (token == "orig" || token == "lru" || token.empty()) {
+      // original kernel: nothing enabled
+    } else {
+      throw std::invalid_argument("unknown paging policy token: " +
+                                  std::string(token));
+    }
+    if (sep == std::string_view::npos) break;
+    pos = sep + 1;
+  }
+  return set;
+}
+
+std::string PolicySet::to_string() const {
+  if (!any()) return "orig";
+  std::string out;
+  auto append = [&out](std::string_view token) {
+    if (!out.empty()) out += '/';
+    out += token;
+  };
+  if (selective_out) append("so");
+  if (aggressive_out) append("ao");
+  if (adaptive_in) append("ai");
+  if (bg_write) append("bg");
+  return out;
+}
+
+}  // namespace apsim

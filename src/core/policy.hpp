@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+/// \file policy.hpp
+/// The four adaptive paging mechanisms of the paper and their combinations.
+/// The evaluation uses the shorthand "so/ao/ai/bg"; parse() accepts exactly
+/// that notation (and "orig"/"lru" for the unmodified kernel).
+
+namespace apsim {
+
+struct PolicySet {
+  bool selective_out = false;   ///< `so`: evict the outgoing process first
+  bool aggressive_out = false;  ///< `ao`: free the incoming WS at the switch
+  bool adaptive_in = false;     ///< `ai`: record flushed pages, replay on switch-in
+  bool bg_write = false;        ///< `bg`: background-write dirty pages late in quantum
+
+  [[nodiscard]] static PolicySet original() { return {}; }
+  [[nodiscard]] static PolicySet all() { return {true, true, true, true}; }
+
+  /// Parse "so/ao/ai/bg" notation; unordered, '/'-separated. "orig", "lru"
+  /// and "" give the original policy. Throws std::invalid_argument on an
+  /// unknown token.
+  [[nodiscard]] static PolicySet parse(std::string_view text);
+
+  /// Canonical "so/ao/ai/bg" rendering ("orig" when none enabled).
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool any() const {
+    return selective_out || aggressive_out || adaptive_in || bg_write;
+  }
+
+  friend bool operator==(const PolicySet&, const PolicySet&) = default;
+};
+
+}  // namespace apsim

@@ -1,0 +1,20 @@
+#include "core/ws_estimator.hpp"
+
+#include <cmath>
+
+namespace apsim {
+
+void WsEstimator::observe(std::int64_t ws_pages) {
+  if (n_ == 0) {
+    value_ = static_cast<double>(ws_pages);
+  } else {
+    value_ = alpha_ * static_cast<double>(ws_pages) + (1.0 - alpha_) * value_;
+  }
+  ++n_;
+}
+
+std::int64_t WsEstimator::estimate() const {
+  return static_cast<std::int64_t>(std::llround(value_));
+}
+
+}  // namespace apsim

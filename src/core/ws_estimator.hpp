@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file ws_estimator.hpp
+/// Working-set size estimator (paper §3.2): the kernel estimates the
+/// incoming process's working set from the page references observed during
+/// its previous time quanta. We keep an exponentially weighted average
+/// biased toward the most recent quantum, which tracks phase changes while
+/// smoothing single-quantum noise.
+
+namespace apsim {
+
+class WsEstimator {
+ public:
+  /// \p alpha is the weight of the newest observation (0 < alpha <= 1).
+  explicit WsEstimator(double alpha = 0.7) : alpha_(alpha) {}
+
+  /// Record the pages referenced during the process's just-ended quantum.
+  void observe(std::int64_t ws_pages);
+
+  /// Current estimate in pages; 0 until the first observation.
+  [[nodiscard]] std::int64_t estimate() const;
+
+  [[nodiscard]] std::int64_t observations() const { return n_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  std::int64_t n_ = 0;
+};
+
+}  // namespace apsim

@@ -1,0 +1,103 @@
+#include "disk/disk.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace apsim {
+
+void Disk::submit(DiskRequest req) {
+  assert(req.nblocks > 0);
+  assert(req.start >= 0 && req.start + req.nblocks <= model_.params().num_blocks);
+  ++stats_.requests;
+  auto& queue =
+      req.priority == IoPriority::kForeground ? foreground_ : background_;
+  queue.push_back(std::move(req));
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_depth());
+  if (!busy_) start_next();
+}
+
+std::size_t Disk::pick_clook(const std::deque<DiskRequest>& queue) const {
+  // C-LOOK: serve the closest request at or beyond the head; if none, wrap
+  // to the lowest-addressed request.
+  std::size_t best_forward = queue.size();
+  BlockNum best_forward_start = std::numeric_limits<BlockNum>::max();
+  std::size_t best_wrap = queue.size();
+  BlockNum best_wrap_start = std::numeric_limits<BlockNum>::max();
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const BlockNum s = queue[i].start;
+    if (s >= head_) {
+      if (s < best_forward_start) {
+        best_forward_start = s;
+        best_forward = i;
+      }
+    } else if (s < best_wrap_start) {
+      best_wrap_start = s;
+      best_wrap = i;
+    }
+  }
+  return best_forward != queue.size() ? best_forward : best_wrap;
+}
+
+void Disk::start_next() {
+  assert(!busy_);
+  auto* queue = &foreground_;
+  if (queue->empty()) queue = &background_;
+  if (queue->empty()) return;
+
+  const std::size_t idx = pick_clook(*queue);
+  assert(idx < queue->size());
+  DiskRequest first = std::move((*queue)[idx]);
+  queue->erase(queue->begin() + static_cast<std::ptrdiff_t>(idx));
+
+  // Coalesce exactly-contiguous same-direction requests into one transfer
+  // (block-layer request merging). Completion callbacks fire together at the
+  // end of the merged transfer.
+  std::vector<std::function<void()>> completions;
+  completions.push_back(std::move(first.on_complete));
+  BlockNum start = first.start;
+  BlockNum nblocks = first.nblocks;
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    for (std::size_t i = 0; i < queue->size(); ++i) {
+      auto& candidate = (*queue)[i];
+      if (candidate.write == first.write &&
+          candidate.start == start + nblocks) {
+        nblocks += candidate.nblocks;
+        completions.push_back(std::move(candidate.on_complete));
+        queue->erase(queue->begin() + static_cast<std::ptrdiff_t>(i));
+        merged = true;
+        break;
+      }
+    }
+  }
+
+  const SimDuration service = model_.service_time(head_, start, nblocks);
+  busy_ = true;
+  ++stats_.services;
+  stats_.busy_time += service;
+  if (first.write) {
+    stats_.blocks_written += static_cast<std::uint64_t>(nblocks);
+  } else {
+    stats_.blocks_read += static_cast<std::uint64_t>(nblocks);
+  }
+
+  sim_.after(service, [this, start, nblocks,
+                       completions = std::move(completions)]() mutable {
+    head_ = start + nblocks;
+    busy_ = false;
+    for (auto& fn : completions) {
+      if (fn) fn();
+    }
+    if (!busy_) start_next();  // a completion may have restarted the device
+  });
+}
+
+double Disk::utilization() const {
+  const SimTime now = sim_.now();
+  if (now <= 0) return 0.0;
+  return static_cast<double>(stats_.busy_time) / static_cast<double>(now);
+}
+
+}  // namespace apsim

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "disk/disk_model.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+/// \file disk.hpp
+/// Queued disk device: accepts block requests, schedules them with a C-LOOK
+/// elevator, coalesces contiguous requests into single transfers, and
+/// services background-priority requests only when no foreground work is
+/// queued. The latter is how the paper's background dirty-page writer avoids
+/// competing with demand paging.
+
+namespace apsim {
+
+enum class IoPriority : std::uint8_t { kForeground = 0, kBackground = 1 };
+
+struct DiskRequest {
+  BlockNum start = 0;
+  BlockNum nblocks = 1;
+  bool write = false;
+  IoPriority priority = IoPriority::kForeground;
+  /// Invoked exactly once when the transfer finishes.
+  std::function<void()> on_complete;
+};
+
+class Disk {
+ public:
+  Disk(Simulator& sim, DiskParams params)
+      : sim_(sim), model_(params) {}
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  /// Enqueue a request. Service begins immediately if the device is idle.
+  void submit(DiskRequest req);
+
+  [[nodiscard]] const DiskModel& model() const { return model_; }
+  [[nodiscard]] BlockNum head() const { return head_; }
+  [[nodiscard]] bool busy() const { return busy_; }
+  [[nodiscard]] std::size_t queue_depth() const {
+    return foreground_.size() + background_.size();
+  }
+
+  /// Cumulative statistics.
+  struct Stats {
+    std::uint64_t requests = 0;          ///< requests submitted
+    std::uint64_t services = 0;          ///< physical I/Os after coalescing
+    std::uint64_t blocks_read = 0;
+    std::uint64_t blocks_written = 0;
+    SimDuration busy_time = 0;           ///< time spent servicing
+    std::size_t max_queue_depth = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Fraction of [0, now] the device spent busy.
+  [[nodiscard]] double utilization() const;
+
+ private:
+  void start_next();
+  /// Pick the next request index from \p queue using C-LOOK order relative
+  /// to the current head position. Returns queue.size() if empty.
+  [[nodiscard]] std::size_t pick_clook(const std::deque<DiskRequest>& queue) const;
+
+  Simulator& sim_;
+  DiskModel model_;
+  std::deque<DiskRequest> foreground_;
+  std::deque<DiskRequest> background_;
+  BlockNum head_ = 0;
+  bool busy_ = false;
+  Stats stats_;
+};
+
+}  // namespace apsim

@@ -1,0 +1,36 @@
+#include "disk/disk_model.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+namespace apsim {
+
+SimDuration DiskModel::seek_time(BlockNum from, BlockNum to) const {
+  if (from == to) return 0;
+  const auto distance = static_cast<double>(std::llabs(to - from));
+  const auto span = static_cast<double>(params_.num_blocks);
+  const double frac = distance / span;
+  const auto t2t = static_cast<double>(params_.track_to_track_seek);
+  const auto full = static_cast<double>(params_.full_stroke_seek);
+  return static_cast<SimDuration>(t2t + (full - t2t) * std::sqrt(frac));
+}
+
+SimDuration DiskModel::transfer_time(BlockNum nblocks) const {
+  assert(nblocks >= 0);
+  const double bytes =
+      static_cast<double>(nblocks) * static_cast<double>(params_.block_bytes);
+  return static_cast<SimDuration>(bytes / params_.transfer_bytes_per_sec *
+                                  kSecond);
+}
+
+SimDuration DiskModel::service_time(BlockNum head, BlockNum start,
+                                    BlockNum nblocks) const {
+  SimDuration t = params_.per_request_overhead + transfer_time(nblocks);
+  if (head != start) {
+    t += seek_time(head, start) + params_.rotation_half();
+  }
+  return t;
+}
+
+}  // namespace apsim

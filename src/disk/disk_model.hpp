@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+/// \file disk_model.hpp
+/// Analytic service-time model for a single-spindle disk of the paper's era
+/// (circa-2002 IDE/SCSI drive backing a Linux swap partition).
+///
+/// The model is the standard seek + rotation + transfer decomposition:
+///   seek(d)   = track_to_track + (full_seek - track_to_track) * sqrt(d/D)
+///   rotation  = half a revolution on any non-sequential access
+///   transfer  = bytes / media_rate
+/// plus a fixed per-request controller overhead. Sequential requests (head
+/// already positioned at the first block) skip both seek and rotation, which
+/// is precisely the effect block/swap paging exploits: one N-page contiguous
+/// I/O costs one seek, N single-page scattered I/Os cost N of them.
+
+namespace apsim {
+
+/// Disk block index (one block == one 4 KiB page slot).
+using BlockNum = std::int64_t;
+
+struct DiskParams {
+  /// Total capacity in blocks.
+  BlockNum num_blocks = 2 * 1024 * 1024;  // 8 GiB swap area
+
+  /// Block size in bytes; equals the VM page size throughout the library.
+  std::int64_t block_bytes = 4096;
+
+  /// Shortest possible (track-to-track) seek.
+  SimDuration track_to_track_seek = 1 * kMillisecond;
+
+  /// Full-stroke seek across the whole device.
+  SimDuration full_stroke_seek = 18 * kMillisecond;
+
+  /// Spindle speed, used for rotational latency (half revolution average).
+  double rpm = 5400.0;
+
+  /// Sustained media transfer rate, bytes per second.
+  double transfer_bytes_per_sec = 25.0e6;
+
+  /// Fixed controller/command overhead charged to every request.
+  SimDuration per_request_overhead = 250 * kMicrosecond;
+
+  [[nodiscard]] SimDuration rotation_half() const {
+    return static_cast<SimDuration>(0.5 * 60.0 / rpm * kSecond);
+  }
+};
+
+/// Stateless cost functions over DiskParams plus the current head position.
+class DiskModel {
+ public:
+  explicit DiskModel(DiskParams params) : params_(params) {}
+
+  [[nodiscard]] const DiskParams& params() const { return params_; }
+
+  /// Seek time to move the head from \p from to \p to.
+  [[nodiscard]] SimDuration seek_time(BlockNum from, BlockNum to) const;
+
+  /// Time to transfer \p nblocks once positioned.
+  [[nodiscard]] SimDuration transfer_time(BlockNum nblocks) const;
+
+  /// Full service time for a request starting at \p start of \p nblocks with
+  /// the head currently at \p head. Sequential continuation (head == start)
+  /// pays neither seek nor rotation.
+  [[nodiscard]] SimDuration service_time(BlockNum head, BlockNum start,
+                                         BlockNum nblocks) const;
+
+ private:
+  DiskParams params_;
+};
+
+}  // namespace apsim

@@ -1,0 +1,255 @@
+#include "gang/gang_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace apsim {
+
+GangScheduler::GangScheduler(Cluster& cluster, GangParams params)
+    : cluster_(cluster), params_(params), matrix_(cluster.size()) {
+  pagers_.reserve(static_cast<std::size_t>(cluster.size()));
+  for (int n = 0; n < cluster.size(); ++n) {
+    pagers_.push_back(
+        std::make_unique<AdaptivePager>(cluster.node(n), params_.pager));
+  }
+  running_job_.assign(static_cast<std::size_t>(cluster.size()), nullptr);
+}
+
+Job& GangScheduler::create_job(std::string name) {
+  assert(!started_ && "cannot add jobs after start()");
+  jobs_.push_back(
+      std::make_unique<Job>(static_cast<int>(jobs_.size()), std::move(name)));
+  return *jobs_.back();
+}
+
+void GangScheduler::start() {
+  assert(!started_);
+  started_ = true;
+  admitted_.assign(jobs_.size(), false);
+  for (auto& job : jobs_) {
+    assert(!job->processes().empty() && "job has no processes");
+    for (const auto& placement : job->processes()) {
+      pagers_[static_cast<std::size_t>(placement.node)]->register_process(
+          placement.process->pid());
+      Job* job_ptr = job.get();
+      placement.process->on_finish = [this, job_ptr](Process&) {
+        if (job_ptr->finished()) on_job_finished(*job_ptr);
+      };
+    }
+  }
+  try_admit();
+  assert(matrix_.num_slots() > 0 && "no job admitted at start");
+  current_slot_ = 0;
+  activate_slot(0);
+  schedule_switch_timer(0);
+  schedule_bg_start(0);
+}
+
+bool GangScheduler::fits_in_memory(const Job& job) const {
+  // Per node: the declared working sets of every admitted job on that node
+  // plus this one must fit in admission_margin of usable memory. Jobs
+  // without a declaration are assumed to need their full address space.
+  auto demand = [](const Job& j, int node) -> std::int64_t {
+    const Process* p = j.process_on(node);
+    if (p == nullptr) return 0;
+    // The address-space size is the upper bound; the declaration refines it.
+    return j.declared_ws_pages ? *j.declared_ws_pages : 0;
+  };
+  for (int node : job.nodes()) {
+    std::int64_t total = demand(job, node);
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      if (!admitted_[i] || jobs_[i]->finished()) continue;
+      total += demand(*jobs_[i], node);
+    }
+    const auto& frames = cluster_.node(node).vmm().frames();
+    const auto budget = static_cast<std::int64_t>(
+        params_.admission_margin *
+        static_cast<double>(frames.usable_frames()));
+    if (total > budget) return false;
+  }
+  return true;
+}
+
+void GangScheduler::try_admit() {
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (admitted_[i] || jobs_[i]->finished()) continue;
+    if (params_.admission_control && !fits_in_memory(*jobs_[i])) continue;
+    admitted_[i] = true;
+    matrix_.assign(jobs_[i]->id(), jobs_[i]->nodes());
+  }
+}
+
+SimDuration GangScheduler::slot_quantum(int slot) const {
+  SimDuration q = params_.quantum;
+  for (int job_id : matrix_.jobs_in_slot(slot)) {
+    const auto& job = *jobs_[static_cast<std::size_t>(job_id)];
+    if (job.quantum_override) q = std::max(q, *job.quantum_override);
+  }
+  return q;
+}
+
+void GangScheduler::activate_slot(int to_slot) {
+  assert(to_slot >= 0 && to_slot < matrix_.num_slots());
+  for (int node = 0; node < cluster_.size(); ++node) {
+    const int in_job_id = matrix_.job_at(to_slot, node);
+    Job* in_job = in_job_id >= 0 ? jobs_[static_cast<std::size_t>(in_job_id)].get()
+                                 : nullptr;
+    Job* out_job = running_job_[static_cast<std::size_t>(node)];
+    if (in_job == out_job) continue;  // same job keeps the node: no switch
+    running_job_[static_cast<std::size_t>(node)] = in_job;
+
+    Process* out_proc = out_job ? out_job->process_on(node) : nullptr;
+    Process* in_proc = in_job ? in_job->process_on(node) : nullptr;
+    const bool out_live = out_proc != nullptr && !out_proc->finished();
+    AdaptivePager* pager = pagers_[static_cast<std::size_t>(node)].get();
+    auto& cpu = cluster_.node(node).cpu();
+
+    std::int64_t ws_hint = -1;
+    if (params_.pass_ws_hint && in_job && in_job->declared_ws_pages) {
+      ws_hint = *in_job->declared_ws_pages;
+    }
+
+    // The control message reaches the node after the signal latency; the
+    // whole per-node switch sequence then runs locally, mirroring the
+    // paper's Figure 5 (scheduler signals + kernel API calls).
+    cluster_.sim().after(
+        params_.signal_latency,
+        [pager, &cpu, out_proc, in_proc, out_live, ws_hint] {
+          pager->stop_bgwrite();
+          if (out_live) {
+            pager->on_quantum_end(out_proc->pid());
+            cpu.stop_process(*out_proc);
+          }
+          if (in_proc != nullptr && !in_proc->finished()) {
+            if (out_live) {
+              pager->adaptive_page_out(out_proc->pid(), in_proc->pid(),
+                                       ws_hint);
+            }
+            pager->on_quantum_start(in_proc->pid());
+            pager->adaptive_page_in(in_proc->pid());
+            cpu.cont_process(*in_proc);
+          }
+        });
+  }
+}
+
+void GangScheduler::schedule_switch_timer(int slot) {
+  cluster_.sim().cancel(switch_event_);
+  if (matrix_.num_slots() <= 1) return;  // nothing to switch to
+  switch_event_ =
+      cluster_.sim().after(slot_quantum(slot), [this] { do_switch(); });
+}
+
+void GangScheduler::schedule_bg_start(int slot) {
+  cluster_.sim().cancel(bg_event_);
+  if (!params_.pager.policy.bg_write) return;
+  if (matrix_.num_slots() <= 1) return;  // no upcoming switch to prepare for
+  const auto delay = static_cast<SimDuration>(
+      params_.bg_start_frac * static_cast<double>(slot_quantum(slot)));
+  bg_event_ = cluster_.sim().after(delay, [this, slot] {
+    if (current_slot_ != slot || matrix_.num_slots() <= slot) return;
+    for (int node = 0; node < cluster_.size(); ++node) {
+      const int job_id = matrix_.job_at(slot, node);
+      if (job_id < 0) continue;
+      Process* p = jobs_[static_cast<std::size_t>(job_id)]->process_on(node);
+      if (p != nullptr && !p->finished()) {
+        pagers_[static_cast<std::size_t>(node)]->start_bgwrite(p->pid());
+      }
+    }
+  });
+}
+
+void GangScheduler::do_switch() {
+  if (matrix_.num_slots() == 0) return;
+  ++switch_count_;
+  const int next = (current_slot_ + 1) % matrix_.num_slots();
+  current_slot_ = next;
+  activate_slot(next);
+  schedule_switch_timer(next);
+  schedule_bg_start(next);
+}
+
+void GangScheduler::on_job_finished(Job& job) {
+  last_finish_ = cluster_.sim().now();
+
+  // Tear down the job: release its memory on every node, exactly like a
+  // real exit under the paper's scheduler.
+  for (const auto& placement : job.processes()) {
+    cluster_.node(placement.node).vmm().release_process(
+        placement.process->pid());
+    if (running_job_[static_cast<std::size_t>(placement.node)] == &job) {
+      running_job_[static_cast<std::size_t>(placement.node)] = nullptr;
+    }
+  }
+  matrix_.remove(job.id());
+  try_admit();  // freed memory may let a waiting job in (admission control)
+
+  cluster_.sim().cancel(switch_event_);
+  cluster_.sim().cancel(bg_event_);
+  if (matrix_.num_slots() == 0) return;  // all done
+
+  // Promote whatever should run now (compaction may have shifted slots).
+  current_slot_ = current_slot_ % matrix_.num_slots();
+  activate_slot(current_slot_);
+  schedule_switch_timer(current_slot_);
+  schedule_bg_start(current_slot_);
+}
+
+bool GangScheduler::all_finished() const {
+  return std::all_of(jobs_.begin(), jobs_.end(),
+                     [](const auto& job) { return job->finished(); });
+}
+
+SimTime GangScheduler::makespan() const {
+  return all_finished() ? last_finish_ : -1;
+}
+
+// ---------------------------------------------------------------------------
+// BatchRunner
+
+Job& BatchRunner::create_job(std::string name) {
+  assert(!started_);
+  jobs_.push_back(
+      std::make_unique<Job>(static_cast<int>(jobs_.size()), std::move(name)));
+  return *jobs_.back();
+}
+
+void BatchRunner::start() {
+  assert(!started_);
+  started_ = true;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    for (const auto& placement : jobs_[i]->processes()) {
+      placement.process->on_finish = [this, i](Process&) {
+        if (jobs_[i]->finished()) on_job_finished(i);
+      };
+    }
+  }
+  if (!jobs_.empty()) start_job(0);
+}
+
+void BatchRunner::start_job(std::size_t index) {
+  running_ = index;
+  for (const auto& placement : jobs_[index]->processes()) {
+    cluster_.node(placement.node).cpu().cont_process(*placement.process);
+  }
+}
+
+void BatchRunner::on_job_finished(std::size_t index) {
+  last_finish_ = cluster_.sim().now();
+  for (const auto& placement : jobs_[index]->processes()) {
+    cluster_.node(placement.node).vmm().release_process(
+        placement.process->pid());
+  }
+  if (index + 1 < jobs_.size()) start_job(index + 1);
+}
+
+bool BatchRunner::all_finished() const {
+  return std::all_of(jobs_.begin(), jobs_.end(),
+                     [](const auto& job) { return job->finished(); });
+}
+
+SimTime BatchRunner::makespan() const {
+  return all_finished() ? last_finish_ : -1;
+}
+
+}  // namespace apsim

@@ -1,0 +1,3 @@
+#include "gang/job.hpp"
+
+// Job is header-only today; this TU anchors the library target.

@@ -1,0 +1,82 @@
+#include "gang/matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace apsim {
+
+ScheduleMatrix::ScheduleMatrix(int num_nodes) : num_nodes_(num_nodes) {
+  assert(num_nodes > 0);
+}
+
+int ScheduleMatrix::assign(int job_id, const std::vector<int>& nodes) {
+  assert(!nodes.empty());
+  for (int node : nodes) {
+    assert(node >= 0 && node < num_nodes_);
+    (void)node;
+  }
+  for (int s = 0; s < num_slots(); ++s) {
+    auto& row = slots_[static_cast<std::size_t>(s)];
+    const bool free = std::all_of(nodes.begin(), nodes.end(), [&](int n) {
+      return row[static_cast<std::size_t>(n)] == -1;
+    });
+    if (free) {
+      for (int n : nodes) row[static_cast<std::size_t>(n)] = job_id;
+      return s;
+    }
+  }
+  slots_.emplace_back(static_cast<std::size_t>(num_nodes_), -1);
+  for (int n : nodes) slots_.back()[static_cast<std::size_t>(n)] = job_id;
+  return num_slots() - 1;
+}
+
+void ScheduleMatrix::remove(int job_id) {
+  for (auto& row : slots_) {
+    for (auto& cell : row) {
+      if (cell == job_id) cell = -1;
+    }
+  }
+  std::erase_if(slots_, [](const std::vector<int>& row) {
+    return std::all_of(row.begin(), row.end(),
+                       [](int cell) { return cell == -1; });
+  });
+}
+
+int ScheduleMatrix::job_at(int slot, int node) const {
+  assert(slot >= 0 && slot < num_slots());
+  assert(node >= 0 && node < num_nodes_);
+  return slots_[static_cast<std::size_t>(slot)][static_cast<std::size_t>(node)];
+}
+
+std::vector<int> ScheduleMatrix::jobs_in_slot(int slot) const {
+  assert(slot >= 0 && slot < num_slots());
+  std::vector<int> out;
+  for (int cell : slots_[static_cast<std::size_t>(slot)]) {
+    if (cell != -1 && std::find(out.begin(), out.end(), cell) == out.end()) {
+      out.push_back(cell);
+    }
+  }
+  return out;
+}
+
+std::optional<int> ScheduleMatrix::slot_of(int job_id) const {
+  for (int s = 0; s < num_slots(); ++s) {
+    for (int cell : slots_[static_cast<std::size_t>(s)]) {
+      if (cell == job_id) return s;
+    }
+  }
+  return std::nullopt;
+}
+
+double ScheduleMatrix::occupancy() const {
+  if (slots_.empty()) return 0.0;
+  std::int64_t used = 0;
+  for (const auto& row : slots_) {
+    used += std::count_if(row.begin(), row.end(),
+                          [](int cell) { return cell != -1; });
+  }
+  return static_cast<double>(used) /
+         (static_cast<double>(slots_.size()) * static_cast<double>(num_nodes_));
+}
+
+}  // namespace apsim

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+/// \file matrix.hpp
+/// Ousterhout scheduling matrix: rows are time slots, columns are nodes.
+/// Each job occupies a set of node columns within exactly one slot; the gang
+/// scheduler cycles through the slots round-robin, one quantum per slot.
+/// Our experiments use full-width jobs (one per slot), but the matrix packs
+/// narrower jobs side by side, as gang schedulers generally do.
+
+namespace apsim {
+
+class ScheduleMatrix {
+ public:
+  explicit ScheduleMatrix(int num_nodes);
+
+  [[nodiscard]] int num_nodes() const { return num_nodes_; }
+  [[nodiscard]] int num_slots() const { return static_cast<int>(slots_.size()); }
+
+  /// Place a job on the given nodes in the first slot where all of them are
+  /// free, appending a new slot if necessary. Returns the slot index.
+  int assign(int job_id, const std::vector<int>& nodes);
+
+  /// Remove a job everywhere; empty slots are dropped (compaction).
+  void remove(int job_id);
+
+  /// Job occupying (slot, node), or -1.
+  [[nodiscard]] int job_at(int slot, int node) const;
+
+  /// Distinct jobs in a slot, in column order.
+  [[nodiscard]] std::vector<int> jobs_in_slot(int slot) const;
+
+  /// Slot currently holding \p job_id.
+  [[nodiscard]] std::optional<int> slot_of(int job_id) const;
+
+  /// Fraction of cells occupied (a packing-quality diagnostic).
+  [[nodiscard]] double occupancy() const;
+
+ private:
+  int num_nodes_;
+  std::vector<std::vector<int>> slots_;  ///< slots_[slot][node] = job id or -1
+};
+
+}  // namespace apsim

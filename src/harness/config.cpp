@@ -1,0 +1,44 @@
+#include "harness/config.hpp"
+
+#include <cassert>
+
+namespace apsim {
+
+std::string ExperimentConfig::describe() const {
+  if (!label.empty()) return label;
+  std::string out;
+  out += to_string(app);
+  out += '.';
+  out += to_string(cls);
+  out += " x";
+  out += std::to_string(instances);
+  out += " on ";
+  out += std::to_string(nodes);
+  out += " node(s), ";
+  out += std::to_string(static_cast<int>(usable_memory_mb));
+  out += "MB, ";
+  out += policy.to_string();
+  return out;
+}
+
+NodeParams ExperimentConfig::make_node_params() const {
+  assert(usable_memory_mb > 0.0 && usable_memory_mb <= node_memory_mb);
+  NodeParams node;
+  node.vmm.total_frames = mb_to_pages(node_memory_mb);
+  node.vmm.page_cluster = page_cluster;
+  node.vmm.page_aging = page_aging;
+  node.wired_mb = node_memory_mb - usable_memory_mb;
+  // Swap partition sized like a 2002 installation: ~1.5x the anonymous
+  // memory it must hold. Tight enough that slot churn from partially
+  // re-dirtied footprints fragments the free map over time (defeating block
+  // transfers for scatter-write workloads such as IS), roomy enough never
+  // to run out.
+  const WorkloadSpec spec = npb_spec(app, cls);
+  const std::int64_t per_proc = spec.footprint_pages(nodes);
+  node.swap_slots =
+      std::max<std::int64_t>((3 * per_proc * instances) / 2, mb_to_pages(512.0));
+  node.disk.num_blocks = node.swap_slots;
+  return node;
+}
+
+}  // namespace apsim

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cluster/node.hpp"
+#include "core/policy.hpp"
+#include "net/network.hpp"
+#include "workloads/spec.hpp"
+
+/// \file config.hpp
+/// One experiment configuration: which workload, how many nodes, how much
+/// usable memory (the rest is wired down, reproducing the paper's mlock
+/// trick), which adaptive-paging policy, and the gang quantum.
+
+namespace apsim {
+
+struct ExperimentConfig {
+  std::string label;
+
+  NpbApp app = NpbApp::kLU;
+  NpbClass cls = NpbClass::kB;
+  int nodes = 1;       ///< job width == cluster size
+  int instances = 2;   ///< identical jobs sharing the machine(s)
+
+  double node_memory_mb = 1024.0;   ///< physical RAM per node (paper: 1 GB)
+  double usable_memory_mb = 350.0;  ///< after wiring the rest down
+
+  PolicySet policy;
+  SimDuration quantum = 5 * kMinute;
+
+  /// Swap read-ahead pages per major fault (Linux 2.2 default: 16).
+  std::int64_t page_cluster = 16;
+
+  /// Enable the kernel's page-aging mode (Linux 2.2 PG_age) instead of the
+  /// one-bit second-chance clock (see VmmParams::page_aging).
+  bool page_aging = false;
+  std::optional<SimDuration> quantum_override;  ///< per-job (paper: SP 7 min)
+  double bg_start_frac = 0.9;
+  bool pass_ws_hint = false;  ///< scheduler-declared WS instead of kernel estimate
+
+  std::uint64_t seed = 1;
+  double iterations_scale = 1.0;
+  bool capture_traces = false;
+
+  /// Run the jobs back to back instead of gang-scheduled (the baseline);
+  /// `policy` is ignored in this mode.
+  bool batch_mode = false;
+
+  /// Simulation horizon safety net; runs not finished by then are reported
+  /// with makespan == -1.
+  SimDuration horizon = 100 * 3600 * kSecond;
+
+  /// Canonical one-line description used as the outcome label.
+  [[nodiscard]] std::string describe() const;
+
+  /// Node hardware/kernel parameters implied by this config.
+  [[nodiscard]] NodeParams make_node_params() const;
+
+  [[nodiscard]] NetParams make_net_params() const { return NetParams{}; }
+};
+
+}  // namespace apsim

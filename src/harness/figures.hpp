@@ -1,0 +1,64 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/config.hpp"
+#include "harness/runner.hpp"
+#include "metrics/table.hpp"
+
+/// \file figures.hpp
+/// One entry point per table/figure of the paper's evaluation. Each returns
+/// printable panels (with the paper's reported values alongside ours where
+/// the paper states them) so bench binaries and EXPERIMENTS.md share one
+/// source of truth. `threads` caps the sweep parallelism (0 = all cores).
+
+namespace apsim {
+
+struct FigurePanel {
+  std::string title;
+  Table table;
+};
+
+struct FigureResult {
+  std::string title;
+  std::vector<FigurePanel> panels;
+  std::string notes;  ///< free-form extra output (e.g. ASCII traces)
+};
+
+void print_figure(std::ostream& os, const FigureResult& figure);
+
+/// Figure 6: paging-activity traces of 2x LU on 4 machines (350 MB usable,
+/// 300 s quanta) under orig, so, so/ao and so/ao/ai/bg.
+[[nodiscard]] FigureResult run_fig6(unsigned threads = 0);
+
+/// Figure 7: serial benchmarks (1 node, class B, 2 instances): completion
+/// time, switching overhead, paging reduction.
+[[nodiscard]] FigureResult run_fig7(unsigned threads = 0);
+
+/// Figure 8: parallel benchmarks on 2 and 4 machines: completion time,
+/// switching overhead, paging reduction.
+[[nodiscard]] FigureResult run_fig8(unsigned threads = 0);
+
+/// Figure 9: LU mechanism ablation (orig, ai, so, so/ao, so/ao/bg,
+/// so/ao/ai/bg) for serial, 2- and 4-machine runs.
+[[nodiscard]] FigureResult run_fig9(unsigned threads = 0);
+
+/// Section 1 motivation (Moreira et al.): three 45 MB jobs gang-scheduled
+/// on a 128 MB vs a 256 MB machine.
+[[nodiscard]] FigureResult run_motivation(unsigned threads = 0);
+
+/// The serial Figure 7 memory configuration (usable MB) for an app; exposed
+/// so tests and ablation benches reuse the calibrated values.
+[[nodiscard]] double fig7_usable_mb(NpbApp app);
+
+/// The parallel Figure 8 memory configuration (usable MB per node).
+[[nodiscard]] double fig8_usable_mb(NpbApp app, int nodes);
+
+/// Baseline experiment configuration shared by the figures: class B, two
+/// instances, 5-minute quanta, 1 GB nodes.
+[[nodiscard]] ExperimentConfig figure_base(NpbApp app, int nodes,
+                                           double usable_mb, PolicySet policy);
+
+}  // namespace apsim

@@ -1,0 +1,189 @@
+#include "harness/runner.hpp"
+
+#include <cassert>
+#include <map>
+#include <memory>
+
+#include "cluster/cluster.hpp"
+#include "gang/gang_scheduler.hpp"
+#include "net/mpi.hpp"
+#include "workloads/npb.hpp"
+
+namespace apsim {
+
+namespace {
+
+/// Everything a run owns: the cluster, its processes and communicators.
+struct Built {
+  std::unique_ptr<Cluster> cluster;
+  std::vector<std::unique_ptr<Process>> processes;
+  std::map<int, std::unique_ptr<MpiComm>> comm_by_job;
+  WorkloadSpec spec;
+};
+
+[[nodiscard]] Built build_cluster(const ExperimentConfig& config) {
+  Built built;
+  built.spec = npb_spec(config.app, config.cls);
+  built.cluster = std::make_unique<Cluster>(
+      config.nodes, config.make_node_params(), config.make_net_params(),
+      config.seed);
+  return built;
+}
+
+/// Create the jobs and processes on a scheduler (GangScheduler or
+/// BatchRunner share the create_job interface).
+template <typename Scheduler>
+void build_jobs(Built& built, const ExperimentConfig& config,
+                Scheduler& scheduler) {
+  const std::int64_t npages = built.spec.footprint_pages(config.nodes);
+  for (int j = 0; j < config.instances; ++j) {
+    std::string job_name = std::string(to_string(config.app)) + "." +
+                           std::string(to_string(config.cls)) + "#" +
+                           std::to_string(j);
+    Job& job = scheduler.create_job(job_name);
+    if (config.quantum_override) job.quantum_override = config.quantum_override;
+    job.declared_ws_pages = built.spec.expected_ws_pages(config.nodes);
+
+    std::unique_ptr<MpiComm> comm;
+    if (config.nodes > 1) {
+      comm = std::make_unique<MpiComm>(built.cluster->sim(),
+                                       built.cluster->network(), config.nodes);
+    }
+    for (int n = 0; n < config.nodes; ++n) {
+      auto& node = built.cluster->node(n);
+      const Pid pid = node.vmm().create_process(npages);
+      NpbBuildOptions options;
+      options.nprocs = config.nodes;
+      options.seed = config.seed * 7919 + static_cast<std::uint64_t>(j) * 131 +
+                     static_cast<std::uint64_t>(n);
+      options.iterations_scale = config.iterations_scale;
+      auto process = std::make_unique<Process>(
+          job_name + ":r" + std::to_string(n), pid,
+          build_npb_program(built.spec, options));
+      node.cpu().attach(*process);
+      if (comm) comm->bind(n, *process, n);
+      job.add_process(n, *process);
+      built.processes.push_back(std::move(process));
+    }
+    if (comm) built.comm_by_job.emplace(job.id(), std::move(comm));
+  }
+
+  // CPUs are shared between jobs, so the comm handler dispatches on the
+  // process's job id.
+  if (config.nodes > 1) {
+    auto* comms = &built.comm_by_job;
+    for (int n = 0; n < config.nodes; ++n) {
+      built.cluster->node(n).cpu().set_comm_handler(
+          [comms](Process& p, const CommOp& op, std::function<void()> resume) {
+            comms->at(p.job_id)->enter(p, op, std::move(resume));
+          });
+    }
+  }
+}
+
+/// Harvest per-job and cluster-wide statistics into a RunOutcome.
+template <typename Scheduler>
+void collect(const Built& built, const ExperimentConfig& config,
+             const Scheduler& scheduler, bool finished, RunOutcome& out) {
+  out.makespan = finished ? scheduler.makespan() : -1;
+  for (const auto& job : scheduler.jobs()) {
+    JobOutcome jo;
+    jo.name = job->name();
+    jo.completion = job->finished_at();
+    for (const auto& placement : job->processes()) {
+      const auto& proc = *placement.process;
+      const auto& space =
+          built.cluster->node(placement.node).vmm().space(proc.pid());
+      jo.major_faults += space.stats().major_faults;
+      jo.minor_faults += space.stats().minor_faults;
+      jo.pages_swapped_in += space.stats().pages_swapped_in;
+      jo.pages_swapped_out += space.stats().pages_swapped_out;
+      jo.false_evictions += space.stats().false_evictions;
+      jo.cpu_time += proc.stats().cpu_time;
+      jo.fault_wait += proc.stats().fault_wait;
+      jo.comm_wait += proc.stats().comm_wait;
+    }
+    out.pages_swapped_in += jo.pages_swapped_in;
+    out.pages_swapped_out += jo.pages_swapped_out;
+    out.major_faults += jo.major_faults;
+    out.false_evictions += jo.false_evictions;
+    out.jobs.push_back(std::move(jo));
+  }
+  if (config.capture_traces) {
+    for (int n = 0; n < built.cluster->size(); ++n) {
+      auto& vmm = built.cluster->node(n).vmm();
+      PagingTrace trace;
+      trace.label = "node" + std::to_string(n);
+      trace.pages_in = vmm.pagein_series();
+      trace.pages_out = vmm.pageout_series();
+      out.traces.push_back(std::move(trace));
+    }
+  }
+}
+
+}  // namespace
+
+RunOutcome run_gang(const ExperimentConfig& config) {
+  Built built = build_cluster(config);
+
+  GangParams params;
+  params.quantum = config.quantum;
+  params.bg_start_frac = config.bg_start_frac;
+  params.pass_ws_hint = config.pass_ws_hint;
+  params.pager.policy = config.policy;
+  GangScheduler scheduler(*built.cluster, params);
+  build_jobs(built, config, scheduler);
+  scheduler.start();
+
+  const bool finished = built.cluster->sim().run_until(
+      [&scheduler] { return scheduler.all_finished(); }, config.horizon);
+
+  RunOutcome out;
+  out.label = config.describe();
+  out.policy = config.policy.to_string();
+  collect(built, config, scheduler, finished, out);
+  out.switches = scheduler.switches();
+  for (int n = 0; n < built.cluster->size(); ++n) {
+    const auto& stats = scheduler.pager(n).stats();
+    out.pages_recorded += stats.pages_recorded;
+    out.pages_replayed += stats.pages_replayed;
+    out.bg_pages_written += stats.bg_pages_written;
+  }
+  return out;
+}
+
+RunOutcome run_batch(const ExperimentConfig& config) {
+  Built built = build_cluster(config);
+
+  BatchRunner runner(*built.cluster);
+  build_jobs(built, config, runner);
+  runner.start();
+
+  const bool finished = built.cluster->sim().run_until(
+      [&runner] { return runner.all_finished(); }, config.horizon);
+
+  RunOutcome out;
+  out.label = config.describe() + " [batch]";
+  out.policy = "batch";
+  collect(built, config, runner, finished, out);
+  return out;
+}
+
+RunOutcome run_config(const ExperimentConfig& config) {
+  return config.batch_mode ? run_batch(config) : run_gang(config);
+}
+
+EvaluatedRun evaluate(const ExperimentConfig& config) {
+  EvaluatedRun result;
+  result.gang = run_gang(config);
+  ExperimentConfig batch_config = config;
+  batch_config.capture_traces = false;
+  result.batch = run_batch(batch_config);
+  if (result.gang.makespan > 0 && result.batch.makespan > 0) {
+    result.overhead =
+        switching_overhead(result.gang.makespan, result.batch.makespan);
+  }
+  return result;
+}
+
+}  // namespace apsim

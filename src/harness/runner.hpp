@@ -1,0 +1,71 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "harness/config.hpp"
+#include "metrics/experiment.hpp"
+
+/// \file runner.hpp
+/// Builds the cluster + workloads for a configuration, runs it gang- or
+/// batch-scheduled, and extracts the outcome. Sweeps run one Simulator per
+/// worker thread (shared-nothing), so experiments scale with host cores
+/// while every individual simulation stays deterministic.
+
+namespace apsim {
+
+/// Run the configuration under the gang scheduler with its PolicySet.
+[[nodiscard]] RunOutcome run_gang(const ExperimentConfig& config);
+
+/// Run the same jobs back to back (the zero-switching baseline).
+[[nodiscard]] RunOutcome run_batch(const ExperimentConfig& config);
+
+/// Dispatch on config.batch_mode (handy with parallel_map over mixed lists).
+[[nodiscard]] RunOutcome run_config(const ExperimentConfig& config);
+
+/// Gang run plus batch baseline plus the derived paper metrics.
+struct EvaluatedRun {
+  RunOutcome gang;
+  RunOutcome batch;
+  double overhead = 0.0;  ///< switching_overhead(gang, batch)
+};
+[[nodiscard]] EvaluatedRun evaluate(const ExperimentConfig& config);
+
+/// Map \p configs through \p fn on up to \p threads workers (0 = hardware
+/// concurrency), preserving order. \p fn must be thread-safe for distinct
+/// configs (run_gang/run_batch/evaluate are: each run builds its own
+/// Simulator and touches no shared state).
+template <typename Result>
+[[nodiscard]] std::vector<Result> parallel_map(
+    const std::vector<ExperimentConfig>& configs,
+    const std::function<Result(const ExperimentConfig&)>& fn,
+    unsigned threads = 0) {
+  std::vector<Result> results(configs.size());
+  if (configs.empty()) return results;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<unsigned>(threads,
+                               static_cast<unsigned>(configs.size()));
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      results[i] = fn(configs[i]);
+    }
+    return results;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < configs.size();
+         i = next.fetch_add(1)) {
+      results[i] = fn(configs[i]);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  return results;
+}
+
+}  // namespace apsim

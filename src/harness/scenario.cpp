@@ -1,0 +1,168 @@
+#include "harness/scenario.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace apsim {
+
+namespace {
+
+[[nodiscard]] std::string_view trim(std::string_view text) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+[[nodiscard]] double parse_double(std::string_view value,
+                                  std::string_view key) {
+  try {
+    return std::stod(std::string(value));
+  } catch (const std::exception&) {
+    throw std::invalid_argument("scenario: bad number for '" +
+                                std::string(key) + "': " + std::string(value));
+  }
+}
+
+[[nodiscard]] std::int64_t parse_int(std::string_view value,
+                                     std::string_view key) {
+  std::int64_t out = 0;
+  const auto* begin = value.data();
+  const auto* end = value.data() + value.size();
+  const auto result = std::from_chars(begin, end, out);
+  if (result.ec != std::errc{} || result.ptr != end) {
+    throw std::invalid_argument("scenario: bad integer for '" +
+                                std::string(key) + "': " + std::string(value));
+  }
+  return out;
+}
+
+[[nodiscard]] bool parse_bool(std::string_view value, std::string_view key) {
+  if (value == "true" || value == "1" || value == "yes" || value == "on") {
+    return true;
+  }
+  if (value == "false" || value == "0" || value == "no" || value == "off") {
+    return false;
+  }
+  throw std::invalid_argument("scenario: bad boolean for '" +
+                              std::string(key) + "': " + std::string(value));
+}
+
+}  // namespace
+
+void apply_scenario_key(ExperimentConfig& config, std::string_view key,
+                        std::string_view value) {
+  if (key == "app") {
+    config.app = parse_app(value);
+  } else if (key == "class") {
+    config.cls = parse_class(value);
+  } else if (key == "nodes") {
+    config.nodes = static_cast<int>(parse_int(value, key));
+  } else if (key == "instances") {
+    config.instances = static_cast<int>(parse_int(value, key));
+  } else if (key == "memory_mb") {
+    config.node_memory_mb = parse_double(value, key);
+  } else if (key == "usable_mb") {
+    config.usable_memory_mb = parse_double(value, key);
+  } else if (key == "policy") {
+    config.policy = PolicySet::parse(value);
+  } else if (key == "quantum_s") {
+    config.quantum = static_cast<SimDuration>(parse_double(value, key) *
+                                              static_cast<double>(kSecond));
+  } else if (key == "quantum_override_s") {
+    config.quantum_override = static_cast<SimDuration>(
+        parse_double(value, key) * static_cast<double>(kSecond));
+  } else if (key == "page_cluster") {
+    config.page_cluster = parse_int(value, key);
+  } else if (key == "bg_start_frac") {
+    config.bg_start_frac = parse_double(value, key);
+  } else if (key == "pass_ws_hint") {
+    config.pass_ws_hint = parse_bool(value, key);
+  } else if (key == "seed") {
+    config.seed = static_cast<std::uint64_t>(parse_int(value, key));
+  } else if (key == "iterations_scale") {
+    config.iterations_scale = parse_double(value, key);
+  } else if (key == "capture_traces") {
+    config.capture_traces = parse_bool(value, key);
+  } else if (key == "batch") {
+    config.batch_mode = parse_bool(value, key);
+  } else if (key == "label") {
+    config.label = std::string(value);
+  } else if (key == "horizon_s") {
+    config.horizon = static_cast<SimDuration>(parse_double(value, key) *
+                                              static_cast<double>(kSecond));
+  } else {
+    throw std::invalid_argument("scenario: unknown key '" + std::string(key) +
+                                "'");
+  }
+}
+
+std::vector<ExperimentConfig> parse_scenario(std::istream& in) {
+  std::vector<ExperimentConfig> runs;
+  ExperimentConfig defaults;
+  enum class Section { kNone, kDefaults, kRun };
+  Section section = Section::kNone;
+
+  std::string raw;
+  int line_no = 0;
+  auto fail = [&](const std::string& message) {
+    throw std::invalid_argument("scenario line " + std::to_string(line_no) +
+                                ": " + message);
+  };
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') fail("unterminated section header");
+      const std::string_view name = trim(line.substr(1, line.size() - 2));
+      if (name == "defaults") {
+        if (!runs.empty()) fail("[defaults] must precede every [run]");
+        section = Section::kDefaults;
+      } else if (name == "run") {
+        runs.push_back(defaults);
+        section = Section::kRun;
+      } else {
+        fail("unknown section [" + std::string(name) + "]");
+      }
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) fail("expected 'key = value'");
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view value = trim(line.substr(eq + 1));
+    if (key.empty()) fail("empty key");
+
+    try {
+      switch (section) {
+        case Section::kNone:
+          fail("key outside of a [defaults] or [run] section");
+          break;
+        case Section::kDefaults:
+          apply_scenario_key(defaults, key, value);
+          break;
+        case Section::kRun:
+          apply_scenario_key(runs.back(), key, value);
+          break;
+      }
+    } catch (const std::invalid_argument& e) {
+      fail(e.what());
+    }
+  }
+  return runs;
+}
+
+std::vector<ExperimentConfig> parse_scenario(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  return parse_scenario(in);
+}
+
+}  // namespace apsim

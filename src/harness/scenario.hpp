@@ -1,0 +1,54 @@
+#pragma once
+
+#include <istream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/config.hpp"
+
+/// \file scenario.hpp
+/// Text scenario files: one ExperimentConfig per `[run]` section, simple
+/// `key = value` lines, `#` comments. Lets users sweep configurations from
+/// the command line (examples/run_scenario) without recompiling.
+///
+/// ```ini
+/// # defaults apply to every following run until overridden
+/// [defaults]
+/// app = LU
+/// class = B
+/// nodes = 1
+/// usable_mb = 230
+/// quantum_s = 300
+///
+/// [run]
+/// label = original
+/// policy = orig
+///
+/// [run]
+/// label = adaptive
+/// policy = so/ao/ai/bg
+/// batch = false
+/// ```
+///
+/// Recognised keys: app, class, nodes, instances, memory_mb, usable_mb,
+/// policy, quantum_s, quantum_override_s, page_cluster, bg_start_frac,
+/// pass_ws_hint, seed, iterations_scale, capture_traces, batch, label,
+/// horizon_s.
+
+namespace apsim {
+
+/// Parse a scenario stream. Throws std::invalid_argument with a
+/// line-numbered message on malformed input.
+[[nodiscard]] std::vector<ExperimentConfig> parse_scenario(std::istream& in);
+
+/// Convenience overload over a string.
+[[nodiscard]] std::vector<ExperimentConfig> parse_scenario(
+    std::string_view text);
+
+/// Apply one key/value pair to a config (exposed for tests). Throws on
+/// unknown keys or unparsable values.
+void apply_scenario_key(ExperimentConfig& config, std::string_view key,
+                        std::string_view value);
+
+}  // namespace apsim

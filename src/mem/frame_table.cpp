@@ -1,0 +1,47 @@
+#include "mem/frame_table.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace apsim {
+
+FrameTable::FrameTable(std::int64_t num_frames)
+    : frames_(static_cast<std::size_t>(num_frames)) {
+  assert(num_frames > 0);
+  free_.reserve(frames_.size());
+  // Hand out low frame numbers first (purely cosmetic determinism).
+  for (std::int64_t f = num_frames - 1; f >= 0; --f) free_.push_back(f);
+}
+
+std::int64_t FrameTable::wire_down(std::int64_t n) {
+  const std::int64_t taken = std::min<std::int64_t>(n, free_frames());
+  for (std::int64_t i = 0; i < taken; ++i) {
+    const FrameNum f = free_.back();
+    free_.pop_back();
+    frames_[static_cast<std::size_t>(f)].owner = kNoPid;
+    frames_[static_cast<std::size_t>(f)].vpage = -2;  // wired marker
+  }
+  wired_ += taken;
+  return taken;
+}
+
+std::optional<FrameNum> FrameTable::alloc(Pid owner, VPage vpage) {
+  if (free_.empty()) return std::nullopt;
+  const FrameNum f = free_.back();
+  free_.pop_back();
+  auto& fr = frames_[static_cast<std::size_t>(f)];
+  fr.owner = owner;
+  fr.vpage = vpage;
+  return f;
+}
+
+void FrameTable::free(FrameNum frame) {
+  assert(frame >= 0 && frame < total_frames());
+  auto& fr = frames_[static_cast<std::size_t>(frame)];
+  assert(fr.owner != kNoPid && "freeing an unowned frame");
+  fr.owner = kNoPid;
+  fr.vpage = -1;
+  free_.push_back(frame);
+}
+
+}  // namespace apsim

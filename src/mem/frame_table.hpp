@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/page.hpp"
+
+/// \file frame_table.hpp
+/// Physical-memory accounting for one node: a frame array plus a free list.
+/// Frames can be wired down in bulk to emulate the paper's use of mlock() to
+/// shrink usable memory and force overcommit with the NPB data sizes at hand.
+
+namespace apsim {
+
+class FrameTable {
+ public:
+  struct Frame {
+    Pid owner = kNoPid;
+    VPage vpage = -1;
+  };
+
+  explicit FrameTable(std::int64_t num_frames);
+
+  [[nodiscard]] std::int64_t total_frames() const {
+    return static_cast<std::int64_t>(frames_.size());
+  }
+  [[nodiscard]] std::int64_t free_frames() const {
+    return static_cast<std::int64_t>(free_.size());
+  }
+  [[nodiscard]] std::int64_t wired_frames() const { return wired_; }
+  /// Frames a process could ever hold (total minus wired).
+  [[nodiscard]] std::int64_t usable_frames() const {
+    return total_frames() - wired_;
+  }
+  [[nodiscard]] std::int64_t used_frames() const {
+    return usable_frames() - free_frames();
+  }
+
+  /// Permanently remove \p n frames from circulation (mlock emulation).
+  /// Returns the number actually wired (limited by the current free pool).
+  std::int64_t wire_down(std::int64_t n);
+
+  /// Allocate a free frame for (\p owner, \p vpage); nullopt when exhausted.
+  [[nodiscard]] std::optional<FrameNum> alloc(Pid owner, VPage vpage);
+
+  /// Return a frame to the free pool.
+  void free(FrameNum frame);
+
+  [[nodiscard]] const Frame& frame(FrameNum f) const {
+    return frames_[static_cast<std::size_t>(f)];
+  }
+
+ private:
+  std::vector<Frame> frames_;
+  std::vector<FrameNum> free_;
+  std::int64_t wired_ = 0;
+};
+
+}  // namespace apsim

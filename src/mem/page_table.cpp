@@ -1,0 +1,4 @@
+#include "mem/page_table.hpp"
+
+// PageTable is header-only today; this TU anchors the library target and
+// keeps a stable home for future out-of-line members.

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/page.hpp"
+
+/// \file page_table.hpp
+/// Flat page table for one process's anonymous address space, plus the
+/// resident/dirty counters and the clock hand the replacement sweep uses.
+
+namespace apsim {
+
+class PageTable {
+ public:
+  explicit PageTable(std::int64_t num_pages)
+      : ptes_(static_cast<std::size_t>(num_pages)) {}
+
+  [[nodiscard]] std::int64_t num_pages() const {
+    return static_cast<std::int64_t>(ptes_.size());
+  }
+
+  [[nodiscard]] Pte& at(VPage v) { return ptes_[static_cast<std::size_t>(v)]; }
+  [[nodiscard]] const Pte& at(VPage v) const {
+    return ptes_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] bool valid(VPage v) const {
+    return v >= 0 && v < num_pages();
+  }
+
+  /// Clock hand for the replacement sweep; wraps modulo num_pages().
+  [[nodiscard]] VPage clock_hand() const { return clock_hand_; }
+  void set_clock_hand(VPage v) { clock_hand_ = v % num_pages(); }
+  VPage advance_clock_hand() {
+    clock_hand_ = (clock_hand_ + 1) % num_pages();
+    return clock_hand_;
+  }
+
+ private:
+  std::vector<Pte> ptes_;
+  VPage clock_hand_ = 0;
+};
+
+}  // namespace apsim

@@ -1,0 +1,93 @@
+#include "mem/reclaim_extra.hpp"
+
+#include <algorithm>
+
+#include "mem/vmm.hpp"
+
+namespace apsim {
+
+std::vector<Victim> ExactLruPolicy::select_victims(Vmm& vmm,
+                                                   std::int64_t max_pages) {
+  std::vector<Victim> out;
+  if (max_pages <= 0) return out;
+
+  // Gather all evictable pages with their last-reference times and take the
+  // oldest max_pages. Exactness over efficiency: this is a reference model.
+  std::vector<std::pair<SimTime, Victim>> candidates;
+  for (Pid pid : vmm.pids()) {
+    const auto& as = vmm.space(pid);
+    if (!as.alive() || as.resident_pages() == 0) continue;
+    const auto& pt = as.page_table();
+    for (VPage v = 0; v < pt.num_pages(); ++v) {
+      const Pte& pte = pt.at(v);
+      if (pte.present && !pte.io_busy) {
+        candidates.emplace_back(pte.last_ref, Victim{pid, v});
+      }
+    }
+  }
+  const auto take = std::min<std::size_t>(
+      candidates.size(), static_cast<std::size_t>(max_pages));
+  std::partial_sort(candidates.begin(),
+                    candidates.begin() + static_cast<std::ptrdiff_t>(take),
+                    candidates.end(), [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first < b.first;
+                      if (a.second.pid != b.second.pid) {
+                        return a.second.pid < b.second.pid;
+                      }
+                      return a.second.vpage < b.second.vpage;
+                    });
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) out.push_back(candidates[i].second);
+  return out;
+}
+
+void FifoPolicy::refill(Vmm& vmm) {
+  // Rebuild the queue ordered by first-mapped approximation: we do not
+  // track map-in time separately, so use last_ref of never-re-referenced
+  // pages and vpage order otherwise. For FIFO's purpose (a reference-blind
+  // baseline) ordering by (last_ref, vpage) of the current resident set is
+  // adequate and deterministic.
+  queue_.clear();
+  cursor_ = 0;
+  std::vector<std::pair<SimTime, Victim>> candidates;
+  for (Pid pid : vmm.pids()) {
+    const auto& as = vmm.space(pid);
+    if (!as.alive() || as.resident_pages() == 0) continue;
+    const auto& pt = as.page_table();
+    for (VPage v = 0; v < pt.num_pages(); ++v) {
+      const Pte& pte = pt.at(v);
+      if (pte.present && !pte.io_busy) {
+        candidates.emplace_back(pte.last_ref, Victim{pid, v});
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              if (a.second.pid != b.second.pid) {
+                return a.second.pid < b.second.pid;
+              }
+              return a.second.vpage < b.second.vpage;
+            });
+  queue_.reserve(candidates.size());
+  for (auto& [t, victim] : candidates) queue_.push_back(victim);
+}
+
+std::vector<Victim> FifoPolicy::select_victims(Vmm& vmm,
+                                               std::int64_t max_pages) {
+  std::vector<Victim> out;
+  if (max_pages <= 0) return out;
+  for (int attempt = 0; attempt < 2 && out.empty(); ++attempt) {
+    while (cursor_ < queue_.size() && std::ssize(out) < max_pages) {
+      const Victim victim = queue_[cursor_++];
+      const auto& as = vmm.space(victim.pid);
+      if (!as.alive()) continue;
+      const Pte& pte = as.page_table().at(victim.vpage);
+      if (pte.present && !pte.io_busy) out.push_back(victim);
+    }
+    if (out.empty() && cursor_ >= queue_.size()) refill(vmm);
+  }
+  return out;
+}
+
+}  // namespace apsim

@@ -1,0 +1,738 @@
+#include "mem/vmm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace apsim {
+
+Vmm::Vmm(Simulator& sim, SwapDevice& swap, VmmParams params)
+    : sim_(sim), swap_(swap), params_(params), frames_(params.total_frames),
+      log_("vmm", &sim, &Vmm::clock_thunk, LogLevel::kWarn),
+      policy_(std::make_unique<ClockReclaimPolicy>()) {
+  assert(params_.freepages_min <= params_.freepages_low);
+  assert(params_.freepages_low <= params_.freepages_high);
+  assert(params_.page_cluster >= 1);
+}
+
+// ---------------------------------------------------------------------------
+// Process lifecycle
+
+Pid Vmm::create_process(std::int64_t num_pages) {
+  assert(num_pages > 0);
+  const Pid pid = next_pid_++;
+  spaces_.emplace(pid, std::make_unique<AddressSpace>(pid, num_pages));
+  pids_.push_back(pid);
+  return pid;
+}
+
+void Vmm::release_process(Pid pid) {
+  auto& as = space(pid);
+  as.alive_ = false;
+  auto& pt = as.page_table();
+  for (VPage v = 0; v < pt.num_pages(); ++v) {
+    Pte& pte = pt.at(v);
+    if (pte.io_busy) continue;  // reaped by the I/O completion handler
+    if (pte.present) {
+      frames_.free(pte.frame);
+      pte.frame = kNoFrame;
+      pte.present = false;
+      --as.resident_;
+      if (pte.dirty) {
+        pte.dirty = false;
+        --as.dirty_resident_;
+      }
+    }
+    if (pte.slot != kNoSwapSlot) {
+      swap_.free_slot(pte.slot);
+      pte.slot = kNoSwapSlot;
+    }
+  }
+  kick_reclaim();  // freed frames may satisfy waiters
+}
+
+AddressSpace& Vmm::space(Pid pid) {
+  auto it = spaces_.find(pid);
+  assert(it != spaces_.end() && "unknown pid");
+  return *it->second;
+}
+
+const AddressSpace& Vmm::space(Pid pid) const {
+  auto it = spaces_.find(pid);
+  assert(it != spaces_.end() && "unknown pid");
+  return *it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Hot path
+
+bool Vmm::touch(Pid pid, VPage vpage, bool write) {
+  return touch(space(pid), vpage, write);
+}
+
+bool Vmm::touch(AddressSpace& as, VPage vpage, bool write) {
+  assert(as.page_table().valid(vpage));
+  Pte& pte = as.page_table().at(vpage);
+  if (!pte.present) return false;
+  pte.referenced = true;
+  pte.last_ref = sim_.now();
+  if (pte.epoch != as.epoch_) {
+    pte.epoch = as.epoch_;
+    ++as.ws_pages_;
+  }
+  if (write && !pte.dirty) {
+    pte.dirty = true;
+    ++as.dirty_resident_;
+    // The swap copy (if any) is now stale. With I/O in flight the completion
+    // handler performs the invalidation instead.
+    if (!pte.io_busy && pte.slot != kNoSwapSlot) {
+      swap_.free_slot(pte.slot);
+      pte.slot = kNoSwapSlot;
+    }
+  }
+  return true;
+}
+
+void Vmm::begin_ws_epoch(Pid pid) {
+  auto& as = space(pid);
+  ++as.epoch_;
+  as.ws_pages_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Faults
+
+void Vmm::fault(Pid pid, VPage vpage, bool write, std::function<void()> resume) {
+  fault_impl(pid, vpage, write, std::move(resume), /*skip_watermark=*/false);
+}
+
+void Vmm::fault_impl(Pid pid, VPage vpage, bool write,
+                     std::function<void()> resume, bool skip_watermark) {
+  auto& as = space(pid);
+  assert(as.page_table().valid(vpage));
+  Pte& pte = as.page_table().at(vpage);
+
+  if (pte.present) {
+    // Raced with a prefetch or read-ahead that mapped the page meanwhile.
+    (void)touch(as, vpage, write);
+    sim_.after(0, std::move(resume));
+    return;
+  }
+  if (pte.io_busy) {
+    // Page-in already in flight (read-ahead, prefetch, or another waiter):
+    // piggyback instead of issuing new I/O.
+    add_io_waiter(pid, vpage, [this, pid, vpage, write,
+                               resume = std::move(resume)]() mutable {
+      (void)touch(pid, vpage, write);
+      resume();
+    });
+    return;
+  }
+
+  // Watermark check: below freepages.min the faulting task synchronously
+  // frees memory up to freepages.high before proceeding (Linux 2.2
+  // try_to_free_pages semantics; the paper's Figure 2 shows the same loop).
+  // The retry after reclaim skips the check so an out-of-memory release
+  // cannot spin at one instant of simulated time.
+  if (!skip_watermark && frames_.free_frames() < params_.freepages_min) {
+    request_free_frames(params_.freepages_high,
+                        [this, pid, vpage, write,
+                         resume = std::move(resume)]() mutable {
+                          fault_impl(pid, vpage, write, std::move(resume),
+                                     /*skip_watermark=*/true);
+                        });
+    return;
+  }
+
+  if (pte.slot != kNoSwapSlot) {
+    start_major_fault(pid, vpage, write, std::move(resume));
+  } else {
+    finish_minor_fault(pid, vpage, write, std::move(resume));
+  }
+}
+
+void Vmm::retry_fault_later(Pid pid, VPage vpage, bool write,
+                            std::function<void()> resume) {
+  ++stats_.alloc_retries;
+  kick_reclaim();
+  sim_.after(kMillisecond, [this, pid, vpage, write,
+                            resume = std::move(resume)]() mutable {
+    fault_impl(pid, vpage, write, std::move(resume), /*skip_watermark=*/false);
+  });
+}
+
+void Vmm::finish_minor_fault(Pid pid, VPage vpage, bool write,
+                             std::function<void()> resume) {
+  auto& as = space(pid);
+  Pte& pte = as.page_table().at(vpage);
+  auto frame = frames_.alloc(pid, vpage);
+  if (!frame) {
+    retry_fault_later(pid, vpage, write, std::move(resume));
+    return;
+  }
+  // Anonymous zero-fill: the page has no backing store, so it is born dirty.
+  pte.frame = *frame;
+  pte.present = true;
+  pte.referenced = true;
+  pte.dirty = true;
+  pte.ever_touched = true;
+  pte.age = params_.age_initial;
+  pte.last_ref = sim_.now();
+  if (pte.epoch != as.epoch_) {
+    pte.epoch = as.epoch_;
+    ++as.ws_pages_;
+  }
+  ++as.resident_;
+  ++as.dirty_resident_;
+  ++as.stats_.minor_faults;
+  if (frames_.free_frames() < params_.freepages_low) kick_reclaim();
+  sim_.after(params_.minor_fault_cost, std::move(resume));
+}
+
+void Vmm::start_major_fault(Pid pid, VPage vpage, bool write,
+                            std::function<void()> resume) {
+  auto& as = space(pid);
+  auto& pt = as.page_table();
+  Pte& base = pt.at(vpage);
+  assert(base.slot != kNoSwapSlot && !base.present && !base.io_busy);
+
+  const auto frame0 = frames_.alloc(pid, vpage);
+  if (!frame0) {
+    retry_fault_later(pid, vpage, write, std::move(resume));
+    return;
+  }
+  ++as.stats_.major_faults;
+  if (base.evict_epoch == as.epoch_) ++as.stats_.false_evictions;
+  base.frame = *frame0;
+  base.io_busy = true;
+
+  // Swap read-ahead: extend the read over neighbouring virtual pages whose
+  // swap slots are exactly consecutive with ours (forward first, then
+  // backward), up to page_cluster pages, frames permitting.
+  VPage lo = vpage;
+  VPage hi = vpage;
+  const SwapSlot s0 = base.slot;
+  auto eligible = [&](VPage v) {
+    if (!pt.valid(v)) return false;
+    const Pte& p = pt.at(v);
+    return !p.present && !p.io_busy && p.slot == s0 + (v - vpage);
+  };
+  while (hi - lo + 1 < params_.page_cluster && eligible(hi + 1)) {
+    const auto f = frames_.alloc(pid, hi + 1);
+    if (!f) break;
+    Pte& p = pt.at(hi + 1);
+    p.frame = *f;
+    p.io_busy = true;
+    ++hi;
+  }
+  while (hi - lo + 1 < params_.page_cluster && eligible(lo - 1)) {
+    const auto f = frames_.alloc(pid, lo - 1);
+    if (!f) break;
+    Pte& p = pt.at(lo - 1);
+    p.frame = *f;
+    p.io_busy = true;
+    --lo;
+  }
+
+  const std::int64_t count = hi - lo + 1;
+  const SlotRun run{s0 - (vpage - lo), count};
+  if (frames_.free_frames() < params_.freepages_low) kick_reclaim();
+
+  swap_.read(run, IoPriority::kForeground,
+             [this, pid, lo, count, vpage, write,
+              resume = std::move(resume)]() mutable {
+               auto& as2 = space(pid);
+               auto& pt2 = as2.page_table();
+               for (VPage v = lo; v < lo + count; ++v) {
+                 Pte& p = pt2.at(v);
+                 assert(p.io_busy && !p.present);
+                 p.io_busy = false;
+                 if (!as2.alive_) {
+                   frames_.free(p.frame);
+                   p.frame = kNoFrame;
+                   if (p.slot != kNoSwapSlot) {
+                     swap_.free_slot(p.slot);
+                     p.slot = kNoSwapSlot;
+                   }
+                   continue;
+                 }
+                 p.present = true;
+                 // Only the faulting page counts as referenced; read-ahead
+                 // pages age out if they go unused (Linux behaviour).
+                 p.referenced = (v == vpage);
+                 p.age = params_.age_initial;
+                 p.last_ref = sim_.now();
+                 ++as2.resident_;
+                 fire_io_waiters(pid, v);
+               }
+               if (!as2.alive_) return;
+               account_pagein(count, as2);
+               (void)touch(as2, vpage, write);
+               sim_.after(params_.major_fault_cpu, std::move(resume));
+             });
+}
+
+void Vmm::add_io_waiter(Pid pid, VPage vpage, std::function<void()> resume) {
+  io_waiters_[{pid, vpage}].push_back(std::move(resume));
+}
+
+void Vmm::fire_io_waiters(Pid pid, VPage vpage) {
+  auto it = io_waiters_.find({pid, vpage});
+  if (it == io_waiters_.end()) return;
+  auto waiters = std::move(it->second);
+  io_waiters_.erase(it);
+  for (auto& fn : waiters) sim_.after(0, std::move(fn));
+}
+
+// ---------------------------------------------------------------------------
+// Reclaim
+
+void Vmm::set_reclaim_policy(std::unique_ptr<ReclaimPolicy> policy) {
+  assert(policy != nullptr);
+  policy_ = std::move(policy);
+}
+
+void Vmm::request_free_frames(std::int64_t target_free,
+                              std::function<void()> done, bool best_effort,
+                              std::function<bool()> give_up) {
+  if (frames_.free_frames() >= target_free) {
+    sim_.after(0, std::move(done));
+    return;
+  }
+  waiters_.push_back(
+      Waiter{target_free, std::move(done), best_effort, std::move(give_up)});
+  kick_reclaim();
+}
+
+void Vmm::kick_reclaim() {
+  if (reclaim_scheduled_) return;
+  reclaim_scheduled_ = true;
+  sim_.after(0, [this] {
+    reclaim_scheduled_ = false;
+    reclaim_step();
+  });
+}
+
+void Vmm::check_waiters() {
+  const std::int64_t free = frames_.free_frames();
+  std::vector<Waiter> pending;
+  pending.reserve(waiters_.size());
+  for (auto& w : waiters_) {
+    if (free >= w.target || (w.give_up && w.give_up())) {
+      sim_.after(0, std::move(w.done));
+    } else {
+      pending.push_back(std::move(w));
+    }
+  }
+  waiters_ = std::move(pending);
+}
+
+void Vmm::reclaim_step() {
+  ++stats_.reclaim_steps;
+  check_waiters();
+
+  std::int64_t goal = 0;
+  for (const auto& w : waiters_) goal = std::max(goal, w.target);
+  if (frames_.free_frames() < params_.freepages_low) {
+    goal = std::max(goal, params_.freepages_high);  // kswapd target
+  }
+  if (goal == 0) return;
+
+  const std::int64_t projected = frames_.free_frames() + evictions_in_flight_;
+  const std::int64_t deficit = goal - projected;
+  if (deficit <= 0) return;  // in-flight write-outs will cover it
+
+  auto victims = policy_->select_victims(
+      *this, std::min(deficit, params_.reclaim_batch));
+  if (victims.empty()) {
+    if (evictions_in_flight_ == 0 && !waiters_.empty()) {
+      // Nothing evictable and nothing in flight: release the waiters rather
+      // than deadlock. Strict waiters reaching this indicate real memory
+      // exhaustion; best-effort ones (aggressive page-out) are routine.
+      std::size_t strict = 0;
+      for (const auto& w : waiters_) {
+        if (!w.best_effort) ++strict;
+      }
+      if (strict > 0) {
+        stats_.oom_waiter_releases += strict;
+        warn_release_rate_limited("reclaim found no victims");
+      }
+      for (auto& w : waiters_) sim_.after(0, std::move(w.done));
+      waiters_.clear();
+    }
+    return;
+  }
+  const std::int64_t in_flight_before = evictions_in_flight_;
+  const std::int64_t freed_now = evict_batch(victims, IoPriority::kForeground);
+  if (freed_now == 0 && evictions_in_flight_ == in_flight_before) {
+    // No progress despite victims — e.g. the swap device is full. Treat it
+    // like memory exhaustion rather than spinning at this instant.
+    if (evictions_in_flight_ == 0 && !waiters_.empty()) {
+      std::size_t strict = 0;
+      for (const auto& w : waiters_) {
+        if (!w.best_effort) ++strict;
+      }
+      if (strict > 0) {
+        stats_.oom_waiter_releases += strict;
+        warn_release_rate_limited("reclaim cannot make progress");
+      }
+      for (auto& w : waiters_) sim_.after(0, std::move(w.done));
+      waiters_.clear();
+    }
+    return;
+  }
+  kick_reclaim();  // keep going until the goal is met
+}
+
+void Vmm::warn_release_rate_limited(const char* reason) {
+  // Sustained exhaustion can release waiters thousands of times; log the
+  // first few occurrences and then only milestones, never a flood.
+  ++release_warnings_;
+  if (release_warnings_ <= 5 || release_warnings_ % 100000 == 0) {
+    log_.warn("%s; releasing waiter(s) early (occurrence %llu)", reason,
+              static_cast<unsigned long long>(release_warnings_));
+  }
+}
+
+void Vmm::note_evicted(Pid pid, VPage vpage) {
+  if (evict_observer_) evict_observer_(pid, vpage);
+}
+
+std::int64_t Vmm::evict_batch(std::span<const Victim> victims,
+                              IoPriority priority) {
+  std::int64_t freed_now = 0;
+
+  // Pass 1: clean pages with a valid swap copy are dropped instantly; dirty
+  // pages are reserved (io_busy) so duplicate victim entries are harmless
+  // and collected for a batched write-out in pass 2.
+  std::vector<Victim> writes;
+  writes.reserve(victims.size());
+  for (const Victim& victim : victims) {
+    auto& as = space(victim.pid);
+    Pte& pte = as.page_table().at(victim.vpage);
+    if (!pte.present || pte.io_busy) continue;  // duplicate or raced
+    if (pte.clean_drop_ok()) {
+      pte.present = false;
+      pte.referenced = false;
+      pte.evict_epoch = as.epoch_;
+      frames_.free(pte.frame);
+      pte.frame = kNoFrame;
+      --as.resident_;
+      ++as.stats_.pages_clean_dropped;
+      ++freed_now;
+      note_evicted(victim.pid, victim.vpage);
+    } else {
+      pte.io_busy = true;  // reserve
+      writes.push_back(victim);
+    }
+  }
+
+  // Pass 2: group write victims into maximal vpage-contiguous groups per
+  // process, then cover each group with contiguous swap-slot runs so that
+  // the disk sees streaming writes and future page-ins can cluster.
+  std::size_t i = 0;
+  while (i < writes.size()) {
+    std::size_t j = i + 1;
+    while (j < writes.size() && writes[j].pid == writes[i].pid &&
+           writes[j].vpage == writes[j - 1].vpage + 1) {
+      ++j;
+    }
+    const Pid pid = writes[i].pid;
+    auto& as = space(pid);
+    auto& pt = as.page_table();
+    std::int64_t remaining = static_cast<std::int64_t>(j - i);
+    VPage v = writes[i].vpage;
+    while (remaining > 0) {
+      auto run = swap_.alloc_run(std::min(remaining, params_.max_writeout_run));
+      if (!run) {
+        log_.error("swap device full; cannot evict %lld page(s)",
+                   static_cast<long long>(remaining));
+        // Un-reserve the pages we could not place.
+        for (std::int64_t k = 0; k < remaining; ++k) {
+          pt.at(v + k).io_busy = false;
+        }
+        break;
+      }
+      const VPage run_begin = v;
+      for (std::int64_t k = 0; k < run->count; ++k, ++v) {
+        Pte& pte = pt.at(v);
+        assert(pte.present && pte.io_busy);
+        if (pte.slot != kNoSwapSlot) swap_.free_slot(pte.slot);  // stale copy
+        pte.slot = run->start + k;
+        if (pte.dirty) {
+          pte.dirty = false;
+          --as.dirty_resident_;
+        }
+        pte.evict_epoch = as.epoch_;
+        note_evicted(pid, v);
+      }
+      remaining -= run->count;
+      evictions_in_flight_ += run->count;
+
+      swap_.write(*run, priority,
+                  [this, pid, run_begin, count = run->count]() {
+                    auto& as2 = space(pid);
+                    auto& pt2 = as2.page_table();
+                    for (VPage p = run_begin; p < run_begin + count; ++p) {
+                      Pte& pte = pt2.at(p);
+                      assert(pte.io_busy);
+                      pte.io_busy = false;
+                      if (!as2.alive_) {
+                        frames_.free(pte.frame);
+                        pte.frame = kNoFrame;
+                        pte.present = false;
+                        if (pte.slot != kNoSwapSlot) {
+                          swap_.free_slot(pte.slot);
+                          pte.slot = kNoSwapSlot;
+                        }
+                        continue;
+                      }
+                      if (pte.dirty) {
+                        // Re-dirtied while the write was in flight: the just
+                        // written copy is stale; the eviction is aborted.
+                        swap_.free_slot(pte.slot);
+                        pte.slot = kNoSwapSlot;
+                        continue;
+                      }
+                      pte.present = false;
+                      pte.referenced = false;
+                      frames_.free(pte.frame);
+                      pte.frame = kNoFrame;
+                      --as2.resident_;
+                    }
+                    evictions_in_flight_ -= count;
+                    if (as2.alive_) account_pageout(count, as2);
+                    kick_reclaim();
+                  });
+    }
+    i = j;
+  }
+
+  if (freed_now > 0) kick_reclaim();
+  return freed_now;
+}
+
+// ---------------------------------------------------------------------------
+// Prefetch (adaptive page-in replay)
+
+void Vmm::prefetch(Pid pid, std::vector<PageRun> runs,
+                   std::function<void()> done) {
+  auto job = std::make_shared<PrefetchJob>();
+  job->pid = pid;
+  job->runs = std::move(runs);
+  job->done = std::move(done);
+  prefetch_pump(job);
+}
+
+void Vmm::prefetch_pump(const std::shared_ptr<PrefetchJob>& job) {
+  auto& as = space(job->pid);
+  auto& pt = as.page_table();
+  if (!as.alive_) {
+    job->run_idx = job->runs.size();
+    if (job->reads_in_flight == 0 && job->done) {
+      auto done = std::move(job->done);
+      done();
+    }
+    return;
+  }
+
+  while (job->run_idx < job->runs.size()) {
+    const PageRun& run = job->runs[job->run_idx];
+    if (job->page_idx >= run.count) {
+      ++job->run_idx;
+      job->page_idx = 0;
+      continue;
+    }
+    const VPage v = run.start + job->page_idx;
+    if (!pt.valid(v)) {
+      ++job->page_idx;
+      continue;
+    }
+    Pte& pte = pt.at(v);
+    if (pte.present || pte.io_busy || pte.slot == kNoSwapSlot) {
+      ++job->page_idx;
+      continue;
+    }
+
+    // Head of a read batch: extend while slots stay consecutive and frames
+    // remain available.
+    const SwapSlot s0 = pte.slot;
+    std::int64_t len = 0;
+    while (job->page_idx + len < run.count && len < params_.max_prefetch_run) {
+      const VPage vc = run.start + job->page_idx + len;
+      if (!pt.valid(vc)) break;
+      Pte& pc = pt.at(vc);
+      if (pc.present || pc.io_busy || pc.slot != s0 + len) break;
+      auto frame = frames_.alloc(job->pid, vc);
+      if (!frame) break;
+      pc.frame = *frame;
+      pc.io_busy = true;
+      ++len;
+    }
+    if (len == 0) {
+      // No frame even for the first page. Nudge the reclaimer and retry a
+      // moment later. (Not via a reclaim waiter: when everything evictable
+      // is this prefetch's own in-flight reads, the reclaimer would release
+      // the waiter unsatisfied at the same instant and the pump would spin;
+      // a real delay lets the outstanding disk reads land and map.)
+      kick_reclaim();
+      sim_.after(kMillisecond, [this, job] { prefetch_pump(job); });
+      return;
+    }
+    job->page_idx += len;
+    ++job->reads_in_flight;
+
+    const VPage batch_begin = v;
+    swap_.read(SlotRun{s0, len}, IoPriority::kForeground,
+               [this, job, batch_begin, len]() {
+                 auto& as2 = space(job->pid);
+                 auto& pt2 = as2.page_table();
+                 for (VPage p = batch_begin; p < batch_begin + len; ++p) {
+                   Pte& pte = pt2.at(p);
+                   assert(pte.io_busy && !pte.present);
+                   pte.io_busy = false;
+                   if (!as2.alive_) {
+                     frames_.free(pte.frame);
+                     pte.frame = kNoFrame;
+                     if (pte.slot != kNoSwapSlot) {
+                       swap_.free_slot(pte.slot);
+                       pte.slot = kNoSwapSlot;
+                     }
+                     continue;
+                   }
+                   pte.present = true;
+                   // Recorded working-set pages: mapped hot so a concurrent
+                   // sweep does not immediately reclaim them again.
+                   pte.referenced = true;
+                   pte.age = params_.age_initial;
+                   pte.last_ref = sim_.now();
+                   ++as2.resident_;
+                   fire_io_waiters(job->pid, p);
+                 }
+                 if (as2.alive_) account_pagein(len, as2);
+                 --job->reads_in_flight;
+                 if (job->run_idx >= job->runs.size() &&
+                     job->reads_in_flight == 0 && job->done) {
+                   auto done = std::move(job->done);
+                   done();
+                 }
+               });
+    if (frames_.free_frames() < params_.freepages_low) kick_reclaim();
+  }
+
+  if (job->reads_in_flight == 0 && job->done) {
+    auto done = std::move(job->done);
+    done();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Background writeback
+
+void Vmm::writeback_dirty(Pid pid, std::int64_t max_pages, IoPriority priority,
+                          std::function<void(std::int64_t)> done) {
+  auto& as = space(pid);
+  auto& pt = as.page_table();
+
+  if (!as.alive_ || as.dirty_resident_ == 0 || max_pages <= 0) {
+    if (done) done(0);
+    return;
+  }
+
+  auto candidate = [&](VPage p) {
+    const Pte& e = pt.at(p);
+    return e.present && e.dirty && !e.io_busy;
+  };
+
+  // Sweep from the per-space hand in vpage order so successive calls cover
+  // the space and consecutive dirty pages get contiguous slots.
+  const std::int64_t npages = pt.num_pages();
+  std::int64_t started = 0;
+  std::int64_t scanned = 0;
+  VPage v = as.writeback_hand_ % npages;
+  while (scanned < npages && started < max_pages) {
+    if (!candidate(v)) {
+      v = (v + 1) % npages;
+      ++scanned;
+      continue;
+    }
+    // Extend a contiguous group without wrapping around the end.
+    const VPage begin = v;
+    std::int64_t len = 0;
+    while (v < npages && scanned < npages && started + len < max_pages &&
+           candidate(v)) {
+      ++len;
+      ++v;
+      ++scanned;
+    }
+    if (v == npages) v = 0;
+
+    std::int64_t remaining = len;
+    VPage gv = begin;
+    while (remaining > 0) {
+      auto run = swap_.alloc_run(std::min(remaining, params_.max_writeout_run));
+      if (!run) {
+        log_.error("swap device full during writeback");
+        break;
+      }
+      const VPage run_begin = gv;
+      for (std::int64_t k = 0; k < run->count; ++k, ++gv) {
+        Pte& pte = pt.at(run_begin + k);
+        if (pte.slot != kNoSwapSlot) swap_.free_slot(pte.slot);
+        pte.slot = run->start + k;
+        pte.io_busy = true;
+        pte.dirty = false;
+        --as.dirty_resident_;
+      }
+      remaining -= run->count;
+      started += run->count;
+
+      swap_.write(*run, priority, [this, pid, run_begin, count = run->count]() {
+        auto& as2 = space(pid);
+        auto& pt2 = as2.page_table();
+        for (VPage p = run_begin; p < run_begin + count; ++p) {
+          Pte& pte = pt2.at(p);
+          assert(pte.io_busy && pte.present);
+          pte.io_busy = false;
+          if (!as2.alive_) {
+            frames_.free(pte.frame);
+            pte.frame = kNoFrame;
+            pte.present = false;
+            if (pte.slot != kNoSwapSlot) {
+              swap_.free_slot(pte.slot);
+              pte.slot = kNoSwapSlot;
+            }
+            continue;
+          }
+          if (pte.dirty) {
+            // Re-dirtied during the write: the swap copy is stale.
+            swap_.free_slot(pte.slot);
+            pte.slot = kNoSwapSlot;
+          }
+          // Page stays mapped either way; cleaning it without unmapping is
+          // the point of background writing.
+        }
+        if (as2.alive_) account_pageout(count, as2);
+      });
+      if (run->count == 0) break;
+    }
+  }
+  as.writeback_hand_ = v;
+
+  if (done) done(started);
+}
+
+// ---------------------------------------------------------------------------
+// Accounting
+
+void Vmm::account_pagein(std::int64_t pages, AddressSpace& as) {
+  as.stats_.pages_swapped_in += static_cast<std::uint64_t>(pages);
+  pagein_series_.add(sim_.now(), static_cast<double>(pages));
+}
+
+void Vmm::account_pageout(std::int64_t pages, AddressSpace& as) {
+  as.stats_.pages_swapped_out += static_cast<std::uint64_t>(pages);
+  pageout_series_.add(sim_.now(), static_cast<double>(pages));
+}
+
+}  // namespace apsim

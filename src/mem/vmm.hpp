@@ -1,0 +1,293 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "disk/swap_device.hpp"
+#include "mem/frame_table.hpp"
+#include "mem/page_table.hpp"
+#include "mem/reclaim.hpp"
+#include "sim/log.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+/// \file vmm.hpp
+/// Per-node virtual-memory manager modelling the Linux 2.2 paging machinery
+/// the paper modifies: demand paging with zero-fill minor faults, swap-backed
+/// major faults with cluster read-ahead, watermark-driven reclaim
+/// (freepages.min / low / high), a kswapd-style background reclaimer, and a
+/// swap cache (a clean page may keep a valid swap copy, making its eviction
+/// free). The adaptive mechanisms in src/core drive this class exclusively
+/// through its public hooks: pluggable reclaim policy, explicit reclaim
+/// requests, prefetch (artificial faults), dirty-page writeback and the
+/// eviction observer.
+
+namespace apsim {
+
+struct VmmParams {
+  /// Physical frames on the node (before wiring).
+  std::int64_t total_frames = mb_to_pages(1024.0);
+
+  /// Watermarks, in frames (Linux 2.2 freepages.min/low/high analogues).
+  std::int64_t freepages_min = 256;
+  std::int64_t freepages_low = 512;
+  std::int64_t freepages_high = 768;
+
+  /// Swap read-ahead: pages fetched per major fault (Linux 2.2 default 16).
+  std::int64_t page_cluster = 16;
+
+  /// Victims requested from the policy per reclaim step.
+  std::int64_t reclaim_batch = 32;
+
+  /// Longest contiguous run a single prefetch read may use.
+  std::int64_t max_prefetch_run = 512;
+
+  /// Longest contiguous swap-slot run sought when writing out a batch.
+  std::int64_t max_writeout_run = 512;
+
+  /// Page aging (Linux 2.2's PG_age): when enabled, the clock sweep ages
+  /// pages down by age_decline per encounter and up by age_advance per
+  /// observed reference, evicting only at age 0 — giving recently-used (and
+  /// freshly mapped) pages several sweeps of protection instead of the
+  /// one-bit second chance. Default off: the shipped calibration models the
+  /// plain referenced-bit clock.
+  bool page_aging = false;
+  std::uint8_t age_initial = 3;
+  std::uint8_t age_advance = 3;
+  std::uint8_t age_max = 20;
+  std::uint8_t age_decline = 1;
+
+  /// CPU cost of a zero-fill (minor) fault.
+  SimDuration minor_fault_cost = 3 * kMicrosecond;
+
+  /// Kernel CPU overhead of a major fault, excluding disk time.
+  SimDuration major_fault_cpu = 8 * kMicrosecond;
+};
+
+/// Per-process memory state owned by the VMM.
+class AddressSpace {
+ public:
+  AddressSpace(Pid pid, std::int64_t num_pages)
+      : pid_(pid), pt_(num_pages) {}
+
+  [[nodiscard]] Pid pid() const { return pid_; }
+  [[nodiscard]] PageTable& page_table() { return pt_; }
+  [[nodiscard]] const PageTable& page_table() const { return pt_; }
+  [[nodiscard]] std::int64_t num_pages() const { return pt_.num_pages(); }
+  [[nodiscard]] std::int64_t resident_pages() const { return resident_; }
+  [[nodiscard]] std::int64_t dirty_pages() const { return dirty_resident_; }
+  [[nodiscard]] bool alive() const { return alive_; }
+
+  /// Distinct pages touched since the last begin_ws_epoch() call; this is
+  /// the kernel-side working-set estimate the paper's API consumes.
+  [[nodiscard]] std::int64_t ws_pages() const { return ws_pages_; }
+
+  struct Stats {
+    std::uint64_t minor_faults = 0;
+    std::uint64_t major_faults = 0;
+    std::uint64_t pages_swapped_in = 0;   ///< pages read from swap
+    std::uint64_t pages_swapped_out = 0;  ///< pages written to swap (evict)
+    std::uint64_t pages_clean_dropped = 0;
+    std::uint64_t false_evictions = 0;    ///< evicted then re-faulted within one quantum
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  friend class Vmm;
+  Pid pid_;
+  PageTable pt_;
+  std::int64_t resident_ = 0;
+  std::int64_t dirty_resident_ = 0;
+  std::uint32_t epoch_ = 1;
+  std::int64_t ws_pages_ = 0;
+  VPage writeback_hand_ = 0;  ///< background-writer sweep position
+  bool alive_ = true;
+  Stats stats_;
+};
+
+/// A contiguous run of virtual pages [start, start + count).
+struct PageRun {
+  VPage start = 0;
+  std::int64_t count = 0;
+
+  friend bool operator==(const PageRun&, const PageRun&) = default;
+};
+
+class Vmm {
+ public:
+  Vmm(Simulator& sim, SwapDevice& swap, VmmParams params);
+
+  Vmm(const Vmm&) = delete;
+  Vmm& operator=(const Vmm&) = delete;
+
+  // ---- process lifecycle ----
+
+  /// Register a process with an anonymous address space of \p num_pages.
+  Pid create_process(std::int64_t num_pages);
+
+  /// Tear down a process: unmap resident pages and release swap slots.
+  /// Pages with in-flight I/O are reaped when that I/O completes.
+  void release_process(Pid pid);
+
+  [[nodiscard]] AddressSpace& space(Pid pid);
+  [[nodiscard]] const AddressSpace& space(Pid pid) const;
+  [[nodiscard]] const std::vector<Pid>& pids() const { return pids_; }
+
+  // ---- the hot path used by the CPU executor ----
+
+  /// Reference a page. Returns true and updates referenced/dirty/age bits if
+  /// the page is resident; returns false (caller must fault()) otherwise.
+  [[nodiscard]] bool touch(Pid pid, VPage vpage, bool write);
+
+  /// Hot-path overload for callers that cache the AddressSpace pointer.
+  [[nodiscard]] bool touch(AddressSpace& as, VPage vpage, bool write);
+
+  /// Handle a fault on a non-resident page. \p resume runs (via an event)
+  /// once the page is mapped; the caller keeps the process blocked until
+  /// then. Covers minor (zero-fill) and major (swap read + read-ahead)
+  /// faults, and piggybacks on in-flight I/O for the same page.
+  void fault(Pid pid, VPage vpage, bool write, std::function<void()> resume);
+
+  // ---- hooks used by the adaptive mechanisms (src/core) ----
+
+  /// Replace the victim-selection policy (selective page-out plugs in here).
+  void set_reclaim_policy(std::unique_ptr<ReclaimPolicy> policy);
+  [[nodiscard]] ReclaimPolicy& reclaim_policy() { return *policy_; }
+
+  /// Ask the reclaimer to bring free_frames() up to \p target_free, then run
+  /// \p done (immediately if already satisfied). This is the engine behind
+  /// both the watermark path and aggressive page-out. Best-effort requests
+  /// are released silently when the target becomes unreachable (aggressive
+  /// page-out races the incoming process for the freed frames, so its
+  /// target is advisory); strict requests warn in that case.
+  void request_free_frames(std::int64_t target_free, std::function<void()> done,
+                           bool best_effort = false,
+                           std::function<bool()> give_up = {});
+
+  /// Artificially fault in the given page runs (adaptive page-in replay).
+  /// Pages already resident or with I/O in flight are skipped. \p done runs
+  /// when every started read has landed.
+  void prefetch(Pid pid, std::vector<PageRun> runs, std::function<void()> done);
+
+  /// Write up to \p max_pages dirty resident pages of \p pid to swap without
+  /// unmapping them (background writing). \p done receives the number of
+  /// pages whose writes were started.
+  void writeback_dirty(Pid pid, std::int64_t max_pages, IoPriority priority,
+                       std::function<void(std::int64_t)> done);
+
+  /// Observer invoked for every page evicted from memory (clean drop or
+  /// write-out start); the adaptive page-in recorder attaches here.
+  using EvictObserver = std::function<void(Pid, VPage)>;
+  void set_evict_observer(EvictObserver observer) {
+    evict_observer_ = std::move(observer);
+  }
+
+  /// Start a new working-set accounting epoch for \p pid (call at quantum
+  /// start); ws_pages() then counts distinct pages touched in the new epoch.
+  void begin_ws_epoch(Pid pid);
+
+  // ---- introspection ----
+
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] SwapDevice& swap() { return swap_; }
+  [[nodiscard]] FrameTable& frames() { return frames_; }
+  [[nodiscard]] const FrameTable& frames() const { return frames_; }
+  [[nodiscard]] const VmmParams& params() const { return params_; }
+  [[nodiscard]] std::int64_t free_frames() const { return frames_.free_frames(); }
+
+  /// Wire down \p n frames (mlock emulation for the experiments).
+  std::int64_t wire_down(std::int64_t n) { return frames_.wire_down(n); }
+
+  struct Stats {
+    std::uint64_t reclaim_steps = 0;
+    std::uint64_t oom_waiter_releases = 0;  ///< waiters released unsatisfied
+    std::uint64_t alloc_retries = 0;        ///< frame allocation retried after delay
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Pages read from swap per second (trace for Figure 6).
+  [[nodiscard]] TimeSeries& pagein_series() { return pagein_series_; }
+  /// Pages written to swap per second (trace for Figure 6).
+  [[nodiscard]] TimeSeries& pageout_series() { return pageout_series_; }
+
+  [[nodiscard]] Logger& log() { return log_; }
+
+ private:
+  struct Waiter {
+    std::int64_t target = 0;
+    std::function<void()> done;
+    bool best_effort = false;
+    std::function<bool()> give_up;  ///< release (satisfied-enough) when true
+  };
+
+  // Fault machinery.
+  void fault_impl(Pid pid, VPage vpage, bool write,
+                  std::function<void()> resume, bool skip_watermark);
+  void retry_fault_later(Pid pid, VPage vpage, bool write,
+                         std::function<void()> resume);
+  void start_major_fault(Pid pid, VPage vpage, bool write,
+                         std::function<void()> resume);
+  void finish_minor_fault(Pid pid, VPage vpage, bool write,
+                          std::function<void()> resume);
+  void add_io_waiter(Pid pid, VPage vpage, std::function<void()> resume);
+  void fire_io_waiters(Pid pid, VPage vpage);
+
+  // Reclaim machinery.
+  void kick_reclaim();
+  void reclaim_step();
+  void warn_release_rate_limited(const char* reason);
+  /// Begin eviction of the given victims; returns frames freed instantly
+  /// (clean drops) with write-backed frees counted in evictions_in_flight_.
+  std::int64_t evict_batch(std::span<const Victim> victims, IoPriority priority);
+  void note_evicted(Pid pid, VPage vpage);
+  void check_waiters();
+
+  // Prefetch driver.
+  struct PrefetchJob {
+    Pid pid = kNoPid;
+    std::vector<PageRun> runs;
+    std::size_t run_idx = 0;
+    std::int64_t page_idx = 0;
+    std::int64_t reads_in_flight = 0;
+    std::function<void()> done;
+  };
+  void prefetch_pump(const std::shared_ptr<PrefetchJob>& job);
+
+  void account_pagein(std::int64_t pages, AddressSpace& as);
+  void account_pageout(std::int64_t pages, AddressSpace& as);
+
+  static SimTime clock_thunk(const void* ctx) {
+    return static_cast<const Simulator*>(ctx)->now();
+  }
+
+  Simulator& sim_;
+  SwapDevice& swap_;
+  VmmParams params_;
+  FrameTable frames_;
+  Logger log_;
+
+  std::map<Pid, std::unique_ptr<AddressSpace>> spaces_;
+  std::vector<Pid> pids_;
+  Pid next_pid_ = 1;
+
+  std::unique_ptr<ReclaimPolicy> policy_;
+  std::vector<Waiter> waiters_;
+  std::int64_t evictions_in_flight_ = 0;  ///< frames that will free on write completion
+  bool reclaim_scheduled_ = false;
+  std::uint64_t release_warnings_ = 0;
+
+  std::map<std::pair<Pid, VPage>, std::vector<std::function<void()>>> io_waiters_;
+
+  EvictObserver evict_observer_;
+
+  TimeSeries pagein_series_{kSecond};
+  TimeSeries pageout_series_{kSecond};
+  Stats stats_;
+};
+
+}  // namespace apsim

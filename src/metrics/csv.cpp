@@ -1,0 +1,49 @@
+#include "metrics/csv.hpp"
+
+namespace apsim {
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) os_ << ',';
+    os_ << escape(fields[i]);
+  }
+  os_ << '\n';
+}
+
+void write_outcomes_csv(std::ostream& os,
+                        const std::vector<RunOutcome>& outcomes) {
+  CsvWriter csv(os);
+  csv.row({"label", "policy", "makespan_s", "job", "completion_s",
+           "major_faults", "minor_faults", "pages_in", "pages_out",
+           "false_evictions", "cpu_s", "fault_wait_s", "comm_wait_s"});
+  for (const auto& outcome : outcomes) {
+    for (const auto& job : outcome.jobs) {
+      csv.row({outcome.label, outcome.policy,
+               std::to_string(to_seconds(outcome.makespan)), job.name,
+               std::to_string(to_seconds(job.completion)),
+               std::to_string(job.major_faults),
+               std::to_string(job.minor_faults),
+               std::to_string(job.pages_swapped_in),
+               std::to_string(job.pages_swapped_out),
+               std::to_string(job.false_evictions),
+               std::to_string(to_seconds(job.cpu_time)),
+               std::to_string(to_seconds(job.fault_wait)),
+               std::to_string(to_seconds(job.comm_wait))});
+    }
+  }
+}
+
+}  // namespace apsim

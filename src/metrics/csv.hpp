@@ -1,0 +1,36 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "metrics/experiment.hpp"
+
+/// \file csv.hpp
+/// Small CSV writer plus exporters for the experiment outcome types, so
+/// benchmark artifacts can be post-processed/plotted outside the repo.
+/// Quoting follows RFC 4180 (fields containing comma, quote or newline are
+/// double-quoted; embedded quotes doubled).
+
+namespace apsim {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  /// Write one row; fields are quoted as needed.
+  void row(const std::vector<std::string>& fields);
+
+  /// Escape a single field (exposed for tests).
+  [[nodiscard]] static std::string escape(const std::string& field);
+
+ private:
+  std::ostream& os_;
+};
+
+/// One line per job of each outcome: label, policy, makespan, per-job
+/// completion and paging counters.
+void write_outcomes_csv(std::ostream& os,
+                        const std::vector<RunOutcome>& outcomes);
+
+}  // namespace apsim

@@ -1,0 +1,31 @@
+#include "metrics/experiment.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace apsim {
+
+double switching_overhead(SimTime gang_makespan, SimTime batch_makespan) {
+  assert(gang_makespan > 0 && batch_makespan > 0);
+  if (gang_makespan <= batch_makespan) return 0.0;
+  const double overhead =
+      static_cast<double>(gang_makespan - batch_makespan) /
+      static_cast<double>(gang_makespan);
+  return std::clamp(overhead, 0.0, 1.0);
+}
+
+double paging_reduction(double overhead_policy, double overhead_original) {
+  if (overhead_original <= 0.0) return 0.0;
+  return 1.0 - overhead_policy / overhead_original;
+}
+
+double mean_completion_s(const RunOutcome& outcome) {
+  if (outcome.jobs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& job : outcome.jobs) {
+    sum += to_seconds(job.completion);
+  }
+  return sum / static_cast<double>(outcome.jobs.size());
+}
+
+}  // namespace apsim

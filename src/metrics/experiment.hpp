@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/trace.hpp"
+#include "sim/time.hpp"
+
+/// \file experiment.hpp
+/// The paper's evaluation metrics. Given a gang-scheduled run and the batch
+/// baseline of the same jobs:
+///   switching overhead = (T_gang - T_batch) / T_gang      (Figures 7b/8be/9b)
+///   paging reduction   = 1 - overhead_policy/overhead_orig (Figures 7c/8cf/9c)
+/// The overhead is the fraction of wall time spent on job-switch paging; the
+/// reduction compares a policy against the original kernel.
+
+namespace apsim {
+
+struct JobOutcome {
+  std::string name;
+  SimTime completion = -1;          ///< job finish time
+  std::uint64_t major_faults = 0;
+  std::uint64_t minor_faults = 0;
+  std::uint64_t pages_swapped_in = 0;
+  std::uint64_t pages_swapped_out = 0;
+  std::uint64_t false_evictions = 0;
+  SimDuration cpu_time = 0;
+  SimDuration fault_wait = 0;
+  SimDuration comm_wait = 0;
+};
+
+struct RunOutcome {
+  std::string label;                ///< e.g. "LU.B so/ao/ai/bg"
+  std::string policy;               ///< canonical policy string or "batch"
+  SimTime makespan = -1;
+  std::vector<JobOutcome> jobs;
+  std::vector<PagingTrace> traces;  ///< per node (captured on request)
+
+  // Cluster-wide totals.
+  std::uint64_t pages_swapped_in = 0;
+  std::uint64_t pages_swapped_out = 0;
+  std::uint64_t major_faults = 0;
+  std::uint64_t false_evictions = 0;
+  std::uint64_t pages_recorded = 0;   ///< adaptive page-in recorder volume
+  std::uint64_t pages_replayed = 0;
+  std::uint64_t bg_pages_written = 0;
+  int switches = 0;
+
+  [[nodiscard]] double makespan_s() const { return to_seconds(makespan); }
+};
+
+/// Fraction of the gang run's wall time attributable to job switching.
+/// Clamped to [0, 1); returns 0 when the gang run beat the batch baseline.
+[[nodiscard]] double switching_overhead(SimTime gang_makespan,
+                                        SimTime batch_makespan);
+
+/// Relative reduction of switching overhead vs the original policy, in
+/// [0, 1] (negative if the policy made things worse).
+[[nodiscard]] double paging_reduction(double overhead_policy,
+                                      double overhead_original);
+
+/// Mean completion time across jobs, seconds.
+[[nodiscard]] double mean_completion_s(const RunOutcome& outcome);
+
+}  // namespace apsim

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// Column-aligned text tables for the benchmark harness output (one table
+/// per figure panel, mirroring the paper's graphs as rows).
+
+namespace apsim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add a row; missing trailing cells render empty.
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Format helpers.
+  [[nodiscard]] static std::string fmt(double value, int precision = 1);
+  [[nodiscard]] static std::string pct(double fraction, int precision = 0);
+  [[nodiscard]] static std::string seconds(double s, int precision = 0);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace apsim

@@ -1,0 +1,91 @@
+#include "metrics/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apsim {
+
+void write_trace_csv(std::ostream& os, const PagingTrace& trace) {
+  os << "time_s,pages_in,pages_out\n";
+  const std::size_t n = std::max(trace.pages_in.buckets().size(),
+                                 trace.pages_out.buckets().size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double in = i < trace.pages_in.buckets().size()
+                          ? trace.pages_in.buckets()[i]
+                          : 0.0;
+    const double out = i < trace.pages_out.buckets().size()
+                           ? trace.pages_out.buckets()[i]
+                           : 0.0;
+    os << i << ',' << in << ',' << out << '\n';
+  }
+}
+
+std::string render_ascii_series(const TimeSeries& series,
+                                const AsciiChartOptions& options) {
+  const auto& buckets = series.buckets();
+  const SimTime end = options.t_end >= 0
+                          ? options.t_end
+                          : series.origin() + static_cast<SimTime>(
+                                                  buckets.size()) *
+                                                  series.bucket_width();
+  const SimTime begin = std::max(options.t_begin, series.origin());
+  if (end <= begin || options.columns == 0 || options.rows == 0) return "";
+
+  // Re-bin [begin, end) into `columns` cells.
+  std::vector<double> cells(options.columns, 0.0);
+  const double span = static_cast<double>(end - begin);
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const SimTime t = series.origin() +
+                      static_cast<SimTime>(i) * series.bucket_width();
+    if (t < begin || t >= end) continue;
+    const auto cell = static_cast<std::size_t>(
+        static_cast<double>(t - begin) / span *
+        static_cast<double>(options.columns));
+    cells[std::min(cell, options.columns - 1)] += buckets[i];
+  }
+  const double peak = *std::max_element(cells.begin(), cells.end());
+  std::string out;
+  if (peak <= 0.0) {
+    out.assign(options.columns, '.');
+    out += '\n';
+    return out;
+  }
+  for (std::size_t row = 0; row < options.rows; ++row) {
+    const double threshold = peak * static_cast<double>(options.rows - row) /
+                             static_cast<double>(options.rows + 1);
+    for (double cell : cells) {
+      out += cell > threshold ? '#' : (row + 1 == options.rows && cell > 0.0 ? '_' : ' ');
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_ascii_trace(const PagingTrace& trace,
+                               const AsciiChartOptions& options) {
+  std::string out;
+  out += trace.label + "  [page-in pages/s]\n";
+  out += render_ascii_series(trace.pages_in, options);
+  out += trace.label + "  [page-out pages/s]\n";
+  out += render_ascii_series(trace.pages_out, options);
+  return out;
+}
+
+double burst_concentration(const TimeSeries& series,
+                           std::size_t peak_buckets) {
+  const auto& buckets = series.buckets();
+  if (buckets.empty() || series.total() <= 0.0) return 0.0;
+  std::vector<double> sorted(buckets.begin(), buckets.end());
+  std::partial_sort(sorted.begin(),
+                    sorted.begin() +
+                        static_cast<std::ptrdiff_t>(
+                            std::min(peak_buckets, sorted.size())),
+                    sorted.end(), std::greater<>{});
+  double top = 0.0;
+  for (std::size_t i = 0; i < std::min(peak_buckets, sorted.size()); ++i) {
+    top += sorted[i];
+  }
+  return top / series.total();
+}
+
+}  // namespace apsim

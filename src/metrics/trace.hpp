@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+/// \file trace.hpp
+/// Paging-activity traces (the data behind the paper's Figure 6): per-node
+/// page-in and page-out rates over time, with CSV export and an ASCII
+/// renderer good enough to eyeball burst compaction in a terminal.
+
+namespace apsim {
+
+/// A captured pair of in/out series for one node.
+struct PagingTrace {
+  std::string label;
+  TimeSeries pages_in{kSecond};
+  TimeSeries pages_out{kSecond};
+};
+
+/// Write `time_s,pages_in,pages_out` rows.
+void write_trace_csv(std::ostream& os, const PagingTrace& trace);
+
+struct AsciiChartOptions {
+  std::size_t columns = 100;   ///< chart width; buckets are re-binned to fit
+  std::size_t rows = 8;        ///< vertical resolution per series
+  SimTime t_begin = 0;
+  SimTime t_end = -1;          ///< -1: end of data
+};
+
+/// Render one series as a bar chart (one char column per re-binned bucket).
+[[nodiscard]] std::string render_ascii_series(const TimeSeries& series,
+                                              const AsciiChartOptions& options);
+
+/// Render a trace: page-in chart over page-out chart with a shared x axis.
+[[nodiscard]] std::string render_ascii_trace(const PagingTrace& trace,
+                                             const AsciiChartOptions& options);
+
+/// Burst-compaction summary over a window: what fraction of total paging
+/// volume lands within the busiest `peak_buckets` buckets. The paper's
+/// adaptive mechanisms raise this sharply (compaction of Figure 1).
+[[nodiscard]] double burst_concentration(const TimeSeries& series,
+                                         std::size_t peak_buckets);
+
+}  // namespace apsim

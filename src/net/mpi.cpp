@@ -1,0 +1,143 @@
+#include "net/mpi.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace apsim {
+
+MpiComm::MpiComm(Simulator& sim, Network& net, int nranks)
+    : sim_(sim), net_(net), nranks_(nranks),
+      node_of_(static_cast<std::size_t>(nranks), -1),
+      rank_seq_(static_cast<std::size_t>(nranks), 0) {
+  assert(nranks > 0);
+}
+
+void MpiComm::bind(int rank, Process& process, int node_index) {
+  assert(rank >= 0 && rank < nranks_);
+  node_of_[static_cast<std::size_t>(rank)] = node_index;
+  process.rank = rank;
+}
+
+void MpiComm::install_exclusive(Cpu& cpu) {
+  cpu.set_comm_handler([this](Process& p, const CommOp& op,
+                              std::function<void()> resume) {
+    enter(p, op, std::move(resume));
+  });
+}
+
+void MpiComm::enter(Process& p, const CommOp& op,
+                    std::function<void()> resume) {
+  const int rank = p.rank;
+  assert(rank >= 0 && rank < nranks_);
+  const std::uint64_t seq = rank_seq_[static_cast<std::size_t>(rank)]++;
+
+  auto [it, inserted] = open_.try_emplace(seq);
+  Pending& pending = it->second;
+  if (inserted) {
+    pending.op = op;
+    pending.resumes.assign(static_cast<std::size_t>(nranks_), nullptr);
+  } else {
+    assert(pending.op.type == op.type && "collective mismatch across ranks");
+  }
+  assert(!pending.resumes[static_cast<std::size_t>(rank)]);
+  pending.resumes[static_cast<std::size_t>(rank)] = std::move(resume);
+  ++pending.entered;
+
+  if (pending.entered == nranks_) {
+    Pending done = std::move(pending);
+    open_.erase(it);
+    complete(seq, done);
+  }
+}
+
+void MpiComm::complete(std::uint64_t /*seq*/, Pending& pending) {
+  const int log2n = nranks_ > 1 ? std::bit_width(
+      static_cast<unsigned>(nranks_ - 1)) : 0;
+
+  switch (pending.op.type) {
+    case CommOp::Type::kBarrier: {
+      ++stats_.barriers;
+      // Dissemination barrier: ceil(log2 n) message rounds.
+      const SimDuration cost =
+          2 * net_.params().latency * std::max(1, log2n);
+      for (auto& resume : pending.resumes) {
+        sim_.after(cost, std::move(resume));
+      }
+      break;
+    }
+    case CommOp::Type::kExchange: {
+      ++stats_.exchanges;
+      run_exchange(pending);
+      break;
+    }
+    case CommOp::Type::kAllreduce: {
+      ++stats_.allreduces;
+      // Recursive doubling: log2 n rounds, each moving `bytes` per rank.
+      const SimDuration round = net_.params().latency +
+                                net_.transfer_time(pending.op.bytes) +
+                                2 * net_.params().per_message_overhead;
+      const SimDuration cost = round * std::max(1, log2n);
+      for (int r = 0; r < nranks_; ++r) {
+        for (int round_i = 0; round_i < log2n; ++round_i) {
+          const int peer = r ^ (1 << round_i);
+          if (peer < nranks_ && peer >= 0) {
+            net_.charge(node_of_[static_cast<std::size_t>(r)],
+                        node_of_[static_cast<std::size_t>(peer)],
+                        pending.op.bytes);
+          }
+        }
+      }
+      for (auto& resume : pending.resumes) {
+        sim_.after(cost, std::move(resume));
+      }
+      break;
+    }
+  }
+}
+
+void MpiComm::run_exchange(const Pending& pending) {
+  // Ring halo exchange: every rank sends `bytes` to both neighbours and
+  // resumes once both of its incoming halves have been delivered. Uses real
+  // Network sends so link contention is modelled.
+  if (nranks_ == 1) {
+    sim_.after(2 * net_.params().per_message_overhead,
+               std::move(const_cast<Pending&>(pending).resumes[0]));
+    return;
+  }
+
+  struct RankWait {
+    int remaining = 0;
+    std::function<void()> resume;
+  };
+  auto waits = std::make_shared<std::vector<RankWait>>(
+      static_cast<std::size_t>(nranks_));
+  const int expected = nranks_ == 2 ? 1 : 2;  // ring degenerates for n == 2
+  for (int r = 0; r < nranks_; ++r) {
+    (*waits)[static_cast<std::size_t>(r)].remaining = expected;
+    (*waits)[static_cast<std::size_t>(r)].resume =
+        std::move(const_cast<Pending&>(pending)
+                      .resumes[static_cast<std::size_t>(r)]);
+  }
+
+  auto arrive = [this, waits](int rank) {
+    auto& w = (*waits)[static_cast<std::size_t>(rank)];
+    if (--w.remaining == 0) {
+      sim_.after(0, std::move(w.resume));
+    }
+  };
+
+  for (int r = 0; r < nranks_; ++r) {
+    const int next = (r + 1) % nranks_;
+    net_.send(node_of_[static_cast<std::size_t>(r)],
+              node_of_[static_cast<std::size_t>(next)], pending.op.bytes,
+              [arrive, next] { arrive(next); });
+    if (nranks_ > 2) {
+      const int prev = (r + nranks_ - 1) % nranks_;
+      net_.send(node_of_[static_cast<std::size_t>(r)],
+                node_of_[static_cast<std::size_t>(prev)], pending.op.bytes,
+                [arrive, prev] { arrive(prev); });
+    }
+  }
+}
+
+}  // namespace apsim

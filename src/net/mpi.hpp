@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "proc/cpu.hpp"
+#include "proc/process.hpp"
+
+/// \file mpi.hpp
+/// Minimal MPI-like communicator for one parallel job: barrier, neighbour
+/// (halo) exchange, and allreduce across the job's ranks, over the Network
+/// model. Collectives match by per-rank sequence number, which is correct
+/// because every rank of an SPMD program executes the same collective
+/// sequence. A rank that is SIGSTOPped (or still paging) simply has not
+/// entered yet, so the others wait — the gang-skew effect the paper's
+/// simultaneous paging compaction removes.
+
+namespace apsim {
+
+class MpiComm {
+ public:
+  MpiComm(Simulator& sim, Network& net, int nranks);
+
+  MpiComm(const MpiComm&) = delete;
+  MpiComm& operator=(const MpiComm&) = delete;
+
+  /// Register rank -> (process, node). The node CPU's comm handler must
+  /// route each process's comm ops to its job's communicator (CPUs are
+  /// shared between jobs, so the handler dispatches by Process::job_id; see
+  /// harness/runner.cpp), or call install_exclusive() when a CPU hosts only
+  /// this communicator's rank.
+  void bind(int rank, Process& process, int node_index);
+
+  /// Convenience for single-job setups: make this communicator the CPU's
+  /// comm handler directly.
+  void install_exclusive(Cpu& cpu);
+
+  [[nodiscard]] int nranks() const { return nranks_; }
+
+  /// Entry point invoked by the CPU executor for every comm op.
+  void enter(Process& p, const CommOp& op, std::function<void()> resume);
+
+  struct Stats {
+    std::uint64_t barriers = 0;
+    std::uint64_t exchanges = 0;
+    std::uint64_t allreduces = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    CommOp op;
+    int entered = 0;
+    std::vector<std::function<void()>> resumes;  // indexed by rank
+  };
+
+  void complete(std::uint64_t seq, Pending& pending);
+  void run_exchange(const Pending& pending);
+
+  Simulator& sim_;
+  Network& net_;
+  int nranks_;
+  std::vector<int> node_of_;               ///< rank -> node index
+  std::vector<std::uint64_t> rank_seq_;    ///< next collective seq per rank
+  std::map<std::uint64_t, Pending> open_;  ///< seq -> in-progress collective
+  Stats stats_;
+};
+
+}  // namespace apsim

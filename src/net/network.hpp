@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+/// \file network.hpp
+/// Cluster interconnect model: a non-blocking switch with one full-duplex
+/// link per node (the paper's testbed is a 100 Mbps Ethernet switch). Each
+/// message serializes on the sender's and receiver's links; the switch adds
+/// fixed latency. Enough fidelity to reproduce gang skew: a rank that is
+/// still paging delays everyone else's collectives.
+
+namespace apsim {
+
+struct NetParams {
+  /// Link bandwidth in bytes per second (100 Mbps Ethernet).
+  double bandwidth_bytes_per_sec = 100.0e6 / 8.0;
+
+  /// One-way switch + stack latency per message.
+  SimDuration latency = 100 * kMicrosecond;
+
+  /// Fixed per-message software overhead on each endpoint.
+  SimDuration per_message_overhead = 20 * kMicrosecond;
+};
+
+class Network {
+ public:
+  Network(Simulator& sim, int num_nodes, NetParams params = {});
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(tx_free_at_.size()); }
+  [[nodiscard]] const NetParams& params() const { return params_; }
+
+  /// Send \p bytes from node \p from to node \p to; \p on_delivered fires at
+  /// the receiver when the last byte lands. Self-sends are near-free.
+  void send(int from, int to, std::int64_t bytes,
+            std::function<void()> on_delivered);
+
+  /// Account traffic that a higher layer modelled analytically (e.g. the
+  /// allreduce formula) without scheduling per-message events.
+  void charge(int from, int to, std::int64_t bytes);
+
+  /// Pure transfer time of \p bytes over one link.
+  [[nodiscard]] SimDuration transfer_time(std::int64_t bytes) const;
+
+  struct Stats {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  Simulator& sim_;
+  NetParams params_;
+  std::vector<SimTime> tx_free_at_;  ///< sender link busy horizon
+  std::vector<SimTime> rx_free_at_;  ///< receiver link busy horizon
+  Stats stats_;
+};
+
+}  // namespace apsim

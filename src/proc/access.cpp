@@ -1,0 +1,98 @@
+#include "proc/access.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace apsim {
+
+namespace {
+
+/// Stateless hash of (seed, i) with splitmix64.
+[[nodiscard]] std::uint64_t hash_at(std::uint64_t seed, std::int64_t i) {
+  std::uint64_t s = seed ^ (0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(i));
+  return splitmix64(s);
+}
+
+/// Map a uniform u64 to a zipf-distributed rank in [0, n).
+[[nodiscard]] std::int64_t zipf_rank(std::uint64_t h, std::int64_t n,
+                                     double theta) {
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  double x = 0.0;
+  if (theta == 1.0) {
+    const double hn = std::log(static_cast<double>(n) + 1.0);
+    x = std::exp(u * hn) - 1.0;
+  } else {
+    const double hn =
+        (std::pow(static_cast<double>(n) + 1.0, 1.0 - theta) - 1.0) /
+        (1.0 - theta);
+    x = std::pow(u * hn * (1.0 - theta) + 1.0, 1.0 / (1.0 - theta)) - 1.0;
+  }
+  auto r = static_cast<std::int64_t>(x);
+  return r >= n ? n - 1 : (r < 0 ? 0 : r);
+}
+
+}  // namespace
+
+VPage AccessChunk::page_at(std::int64_t i) const {
+  assert(i >= 0 && i < touches);
+  assert(region_pages > 0);
+  switch (pattern) {
+    case Pattern::kSequential:
+      return region_start + (i % region_pages);
+    case Pattern::kStrided:
+      return region_start + (i * stride) % region_pages;
+    case Pattern::kRandom:
+      return region_start +
+             static_cast<VPage>(hash_at(seed, i) %
+                                static_cast<std::uint64_t>(region_pages));
+    case Pattern::kZipf:
+      return region_start + zipf_rank(hash_at(seed, i), region_pages, theta);
+  }
+  return region_start;
+}
+
+IterativeProgram::IterativeProgram(std::vector<Op> prologue,
+                                   std::vector<Op> cycle,
+                                   std::int64_t iterations, std::uint64_t seed)
+    : prologue_(std::move(prologue)), cycle_(std::move(cycle)),
+      iterations_(iterations), seed_(seed),
+      in_prologue_(!prologue_.empty()) {
+  assert(iterations >= 0);
+}
+
+Op IterativeProgram::next() {
+  if (done_) return Op::done_op();
+
+  if (in_prologue_) {
+    if (pos_ < prologue_.size()) return prologue_[pos_++];
+    in_prologue_ = false;
+    pos_ = 0;
+  }
+
+  while (iter_ < iterations_) {
+    if (pos_ < cycle_.size()) {
+      Op op = cycle_[pos_++];
+      if (op.kind == Op::Kind::kAccess && op.access.reseed_per_iteration &&
+          (op.access.pattern == AccessChunk::Pattern::kRandom ||
+           op.access.pattern == AccessChunk::Pattern::kZipf)) {
+        // Vary randomised chunks per iteration, deterministically.
+        std::uint64_t s = seed_ ^ (static_cast<std::uint64_t>(iter_) << 32) ^
+                          static_cast<std::uint64_t>(pos_);
+        op.access.seed = splitmix64(s);
+      }
+      return op;
+    }
+    pos_ = 0;
+    ++iter_;
+  }
+  done_ = true;
+  return Op::done_op();
+}
+
+double IterativeProgram::progress() const {
+  if (done_) return 1.0;
+  if (iterations_ == 0) return in_prologue_ ? 0.0 : 1.0;
+  return static_cast<double>(iter_) / static_cast<double>(iterations_);
+}
+
+}  // namespace apsim

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "mem/vmm.hpp"
+#include "proc/process.hpp"
+#include "sim/simulator.hpp"
+
+/// \file cpu.hpp
+/// Per-node CPU executor. Runs attached processes round-robin, consuming
+/// their Programs: page-touch chunks go through the VMM fast path (blocking
+/// the process on faults), compute ops burn virtual time, and communication
+/// ops are delegated to the comm handler installed by the MPI layer. The
+/// gang scheduler's SIGSTOP/SIGCONT arrive via stop_process()/cont_process().
+
+namespace apsim {
+
+struct CpuParams {
+  /// Max virtual compute per executor slice; bounds signal latency and the
+  /// quantization of reference timestamps.
+  SimDuration slice = 20 * kMillisecond;
+
+  /// Kernel context-switch cost when the CPU picks a new process.
+  SimDuration context_switch = 10 * kMicrosecond;
+
+  /// Pure-compute ops longer than this are split (keeps signals responsive).
+  SimDuration max_compute_step = 100 * kMillisecond;
+};
+
+class Cpu {
+ public:
+  using CommHandler =
+      std::function<void(Process&, const CommOp&, std::function<void()>)>;
+
+  Cpu(Simulator& sim, Vmm& vmm, CpuParams params = {})
+      : sim_(sim), vmm_(vmm), params_(params) {}
+
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  /// Register a process (born stopped). The process must already have a VMM
+  /// address space; Cpu caches the pointer for the touch fast path.
+  void attach(Process& p);
+
+  /// SIGCONT: start or resume the process.
+  void cont_process(Process& p);
+
+  /// SIGSTOP: request the process to stop. Running processes stop at the
+  /// next slice boundary; blocked ones when their wait completes.
+  void stop_process(Process& p);
+
+  /// Install the communication delegate (the MPI layer). Without one, comm
+  /// ops complete immediately.
+  void set_comm_handler(CommHandler handler) { comm_ = std::move(handler); }
+
+  [[nodiscard]] bool idle() const { return current_ == nullptr; }
+  [[nodiscard]] Process* current() const { return current_; }
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] Vmm& vmm() { return vmm_; }
+  [[nodiscard]] const CpuParams& params() const { return params_; }
+
+  /// Total virtual time this CPU spent executing processes.
+  [[nodiscard]] SimDuration busy_time() const { return busy_time_; }
+
+ private:
+  void make_runnable(Process& p);
+  void dispatch();
+  void run_slice(Process& p);
+  void run_access(Process& p);
+  void run_compute(Process& p);
+  void run_comm(Process& p);
+  void finish(Process& p);
+  void do_stop(Process& p);
+  void unblock(Process& p);
+  void yield_or_continue(Process& p);
+
+  /// Schedule \p fn after \p delay, dropped if the process stops, blocks or
+  /// finishes in the meantime.
+  void continue_after(Process& p, SimDuration delay, std::function<void(Process&)> fn);
+
+  Simulator& sim_;
+  Vmm& vmm_;
+  CpuParams params_;
+  CommHandler comm_;
+
+  std::deque<Process*> ready_;
+  Process* current_ = nullptr;
+  std::vector<Process*> attached_;
+  SimDuration busy_time_ = 0;
+};
+
+}  // namespace apsim

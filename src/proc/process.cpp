@@ -1,0 +1,17 @@
+#include "proc/process.hpp"
+
+namespace apsim {
+
+std::string_view to_string(ProcState s) {
+  switch (s) {
+    case ProcState::kReady: return "ready";
+    case ProcState::kRunning: return "running";
+    case ProcState::kBlockedFault: return "fault-wait";
+    case ProcState::kBlockedComm: return "comm-wait";
+    case ProcState::kStopped: return "stopped";
+    case ProcState::kFinished: return "finished";
+  }
+  return "?";
+}
+
+}  // namespace apsim

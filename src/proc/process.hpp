@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "mem/page.hpp"
+#include "proc/access.hpp"
+#include "sim/time.hpp"
+
+/// \file process.hpp
+/// A simulated application process: a Program (its reference string), its
+/// pid in the node's VMM, scheduling state, and per-process accounting. The
+/// gang scheduler manipulates processes exclusively through SIGSTOP/SIGCONT
+/// analogues on the owning Cpu, exactly like the paper's user-level
+/// scheduler.
+
+namespace apsim {
+
+class AddressSpace;
+
+enum class ProcState : std::uint8_t {
+  kReady,         ///< runnable, waiting for the CPU
+  kRunning,       ///< currently executing on the CPU
+  kBlockedFault,  ///< waiting for a page fault to resolve
+  kBlockedComm,   ///< waiting inside a communication op
+  kStopped,       ///< SIGSTOPped by the gang scheduler
+  kFinished,      ///< program completed
+};
+
+[[nodiscard]] std::string_view to_string(ProcState s);
+
+class Process {
+ public:
+  Process(std::string name, Pid pid, std::unique_ptr<Program> program)
+      : name_(std::move(name)), pid_(pid), program_(std::move(program)) {}
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Pid pid() const { return pid_; }
+  [[nodiscard]] ProcState state() const { return state_; }
+  [[nodiscard]] Program& program() { return *program_; }
+  [[nodiscard]] bool stop_requested() const { return stop_requested_; }
+  [[nodiscard]] bool finished() const { return state_ == ProcState::kFinished; }
+
+  /// MPI identity (meaningful for parallel programs only).
+  int rank = 0;
+  int job_id = -1;
+
+  /// Invoked exactly once when the program completes.
+  std::function<void(Process&)> on_finish;
+
+  struct Stats {
+    SimDuration cpu_time = 0;
+    SimDuration fault_wait = 0;    ///< blocked on page faults
+    SimDuration comm_wait = 0;     ///< blocked in communication ops
+    SimDuration stopped_time = 0;  ///< SIGSTOPped
+    SimTime finished_at = -1;
+    std::uint64_t slices = 0;      ///< executor slices consumed
+    std::uint64_t faults_taken = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  friend class Cpu;
+
+  std::string name_;
+  Pid pid_;
+  std::unique_ptr<Program> program_;
+  AddressSpace* space_ = nullptr;  // cached by Cpu::attach
+
+  ProcState state_ = ProcState::kStopped;  // born stopped; start via cont
+  bool stop_requested_ = true;
+  std::uint64_t run_gen_ = 0;  ///< invalidates stale continuation events
+
+  // Current-operation cursor.
+  Op current_op_;
+  bool op_active_ = false;
+  std::int64_t op_pos_ = 0;  ///< touches done (kAccess) or ns elapsed (kCompute)
+
+  // Accounting anchors.
+  SimTime blocked_since_ = 0;
+  SimTime stopped_since_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace apsim

@@ -1,0 +1,61 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace apsim {
+
+EventHandle EventQueue::schedule(SimTime when, Callback fn) {
+  assert(fn && "cannot schedule an empty callback");
+  Entry entry;
+  entry.time = when;
+  entry.seq = seq_++;
+  entry.fn = std::move(fn);
+  entry.cancelled = std::make_shared<bool>(false);
+  EventHandle handle{std::weak_ptr<bool>(entry.cancelled)};
+  heap_.push_back(std::move(entry));
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  ++live_;
+  return handle;
+}
+
+void EventQueue::cancel(const EventHandle& handle) {
+  if (auto flag = handle.flag_.lock(); flag && !*flag) {
+    *flag = true;
+    assert(live_ > 0);
+    --live_;
+  }
+}
+
+void EventQueue::drop_cancelled_top() const {
+  auto& heap = heap_;
+  while (!heap.empty() && *heap.front().cancelled) {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    heap.pop_back();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled_top();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled_top();
+  assert(!heap_.empty());
+  return heap_.front().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled_top();
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
+  assert(live_ > 0);
+  --live_;
+  *entry.cancelled = true;  // handle now reports !pending()
+  return Popped{entry.time, std::move(entry.fn)};
+}
+
+}  // namespace apsim

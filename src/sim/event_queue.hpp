@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// \file event_queue.hpp
+/// The simulator's pending-event set: a binary heap ordered by (time, seq).
+/// The monotonically increasing sequence number makes ordering of same-time
+/// events deterministic (FIFO in scheduling order), which in turn makes every
+/// simulation run bit-reproducible.
+
+namespace apsim {
+
+/// Opaque handle to a scheduled event; used only for cancellation.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if the handle refers to an event that has neither fired nor been
+  /// cancelled.
+  [[nodiscard]] bool pending() const {
+    auto p = flag_.lock();
+    return p != nullptr && !*p;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::weak_ptr<bool> flag) : flag_(std::move(flag)) {}
+  std::weak_ptr<bool> flag_;  // points at the event's cancelled flag
+};
+
+/// Min-heap of timed callbacks. Not thread-safe by design: each Simulator is
+/// single-threaded; concurrency in experiments is one Simulator per thread.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule \p fn at absolute time \p when (must be >= the last popped
+  /// time; enforced by the Simulator, not here).
+  EventHandle schedule(SimTime when, Callback fn);
+
+  /// Cancel a previously scheduled event. Cancelling an already-fired or
+  /// already-cancelled event is a harmless no-op. Cancelled events are
+  /// dropped lazily when they reach the top of the heap.
+  void cancel(const EventHandle& handle);
+
+  [[nodiscard]] bool empty() const;
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Remove and return the earliest pending callback along with its time.
+  /// Precondition: !empty().
+  struct Popped {
+    SimTime time;
+    Callback fn;
+  };
+  [[nodiscard]] Popped pop();
+
+  /// Number of live (non-cancelled) events currently queued.
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Total events ever scheduled (diagnostic).
+  [[nodiscard]] std::uint64_t total_scheduled() const { return seq_; }
+
+ private:
+  struct Entry {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    Callback fn;
+    std::shared_ptr<bool> cancelled;  // shared with EventHandle
+
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled_top() const;
+
+  // Mutable so that empty()/next_time() can shed cancelled tombstones.
+  mutable std::vector<Entry> heap_;
+  std::uint64_t seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace apsim

@@ -1,0 +1,52 @@
+#include "sim/log.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace apsim {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+std::string format_duration(SimDuration d) {
+  char buf[64];
+  const bool negative = d < 0;
+  if (negative) d = -d;
+  const double secs = to_seconds(d);
+  if (secs >= 60.0) {
+    const auto mins = static_cast<long>(secs / 60.0);
+    std::snprintf(buf, sizeof buf, "%s%ldm%.1fs", negative ? "-" : "", mins,
+                  secs - static_cast<double>(mins) * 60.0);
+  } else if (secs >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%s%.3fs", negative ? "-" : "", secs);
+  } else if (d >= kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%s%.3fms", negative ? "-" : "",
+                  to_milliseconds(d));
+  } else {
+    std::snprintf(buf, sizeof buf, "%s%ldus", negative ? "-" : "",
+                  static_cast<long>(d / kMicrosecond));
+  }
+  return buf;
+}
+
+void Logger::write_prefix(LogLevel level) {
+  if (clock_ != nullptr) {
+    const SimTime t = clock_(clock_ctx_);
+    std::fprintf(sink_, "[%10.4fs] %-5s %s: ", to_seconds(t),
+                 std::string(to_string(level)).c_str(), name_.c_str());
+  } else {
+    std::fprintf(sink_, "%-5s %s: ", std::string(to_string(level)).c_str(),
+                 name_.c_str());
+  }
+}
+
+}  // namespace apsim

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+/// \file log.hpp
+/// Minimal leveled logger with sim-time prefixes. Logging is per-Logger (not
+/// global) so concurrent Simulators on worker threads never contend; each
+/// Logger is bound to one Simulator's clock via a time callback.
+
+namespace apsim {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+class Logger {
+ public:
+  using Clock = SimTime (*)(const void*);
+
+  /// \p clock_ctx / \p clock supply the current sim time for prefixes; pass
+  /// nullptr for both to log without timestamps.
+  Logger(std::string name, const void* clock_ctx, Clock clock,
+         LogLevel level = LogLevel::kWarn, std::FILE* sink = stderr)
+      : name_(std::move(name)), clock_ctx_(clock_ctx), clock_(clock),
+        level_(level), sink_(sink) {}
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// printf-style logging; cheap no-op when the level is filtered out.
+  template <typename... Args>
+  void log(LogLevel level, const char* fmt, Args... args) {
+    if (!enabled(level)) return;
+    write_prefix(level);
+    std::fprintf(sink_, fmt, args...);
+    std::fputc('\n', sink_);
+  }
+
+  template <typename... Args>
+  void trace(const char* fmt, Args... args) { log(LogLevel::kTrace, fmt, args...); }
+  template <typename... Args>
+  void debug(const char* fmt, Args... args) { log(LogLevel::kDebug, fmt, args...); }
+  template <typename... Args>
+  void info(const char* fmt, Args... args) { log(LogLevel::kInfo, fmt, args...); }
+  template <typename... Args>
+  void warn(const char* fmt, Args... args) { log(LogLevel::kWarn, fmt, args...); }
+  template <typename... Args>
+  void error(const char* fmt, Args... args) { log(LogLevel::kError, fmt, args...); }
+
+ private:
+  void write_prefix(LogLevel level);
+
+  std::string name_;
+  const void* clock_ctx_;
+  Clock clock_;
+  LogLevel level_;
+  std::FILE* sink_;
+};
+
+}  // namespace apsim

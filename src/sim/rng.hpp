@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <limits>
+
+/// \file rng.hpp
+/// Deterministic pseudo-random generation for the simulator.
+///
+/// We use xoshiro256** seeded through splitmix64: fast, high quality, and —
+/// unlike std::mt19937 + std::*_distribution — bit-for-bit identical across
+/// standard library implementations, which keeps experiment outputs stable.
+
+namespace apsim {
+
+/// splitmix64 step; used for seeding and as a cheap standalone mixer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x5DEECE66DULL) { reseed(seed); }
+
+  constexpr void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  [[nodiscard]] static constexpr result_type min() { return 0; }
+  [[nodiscard]] static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection method: unbiased and branch-light.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// True with probability p.
+  [[nodiscard]] bool bernoulli(double p) { return uniform() < p; }
+
+  /// Exponentially distributed with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean) {
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-53;  // avoid log(0)
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  [[nodiscard]] double normal(double mean = 0.0, double stddev = 1.0) {
+    if (have_spare_) {
+      have_spare_ = false;
+      return mean + stddev * spare_;
+    }
+    double u = 0.0, v = 0.0, s = 0.0;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * factor;
+    have_spare_ = true;
+    return mean + stddev * u * factor;
+  }
+
+  /// Zipf-like rank selection over [0, n): rank r is chosen with probability
+  /// proportional to 1/(r+1)^theta. Uses inverse-CDF over a coarse harmonic
+  /// approximation; adequate for workload locality modelling.
+  [[nodiscard]] std::uint64_t zipf(std::uint64_t n, double theta = 0.99) {
+    // Rejection-inversion (Hörmann); simplified for theta in (0, 2).
+    const double h = harmonic_approx(static_cast<double>(n), theta);
+    const double u = uniform() * h;
+    const double x = inverse_harmonic_approx(u, theta);
+    auto r = static_cast<std::uint64_t>(x);
+    return r >= n ? n - 1 : r;
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  [[nodiscard]] static double harmonic_approx(double n, double theta) {
+    if (theta == 1.0) return std::log(n + 1.0);
+    return (std::pow(n + 1.0, 1.0 - theta) - 1.0) / (1.0 - theta);
+  }
+
+  [[nodiscard]] static double inverse_harmonic_approx(double v, double theta) {
+    if (theta == 1.0) return std::exp(v) - 1.0;
+    return std::pow(v * (1.0 - theta) + 1.0, 1.0 / (1.0 - theta)) - 1.0;
+  }
+
+  std::uint64_t state_[4]{};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace apsim

@@ -1,0 +1,49 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <utility>
+
+namespace apsim {
+
+EventHandle Simulator::at(SimTime when, EventQueue::Callback fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  return queue_.schedule(when < now_ ? now_ : when, std::move(fn));
+}
+
+EventHandle Simulator::after(SimDuration delay, EventQueue::Callback fn) {
+  assert(delay >= 0 && "negative delay");
+  return at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+}
+
+std::uint64_t Simulator::run(SimTime horizon) {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_ && !queue_.empty()) {
+    if (queue_.next_time() > horizon) break;
+    auto [time, fn] = queue_.pop();
+    assert(time >= now_);
+    now_ = time;
+    fn();
+    ++n;
+    ++dispatched_;
+  }
+  return n;
+}
+
+bool Simulator::run_until(const std::function<bool()>& pred, SimTime horizon) {
+  stopped_ = false;
+  if (pred()) return true;
+  while (!stopped_ && !queue_.empty()) {
+    if (queue_.next_time() > horizon) break;
+    auto [time, fn] = queue_.pop();
+    assert(time >= now_);
+    now_ = time;
+    fn();
+    ++dispatched_;
+    if (pred()) return true;
+  }
+  return false;
+}
+
+}  // namespace apsim

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+/// \file simulator.hpp
+/// Discrete-event simulation kernel. One Simulator instance owns virtual time
+/// and the pending-event set for one modelled cluster. All model components
+/// (disks, kernels, CPUs, the network, the gang scheduler) hold a reference to
+/// the Simulator and advance exclusively by scheduling events on it.
+
+namespace apsim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Root RNG; components derive their own streams by drawing seeds here
+  /// during construction so that adding a component does not perturb others.
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Schedule \p fn at absolute virtual time \p when (>= now()).
+  EventHandle at(SimTime when, EventQueue::Callback fn);
+
+  /// Schedule \p fn \p delay nanoseconds from now (delay >= 0).
+  EventHandle after(SimDuration delay, EventQueue::Callback fn);
+
+  /// Cancel a pending event (no-op if it already fired or was cancelled).
+  void cancel(const EventHandle& handle) { queue_.cancel(handle); }
+
+  /// Run until the event queue drains, until stop() is called, or until
+  /// virtual time would exceed \p horizon, whichever comes first.
+  /// Returns the number of events dispatched by this call.
+  std::uint64_t run(SimTime horizon = std::numeric_limits<SimTime>::max());
+
+  /// Run until \p pred() becomes true (checked after every event) or the
+  /// queue drains. Returns true if the predicate was satisfied.
+  bool run_until(const std::function<bool()>& pred,
+                 SimTime horizon = std::numeric_limits<SimTime>::max());
+
+  /// Request that run() return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+  /// Number of pending (non-cancelled) events.
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Total events dispatched over the Simulator's lifetime.
+  [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  Rng rng_;
+  bool stopped_ = false;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace apsim

@@ -1,0 +1,100 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace apsim {
+
+void RunningStat::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+double RunningStat::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  assert(hi > lo && buckets > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp edge
+    ++counts_[idx];
+  }
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (cum >= target) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return lo_ + (static_cast<double>(i) + frac) * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+TimeSeries::TimeSeries(SimDuration bucket_width, SimTime origin)
+    : width_(bucket_width), origin_(origin) {
+  assert(bucket_width > 0);
+}
+
+void TimeSeries::add(SimTime t, double amount) {
+  if (t < origin_) t = origin_;
+  const auto idx = static_cast<std::size_t>((t - origin_) / width_);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0.0);
+  buckets_[idx] += amount;
+  total_ += amount;
+}
+
+double TimeSeries::sum_range(SimTime t0, SimTime t1) const {
+  if (t1 <= t0 || buckets_.empty()) return 0.0;
+  const auto last_end =
+      origin_ + static_cast<SimTime>(buckets_.size()) * width_;
+  t0 = std::max(t0, origin_);
+  t1 = std::min(t1, last_end);
+  if (t1 <= t0) return 0.0;
+  const auto first = static_cast<std::size_t>((t0 - origin_) / width_);
+  const auto last = static_cast<std::size_t>((t1 - 1 - origin_) / width_);
+  double sum = 0.0;
+  for (std::size_t i = first; i <= last && i < buckets_.size(); ++i) {
+    sum += buckets_[i];
+  }
+  return sum;
+}
+
+double TimeSeries::peak() const {
+  double best = 0.0;
+  for (double b : buckets_) best = std::max(best, b);
+  return best;
+}
+
+}  // namespace apsim

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// \file stats.hpp
+/// Small statistics utilities shared across the library: streaming moments,
+/// fixed-bucket histograms, and time-bucketed counter series (the backing
+/// store for paging-activity traces).
+
+namespace apsim {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Histogram over [lo, hi) with uniform buckets; out-of-range samples land in
+/// saturating under/overflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return counts_; }
+
+  /// Value below which \p q (in [0,1]) of samples fall, interpolated within
+  /// the containing bucket. Returns lo/hi for extreme quantiles.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Counter sampled into fixed-width time buckets, e.g. "pages swapped in per
+/// second". Grows on demand; bucket 0 starts at time origin().
+class TimeSeries {
+ public:
+  explicit TimeSeries(SimDuration bucket_width = kSecond, SimTime origin = 0);
+
+  /// Add \p amount at time \p t.
+  void add(SimTime t, double amount);
+
+  [[nodiscard]] SimDuration bucket_width() const { return width_; }
+  [[nodiscard]] SimTime origin() const { return origin_; }
+  [[nodiscard]] const std::vector<double>& buckets() const { return buckets_; }
+  [[nodiscard]] double total() const { return total_; }
+
+  /// Sum over buckets intersecting [t0, t1).
+  [[nodiscard]] double sum_range(SimTime t0, SimTime t1) const;
+
+  /// Largest single-bucket value.
+  [[nodiscard]] double peak() const;
+
+ private:
+  SimDuration width_;
+  SimTime origin_;
+  std::vector<double> buckets_;
+  double total_ = 0.0;
+};
+
+}  // namespace apsim

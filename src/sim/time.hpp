@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// \file time.hpp
+/// Simulated-time primitives. All simulation time is integer nanoseconds so
+/// that runs are exactly reproducible; helpers below make call sites read in
+/// natural units (us/ms/s/minutes).
+
+namespace apsim {
+
+/// Simulated time in nanoseconds since the start of the run.
+using SimTime = std::int64_t;
+
+/// Durations share the representation of SimTime.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1'000;
+inline constexpr SimDuration kMillisecond = 1'000'000;
+inline constexpr SimDuration kSecond = 1'000'000'000;
+inline constexpr SimDuration kMinute = 60 * kSecond;
+
+/// Construct durations from natural units.
+[[nodiscard]] constexpr SimDuration nanoseconds(std::int64_t n) { return n; }
+[[nodiscard]] constexpr SimDuration microseconds(std::int64_t n) { return n * kMicrosecond; }
+[[nodiscard]] constexpr SimDuration milliseconds(std::int64_t n) { return n * kMillisecond; }
+[[nodiscard]] constexpr SimDuration seconds(std::int64_t n) { return n * kSecond; }
+[[nodiscard]] constexpr SimDuration minutes(std::int64_t n) { return n * kMinute; }
+
+/// Convert to floating-point seconds (for reporting only; never feeds back
+/// into simulation decisions).
+[[nodiscard]] constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+[[nodiscard]] constexpr double to_milliseconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Render a duration as a short human-readable string, e.g. "4m32.1s".
+[[nodiscard]] std::string format_duration(SimDuration d);
+
+}  // namespace apsim

@@ -1,0 +1,109 @@
+#include "workloads/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace apsim {
+
+namespace {
+
+[[nodiscard]] std::vector<Op> init_prologue(std::int64_t pages) {
+  AccessChunk init;
+  init.pattern = AccessChunk::Pattern::kSequential;
+  init.region_start = 0;
+  init.region_pages = pages;
+  init.touches = pages;
+  init.write = true;
+  init.compute_per_touch = 2 * kMicrosecond;
+  return {Op::access_op(init)};
+}
+
+}  // namespace
+
+std::unique_ptr<Program> make_sweep_program(const SweepOptions& options) {
+  assert(options.pages > 0 && options.iterations >= 0);
+  AccessChunk sweep;
+  sweep.pattern = AccessChunk::Pattern::kSequential;
+  sweep.region_start = 0;
+  sweep.region_pages = options.pages;
+  sweep.touches = options.pages;
+  sweep.write = options.write;
+  sweep.compute_per_touch = options.compute_per_touch;
+  return std::make_unique<IterativeProgram>(
+      options.init_pass ? init_prologue(options.pages) : std::vector<Op>{},
+      std::vector<Op>{Op::access_op(sweep)}, options.iterations);
+}
+
+std::unique_ptr<Program> make_hot_cold_program(const HotColdOptions& options) {
+  assert(options.pages > 0);
+  const auto hot_pages = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(options.hot_fraction *
+                                   static_cast<double>(options.pages)));
+  const std::int64_t cold_pages = std::max<std::int64_t>(
+      1, options.pages - hot_pages);
+  const auto hot_touches = static_cast<std::int64_t>(
+      options.hot_touch_share *
+      static_cast<double>(options.touches_per_iteration));
+  const std::int64_t cold_touches =
+      std::max<std::int64_t>(1, options.touches_per_iteration - hot_touches);
+
+  AccessChunk hot;
+  hot.pattern = AccessChunk::Pattern::kRandom;
+  hot.region_start = 0;
+  hot.region_pages = hot_pages;
+  hot.touches = std::max<std::int64_t>(1, hot_touches);
+  hot.write = options.write;
+  hot.compute_per_touch = options.compute_per_touch;
+  hot.seed = options.seed;
+
+  AccessChunk cold;
+  cold.pattern = AccessChunk::Pattern::kRandom;
+  cold.region_start = hot_pages;
+  cold.region_pages = cold_pages;
+  cold.touches = cold_touches;
+  cold.write = options.write;
+  cold.compute_per_touch = options.compute_per_touch;
+  cold.seed = options.seed + 1;
+
+  return std::make_unique<IterativeProgram>(
+      init_prologue(options.pages),
+      std::vector<Op>{Op::access_op(hot), Op::access_op(cold)},
+      options.iterations, options.seed);
+}
+
+std::unique_ptr<Program> make_random_program(const RandomOptions& options) {
+  assert(options.pages > 0);
+  const auto writes = static_cast<std::int64_t>(
+      options.write_fraction *
+      static_cast<double>(options.touches_per_iteration));
+  const std::int64_t reads =
+      std::max<std::int64_t>(0, options.touches_per_iteration - writes);
+
+  std::vector<Op> cycle;
+  if (reads > 0) {
+    AccessChunk chunk;
+    chunk.pattern = AccessChunk::Pattern::kRandom;
+    chunk.region_pages = options.pages;
+    chunk.touches = reads;
+    chunk.write = false;
+    chunk.compute_per_touch = options.compute_per_touch;
+    chunk.seed = options.seed;
+    cycle.push_back(Op::access_op(chunk));
+  }
+  if (writes > 0) {
+    AccessChunk chunk;
+    chunk.pattern = AccessChunk::Pattern::kRandom;
+    chunk.region_pages = options.pages;
+    chunk.touches = writes;
+    chunk.write = true;
+    chunk.compute_per_touch = options.compute_per_touch;
+    chunk.seed = options.seed + 7;
+    cycle.push_back(Op::access_op(chunk));
+  }
+  return std::make_unique<IterativeProgram>(init_prologue(options.pages),
+                                            std::move(cycle),
+                                            options.iterations, options.seed);
+}
+
+}  // namespace apsim

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "proc/access.hpp"
+
+/// \file generator.hpp
+/// Generic synthetic workload builders used by tests, examples and the
+/// motivation benchmark — simple, fully-parameterized reference strings
+/// independent of the NPB specs.
+
+namespace apsim {
+
+struct SweepOptions {
+  std::int64_t pages = 1024;         ///< footprint
+  std::int64_t iterations = 10;      ///< full sweeps
+  bool write = true;
+  SimDuration compute_per_touch = 10 * kMicrosecond;
+  bool init_pass = true;             ///< zero-fill prologue
+};
+
+/// Repeated sequential sweeps over a footprint.
+[[nodiscard]] std::unique_ptr<Program> make_sweep_program(
+    const SweepOptions& options);
+
+struct HotColdOptions {
+  std::int64_t pages = 1024;
+  std::int64_t iterations = 10;
+  double hot_fraction = 0.1;    ///< leading fraction of the footprint
+  double hot_touch_share = 0.9; ///< share of touches landing in the hot set
+  std::int64_t touches_per_iteration = 2048;
+  bool write = true;
+  SimDuration compute_per_touch = 10 * kMicrosecond;
+  std::uint64_t seed = 1;
+};
+
+/// Hot/cold footprint: most touches hit a small hot set, the rest scatter
+/// uniformly over the cold region.
+[[nodiscard]] std::unique_ptr<Program> make_hot_cold_program(
+    const HotColdOptions& options);
+
+struct RandomOptions {
+  std::int64_t pages = 1024;
+  std::int64_t iterations = 10;
+  std::int64_t touches_per_iteration = 2048;
+  double write_fraction = 0.5;  ///< approximated by alternating chunks
+  SimDuration compute_per_touch = 10 * kMicrosecond;
+  std::uint64_t seed = 1;
+};
+
+/// Uniform random touches over the footprint.
+[[nodiscard]] std::unique_ptr<Program> make_random_program(
+    const RandomOptions& options);
+
+}  // namespace apsim

@@ -1,0 +1,86 @@
+#include "workloads/npb.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace apsim {
+
+std::unique_ptr<Program> build_npb_program(const WorkloadSpec& spec,
+                                           const NpbBuildOptions& options) {
+  assert(options.nprocs >= 1);
+  const std::int64_t npages = spec.footprint_pages(options.nprocs);
+  assert(npages > 0);
+
+  // Initialization: allocate-and-fill the whole footprint once (zero-fill
+  // minor faults), cheap per page.
+  std::vector<Op> prologue;
+  {
+    AccessChunk init;
+    init.pattern = AccessChunk::Pattern::kSequential;
+    init.region_start = 0;
+    init.region_pages = npages;
+    init.touches = npages;
+    init.write = true;
+    init.compute_per_touch = 2 * kMicrosecond;
+    prologue.push_back(Op::access_op(init));
+  }
+
+  std::vector<Op> cycle;
+  for (const auto& phase : spec.phases) {
+    AccessChunk chunk;
+    chunk.pattern = phase.pattern;
+    chunk.region_start =
+        static_cast<VPage>(phase.region_begin * static_cast<double>(npages));
+    chunk.region_pages = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(phase.region_len *
+                                     static_cast<double>(npages)));
+    if (chunk.region_start + chunk.region_pages > npages) {
+      chunk.region_pages = npages - chunk.region_start;
+    }
+    chunk.touches = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(phase.touches_factor *
+                                     static_cast<double>(chunk.region_pages)));
+    chunk.write = phase.write;
+    chunk.compute_per_touch = static_cast<SimDuration>(
+        phase.compute_scale * static_cast<double>(spec.compute_per_touch));
+    chunk.theta = phase.zipf_theta;
+    chunk.seed = options.seed;
+    chunk.reseed_per_iteration = !phase.stable_seed;
+    cycle.push_back(Op::access_op(chunk));
+  }
+
+  if (options.nprocs > 1) {
+    if (spec.exchange_bytes > 0) {
+      cycle.push_back(Op::comm_op(
+          CommOp{CommOp::Type::kExchange, spec.exchange_bytes}));
+    }
+    if (spec.allreduce_bytes > 0 && spec.allreduce_every == 1) {
+      cycle.push_back(Op::comm_op(
+          CommOp{CommOp::Type::kAllreduce, spec.allreduce_bytes}));
+    }
+    // allreduce_every > 1 is approximated by scaling the payload down
+    // rather than complicating the cycle (volume is negligible either way).
+    if (spec.allreduce_bytes > 0 && spec.allreduce_every > 1) {
+      cycle.push_back(Op::comm_op(CommOp{
+          CommOp::Type::kAllreduce,
+          std::max<std::int64_t>(1, spec.allreduce_bytes /
+                                        spec.allreduce_every)}));
+    }
+  }
+
+  const auto iterations = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::llround(static_cast<double>(spec.iterations) *
+                          options.iterations_scale)));
+  return std::make_unique<IterativeProgram>(std::move(prologue),
+                                            std::move(cycle), iterations,
+                                            options.seed);
+}
+
+std::unique_ptr<Program> build_npb_program(NpbApp app, NpbClass cls,
+                                           const NpbBuildOptions& options) {
+  return build_npb_program(npb_spec(app, cls), options);
+}
+
+}  // namespace apsim

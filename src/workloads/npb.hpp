@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "proc/access.hpp"
+#include "workloads/spec.hpp"
+
+/// \file npb.hpp
+/// Build executable Programs from WorkloadSpecs: a one-time initialization
+/// pass over the footprint (minor-faulting it in, as the real benchmarks do
+/// when allocating and filling their arrays) followed by the iteration
+/// cycle, with communication ops appended for parallel ranks.
+
+namespace apsim {
+
+struct NpbBuildOptions {
+  int nprocs = 1;              ///< job width (processes == nodes)
+  std::uint64_t seed = 1;      ///< randomness root for randomized phases
+  double iterations_scale = 1.0;  ///< multiply iteration count (experiments)
+};
+
+/// Program for one rank of the given workload.
+[[nodiscard]] std::unique_ptr<Program> build_npb_program(
+    const WorkloadSpec& spec, const NpbBuildOptions& options = {});
+
+/// Convenience: spec + program in one call.
+[[nodiscard]] std::unique_ptr<Program> build_npb_program(
+    NpbApp app, NpbClass cls, const NpbBuildOptions& options = {});
+
+}  // namespace apsim

@@ -1,0 +1,219 @@
+#include "workloads/spec.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace apsim {
+
+std::string_view to_string(NpbApp app) {
+  switch (app) {
+    case NpbApp::kLU: return "LU";
+    case NpbApp::kSP: return "SP";
+    case NpbApp::kCG: return "CG";
+    case NpbApp::kIS: return "IS";
+    case NpbApp::kMG: return "MG";
+  }
+  return "?";
+}
+
+std::string_view to_string(NpbClass cls) {
+  switch (cls) {
+    case NpbClass::kS: return "S";
+    case NpbClass::kW: return "W";
+    case NpbClass::kA: return "A";
+    case NpbClass::kB: return "B";
+    case NpbClass::kC: return "C";
+  }
+  return "?";
+}
+
+NpbApp parse_app(std::string_view name) {
+  for (NpbApp app : kAllApps) {
+    if (name == to_string(app)) return app;
+  }
+  throw std::invalid_argument("unknown NPB app: " + std::string(name));
+}
+
+NpbClass parse_class(std::string_view name) {
+  for (NpbClass cls : {NpbClass::kS, NpbClass::kW, NpbClass::kA, NpbClass::kB,
+                       NpbClass::kC}) {
+    if (name == to_string(cls)) return cls;
+  }
+  throw std::invalid_argument("unknown NPB class: " + std::string(name));
+}
+
+namespace {
+
+/// Footprint scaling across data classes, relative to class B.
+[[nodiscard]] double class_scale(NpbClass cls) {
+  switch (cls) {
+    case NpbClass::kS: return 0.02;
+    case NpbClass::kW: return 0.08;
+    case NpbClass::kA: return 0.25;
+    case NpbClass::kB: return 1.0;
+    case NpbClass::kC: return 4.0;
+  }
+  return 1.0;
+}
+
+/// Iteration-count scaling across classes (larger classes run more steps).
+[[nodiscard]] double iter_scale(NpbClass cls) {
+  switch (cls) {
+    case NpbClass::kS: return 0.25;
+    case NpbClass::kW: return 0.5;
+    case NpbClass::kA: return 0.8;
+    case NpbClass::kB: return 1.0;
+    case NpbClass::kC: return 1.2;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+double WorkloadSpec::footprint_mb(int nprocs) const {
+  assert(nprocs >= 1);
+  if (nprocs == 1) return total_footprint_mb;
+  const double share = total_footprint_mb / static_cast<double>(nprocs);
+  return share * (1.0 + replication);
+}
+
+std::int64_t WorkloadSpec::footprint_pages(int nprocs) const {
+  return mb_to_pages(footprint_mb(nprocs));
+}
+
+std::int64_t WorkloadSpec::expected_ws_pages(int nprocs) const {
+  const auto npages = static_cast<double>(footprint_pages(nprocs));
+  double ws = 0.0;
+  for (const auto& phase : phases) {
+    const double region = phase.region_len * npages;
+    const double touches = phase.touches_factor * region;
+    double distinct = 0.0;
+    switch (phase.pattern) {
+      case AccessChunk::Pattern::kSequential:
+      case AccessChunk::Pattern::kStrided:
+        distinct = std::min(region, touches);
+        break;
+      case AccessChunk::Pattern::kRandom:
+        // Coupon-collector coverage of a uniform sample.
+        distinct = region * (1.0 - std::exp(-touches / std::max(region, 1.0)));
+        break;
+      case AccessChunk::Pattern::kZipf:
+        // Skewed sampling touches distinctly fewer pages; empirical factor.
+        distinct = 0.55 * region *
+                   (1.0 - std::exp(-touches / std::max(region, 1.0)));
+        break;
+    }
+    ws += distinct;
+  }
+  // Phases overlap within the footprint; cap at the footprint itself.
+  return static_cast<std::int64_t>(std::min(ws, npages));
+}
+
+WorkloadSpec npb_spec(NpbApp app, NpbClass cls) {
+  WorkloadSpec spec;
+  spec.app = app;
+  spec.cls = cls;
+
+  using Pattern = AccessChunk::Pattern;
+  switch (app) {
+    case NpbApp::kLU:
+      // SSOR: lower and upper triangular sweeps over the full solution
+      // arrays every time step; write-heavy, strongly sequential.
+      spec.total_footprint_mb = 190.0;
+      spec.iterations = 250;
+      spec.compute_per_touch = 55 * kMicrosecond;
+      spec.phases = {
+          {0.0, 1.0, 1.0, Pattern::kSequential, 0.8, /*write=*/false, 1.0},
+          {0.0, 1.0, 1.0, Pattern::kSequential, 0.8, /*write=*/true, 1.0},
+      };
+      spec.exchange_bytes = 160 * 1024;
+      spec.allreduce_bytes = 40;
+      spec.allreduce_every = 5;
+      break;
+
+    case NpbApp::kSP:
+      // ADI: three directional sweeps; the largest sequential worker after
+      // MG; write-heavy.
+      spec.total_footprint_mb = 330.0;
+      spec.iterations = 240;
+      spec.compute_per_touch = 24 * kMicrosecond;
+      spec.phases = {
+          {0.0, 1.0, 1.0, Pattern::kSequential, 0.8, false, 1.0},
+          {0.0, 1.0, 1.0, Pattern::kSequential, 0.8, true, 1.0},
+          {0.0, 1.0, 1.0, Pattern::kSequential, 0.8, true, 1.0},
+      };
+      spec.exchange_bytes = 220 * 1024;
+      spec.allreduce_bytes = 40;
+      spec.allreduce_every = 1;
+      break;
+
+    case NpbApp::kCG:
+      // Sparse CG: the matrix occupies most of the footprint but each
+      // iteration touches a skewed subset (the paper: "CG typically has a
+      // small working set size"); the vectors are small and hot.
+      spec.total_footprint_mb = 420.0;
+      spec.iterations = 220;
+      spec.compute_per_touch = 200 * kMicrosecond;
+      spec.phases = {
+          // matrix region, read-only: a strongly skewed subset per
+          // iteration — a hot head that persists plus a churning tail
+          // ("CG typically has a small working set size" relative to its
+          // large footprint).
+          {0.0, 0.90, 0.16, Pattern::kZipf, 1.0, false, 1.0},
+          // vector region, read/write, hot
+          {0.90, 0.10, 2.0, Pattern::kSequential, 0.8, true, 0.5},
+      };
+      spec.exchange_bytes = 96 * 1024;
+      spec.allreduce_bytes = 16;
+      spec.allreduce_every = 1;
+      break;
+
+    case NpbApp::kIS:
+      // Integer sort: sequential key scan plus randomly scattered bucket
+      // increments; the smallest footprint of the five.
+      spec.total_footprint_mb = 150.0;
+      spec.iterations = 550;
+      spec.compute_per_touch = 24 * kMicrosecond;
+      spec.phases = {
+          {0.0, 0.65, 1.0, Pattern::kSequential, 0.8, false, 1.0},
+          {0.65, 0.35, 0.8, Pattern::kRandom, 0.8, true, 1.0},
+      };
+      spec.exchange_bytes = 512 * 1024;  // all-to-all-ish key exchange
+      spec.allreduce_bytes = 4096;
+      spec.allreduce_every = 1;
+      break;
+
+    case NpbApp::kMG:
+      // Multigrid V-cycles over the grid hierarchy: the finest grid
+      // dominates the footprint; coarser levels are revisited more often.
+      spec.total_footprint_mb = 460.0;
+      spec.iterations = 260;
+      spec.compute_per_touch = 16 * kMicrosecond;
+      spec.phases = {
+          // V-cycle over the grid hierarchy. The solution grids are
+          // read+written every cycle; the operator/right-hand-side arrays
+          // (a large share of the footprint) are read-only, so their pages
+          // stay clean once written back and evict for free.
+          {0.00, 0.35, 1.0, Pattern::kSequential, 0.8, false, 1.0},  // sol r
+          {0.00, 0.35, 1.0, Pattern::kSequential, 0.8, true, 1.0},   // sol w
+          {0.35, 0.35, 2.0, Pattern::kSequential, 0.8, false, 1.0},  // oper r
+          {0.70, 0.22, 1.0, Pattern::kSequential, 0.8, true, 1.0},   // mid
+          {0.92, 0.08, 2.0, Pattern::kSequential, 0.8, true, 0.7},   // coarse
+      };
+      spec.exchange_bytes = 192 * 1024;
+      spec.allreduce_bytes = 40;
+      spec.allreduce_every = 1;
+      break;
+  }
+
+  spec.total_footprint_mb *= class_scale(cls);
+  spec.iterations = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::llround(
+             static_cast<double>(spec.iterations) * iter_scale(cls))));
+  return spec;
+}
+
+}  // namespace apsim

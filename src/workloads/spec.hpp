@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "proc/access.hpp"
+
+/// \file spec.hpp
+/// Synthetic stand-ins for the NAS NPB2 benchmarks the paper evaluates (LU,
+/// SP, CG, IS, MG). Real NPB binaries are not usable inside a simulator, so
+/// each application is described by the properties that determine paging
+/// behaviour: footprint per class, iteration structure, per-iteration access
+/// phases (region, pattern, read/write mix, compute intensity) and
+/// communication volume. Values are calibrated to published NPB2 memory
+/// sizes and to the paper's qualitative descriptions (CG: large footprint
+/// but small per-iteration working set; IS: small footprint; MG: largest
+/// footprint). See DESIGN.md §5.
+
+namespace apsim {
+
+enum class NpbApp : std::uint8_t { kLU, kSP, kCG, kIS, kMG };
+enum class NpbClass : std::uint8_t { kS, kW, kA, kB, kC };
+
+[[nodiscard]] std::string_view to_string(NpbApp app);
+[[nodiscard]] std::string_view to_string(NpbClass cls);
+[[nodiscard]] NpbApp parse_app(std::string_view name);
+[[nodiscard]] NpbClass parse_class(std::string_view name);
+
+inline constexpr NpbApp kAllApps[] = {NpbApp::kLU, NpbApp::kSP, NpbApp::kCG,
+                                      NpbApp::kIS, NpbApp::kMG};
+
+/// One access phase within an iteration, expressed relative to the
+/// process's footprint.
+struct PhaseSpec {
+  double region_begin = 0.0;   ///< start of the region, fraction of footprint
+  double region_len = 1.0;     ///< region length, fraction of footprint
+  double touches_factor = 1.0; ///< touches = factor * region pages
+  AccessChunk::Pattern pattern = AccessChunk::Pattern::kSequential;
+  double zipf_theta = 0.8;     ///< for kZipf
+  bool write = false;
+  double compute_scale = 1.0;  ///< multiplies the spec's compute_per_touch
+
+  /// Randomized phases only: keep the same skewed subset hot across
+  /// iterations instead of re-drawing it (see AccessChunk).
+  bool stable_seed = false;
+};
+
+struct WorkloadSpec {
+  NpbApp app = NpbApp::kLU;
+  NpbClass cls = NpbClass::kB;
+
+  /// Total footprint of the (serial) class-B-scaled problem, MB.
+  double total_footprint_mb = 0.0;
+
+  /// Per-process replication overhead when run on P > 1 processes
+  /// (ghost cells, buffers), as a fraction of the per-process share.
+  double replication = 0.08;
+
+  std::int64_t iterations = 0;
+  SimDuration compute_per_touch = 0;
+  std::vector<PhaseSpec> phases;
+
+  /// Communication per iteration for parallel runs.
+  std::int64_t exchange_bytes = 0;
+  std::int64_t allreduce_bytes = 0;
+  int allreduce_every = 1;  ///< allreduce every k-th iteration
+
+  /// Footprint of one process when the job runs on \p nprocs processes, MB.
+  [[nodiscard]] double footprint_mb(int nprocs) const;
+
+  /// Footprint of one process, in pages.
+  [[nodiscard]] std::int64_t footprint_pages(int nprocs) const;
+
+  /// Approximate distinct pages one process touches per iteration.
+  [[nodiscard]] std::int64_t expected_ws_pages(int nprocs) const;
+};
+
+/// Canonical spec for an NPB application and data class.
+[[nodiscard]] WorkloadSpec npb_spec(NpbApp app, NpbClass cls);
+
+}  // namespace apsim

@@ -1,0 +1,157 @@
+// Unit tests for access chunks (deterministic page addressing across all
+// patterns) and the IterativeProgram op stream.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "proc/access.hpp"
+
+namespace apsim {
+namespace {
+
+TEST(AccessChunk, SequentialAddresses) {
+  AccessChunk chunk;
+  chunk.pattern = AccessChunk::Pattern::kSequential;
+  chunk.region_start = 100;
+  chunk.region_pages = 10;
+  chunk.touches = 25;
+  EXPECT_EQ(chunk.page_at(0), 100);
+  EXPECT_EQ(chunk.page_at(9), 109);
+  EXPECT_EQ(chunk.page_at(10), 100);  // wraps
+  EXPECT_EQ(chunk.page_at(24), 104);
+}
+
+TEST(AccessChunk, StridedCoversRegion) {
+  AccessChunk chunk;
+  chunk.pattern = AccessChunk::Pattern::kStrided;
+  chunk.region_start = 0;
+  chunk.region_pages = 16;
+  chunk.stride = 3;
+  chunk.touches = 16;
+  std::set<VPage> seen;
+  for (std::int64_t i = 0; i < 16; ++i) {
+    const VPage v = chunk.page_at(i);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 16);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 16u);  // stride 3 is coprime with 16
+}
+
+class PatternBoundsTest
+    : public ::testing::TestWithParam<AccessChunk::Pattern> {};
+
+TEST_P(PatternBoundsTest, AllTouchesStayInRegion) {
+  AccessChunk chunk;
+  chunk.pattern = GetParam();
+  chunk.region_start = 1000;
+  chunk.region_pages = 77;
+  chunk.touches = 500;
+  chunk.stride = 5;
+  chunk.seed = 99;
+  for (std::int64_t i = 0; i < chunk.touches; ++i) {
+    const VPage v = chunk.page_at(i);
+    EXPECT_GE(v, 1000);
+    EXPECT_LT(v, 1077);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, PatternBoundsTest,
+                         ::testing::Values(AccessChunk::Pattern::kSequential,
+                                           AccessChunk::Pattern::kStrided,
+                                           AccessChunk::Pattern::kRandom,
+                                           AccessChunk::Pattern::kZipf));
+
+TEST(AccessChunk, RandomIsDeterministicPerSeed) {
+  AccessChunk a;
+  a.pattern = AccessChunk::Pattern::kRandom;
+  a.region_pages = 1000;
+  a.touches = 100;
+  a.seed = 5;
+  AccessChunk b = a;
+  for (std::int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.page_at(i), b.page_at(i));
+  }
+  b.seed = 6;
+  int diff = 0;
+  for (std::int64_t i = 0; i < 100; ++i) {
+    if (a.page_at(i) != b.page_at(i)) ++diff;
+  }
+  EXPECT_GT(diff, 90);
+}
+
+TEST(AccessChunk, ZipfSkewsTowardRegionStart) {
+  AccessChunk chunk;
+  chunk.pattern = AccessChunk::Pattern::kZipf;
+  chunk.region_pages = 1000;
+  chunk.touches = 5000;
+  chunk.theta = 0.9;
+  chunk.seed = 3;
+  std::int64_t low = 0;
+  for (std::int64_t i = 0; i < chunk.touches; ++i) {
+    if (chunk.page_at(i) < 100) ++low;
+  }
+  EXPECT_GT(low, chunk.touches / 4);  // top decile overrepresented
+}
+
+TEST(IterativeProgram, PrologueThenCyclesThenDone) {
+  AccessChunk init;
+  init.region_pages = 4;
+  init.touches = 4;
+  AccessChunk work;
+  work.region_pages = 2;
+  work.touches = 2;
+  IterativeProgram program({Op::access_op(init)}, {Op::access_op(work)}, 3);
+
+  Op op = program.next();
+  EXPECT_EQ(op.kind, Op::Kind::kAccess);
+  EXPECT_EQ(op.access.touches, 4);  // prologue
+  for (int i = 0; i < 3; ++i) {
+    op = program.next();
+    EXPECT_EQ(op.kind, Op::Kind::kAccess);
+    EXPECT_EQ(op.access.touches, 2);
+  }
+  EXPECT_EQ(program.next().kind, Op::Kind::kDone);
+  EXPECT_EQ(program.next().kind, Op::Kind::kDone);  // stays done
+  EXPECT_DOUBLE_EQ(program.progress(), 1.0);
+}
+
+TEST(IterativeProgram, ProgressAdvancesWithIterations) {
+  AccessChunk work;
+  work.region_pages = 1;
+  work.touches = 1;
+  IterativeProgram program({}, {Op::access_op(work)}, 4);
+  EXPECT_DOUBLE_EQ(program.progress(), 0.0);
+  (void)program.next();
+  (void)program.next();
+  EXPECT_NEAR(program.progress(), 0.25, 1e-9);
+}
+
+TEST(IterativeProgram, RandomChunksGetFreshSeedsPerIteration) {
+  AccessChunk work;
+  work.pattern = AccessChunk::Pattern::kRandom;
+  work.region_pages = 1000;
+  work.touches = 10;
+  work.seed = 1;
+  IterativeProgram program({}, {Op::access_op(work)}, 2, /*seed=*/9);
+  const Op first = program.next();
+  const Op second = program.next();
+  EXPECT_NE(first.access.seed, second.access.seed);
+}
+
+TEST(IterativeProgram, ZeroIterationsIsImmediatelyDone) {
+  IterativeProgram program({}, {}, 0);
+  EXPECT_EQ(program.next().kind, Op::Kind::kDone);
+}
+
+TEST(IterativeProgram, CommOpsPassThrough) {
+  IterativeProgram program(
+      {}, {Op::comm_op(CommOp{CommOp::Type::kBarrier, 0})}, 2);
+  EXPECT_EQ(program.next().kind, Op::Kind::kComm);
+  EXPECT_EQ(program.next().kind, Op::Kind::kComm);
+  EXPECT_EQ(program.next().kind, Op::Kind::kDone);
+}
+
+}  // namespace
+}  // namespace apsim

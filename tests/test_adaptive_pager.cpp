@@ -1,0 +1,285 @@
+// Unit tests for the paper's mechanisms end to end at the pager level:
+// selective page-out victim ordering, aggressive page-out sizing, adaptive
+// page-in record/replay, and background writing.
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "core/adaptive_pager.hpp"
+
+namespace apsim {
+namespace {
+
+struct PagerFixture : ::testing::Test {
+  static NodeParams node_params() {
+    NodeParams n;
+    n.vmm.total_frames = 256;
+    n.vmm.freepages_min = 8;
+    n.vmm.freepages_low = 12;
+    n.vmm.freepages_high = 16;
+    n.vmm.page_cluster = 8;
+    n.disk.num_blocks = 1 << 16;
+    return n;
+  }
+
+  PagerFixture() : cluster(1, node_params()) {}
+
+  Vmm& vmm() { return cluster.node(0).vmm(); }
+  Simulator& sim() { return cluster.sim(); }
+
+  Pid make_populated(std::int64_t pages, std::int64_t populate_count) {
+    const Pid pid = vmm().create_process(pages);
+    for (VPage v = 0; v < populate_count; ++v) {
+      if (!vmm().touch(pid, v, true)) {
+        bool done = false;
+        vmm().fault(pid, v, true, [&] { done = true; });
+        sim().run();
+        EXPECT_TRUE(done);
+      }
+    }
+    return pid;
+  }
+
+  Cluster cluster;
+};
+
+TEST_F(PagerFixture, SelectivePolicyEvictsVictimFirst) {
+  const Pid a = make_populated(256, 100);
+  const Pid b = make_populated(256, 100);  // a was partially evicted already
+
+  auto policy = std::make_unique<SelectiveReclaimPolicy>();
+  auto* selective = policy.get();
+  vmm().set_reclaim_policy(std::move(policy));
+  selective->set_victim_process(b);
+
+  const auto a_resident = vmm().space(a).resident_pages();
+  bool done = false;
+  vmm().request_free_frames(vmm().free_frames() + 32, [&] { done = true; });
+  sim().run();
+  ASSERT_TRUE(done);
+  // Only b lost pages; a's residual set is untouched (no false eviction).
+  EXPECT_EQ(vmm().space(a).resident_pages(), a_resident);
+  EXPECT_LT(vmm().space(b).resident_pages(), 100);
+}
+
+TEST_F(PagerFixture, SelectivePolicyEvictsOldestFirst) {
+  const Pid a = make_populated(256, 60);
+  // Re-touch pages 0..29 so pages 30..59 are the oldest.
+  sim().after(kSecond, [&] {
+    for (VPage v = 0; v < 30; ++v) {
+      EXPECT_TRUE(vmm().touch(a, v, false));
+    }
+  });
+  sim().run();
+
+  auto policy = std::make_unique<SelectiveReclaimPolicy>();
+  auto* selective = policy.get();
+  vmm().set_reclaim_policy(std::move(policy));
+  selective->set_victim_process(a);
+
+  auto victims = vmm().reclaim_policy().select_victims(vmm(), 30);
+  ASSERT_EQ(victims.size(), 30u);
+  for (const auto& victim : victims) {
+    EXPECT_EQ(victim.pid, a);
+    EXPECT_GE(victim.vpage, 30) << "evicted a recently-touched page first";
+  }
+}
+
+TEST_F(PagerFixture, SelectivePolicyFallsBackWhenVictimDrained) {
+  const Pid a = make_populated(256, 50);
+  const Pid b = make_populated(256, 50);
+  auto policy = std::make_unique<SelectiveReclaimPolicy>();
+  auto* selective = policy.get();
+  vmm().set_reclaim_policy(std::move(policy));
+  selective->set_victim_process(b);
+
+  // Demand more than b can provide: the fallback must supply a's pages.
+  auto victims = vmm().reclaim_policy().select_victims(vmm(), 50);
+  ASSERT_EQ(victims.size(), 50u);
+  const auto a_before = vmm().space(a).resident_pages();
+  bool done = false;
+  vmm().request_free_frames(vmm().free_frames() + 80, [&] { done = true; });
+  sim().run();
+  ASSERT_TRUE(done);
+  // b is (nearly) drained before the fallback starts on a.
+  EXPECT_LE(vmm().space(b).resident_pages(), 8);
+  EXPECT_LT(vmm().space(a).resident_pages(), a_before);
+}
+
+TEST_F(PagerFixture, AdaptivePageOutAggressivelyFreesForIncomingWs) {
+  AdaptivePagerParams params;
+  params.policy = PolicySet::parse("so/ao");
+  AdaptivePager pager(cluster.node(0), params);
+
+  const Pid out = make_populated(256, 150);
+  const Pid in = make_populated(256, 60);
+  pager.register_process(out);
+  pager.register_process(in);
+
+  // Teach the estimator in's working set: one epoch of 60 touches.
+  pager.on_quantum_start(in);
+  for (VPage v = 0; v < 60; ++v) {
+    EXPECT_TRUE(vmm().touch(in, v, false));
+  }
+  pager.on_quantum_end(in);
+  EXPECT_EQ(pager.ws_estimate(in), 60);
+
+  // in's working set is fully resident: aggressive page-out has nothing to
+  // make room for and must not touch the outgoing process.
+  pager.adaptive_page_out(out, in);
+  sim().run();
+  EXPECT_EQ(vmm().space(out).resident_pages(), 150);
+  EXPECT_EQ(pager.stats().aggressive_requests, 0u);
+
+  // Deschedule in and evict its working set (selective page-out now targets
+  // it), then switch again: the missing 60 pages must be freed from the
+  // outgoing process up front.
+  pager.adaptive_page_out(in, out);  // reverse switch: in becomes outgoing
+  bool evicted = false;
+  vmm().request_free_frames(vmm().free_frames() +
+                                vmm().space(in).resident_pages(),
+                            [&] { evicted = true; });
+  sim().run();
+  ASSERT_TRUE(evicted);
+  ASSERT_EQ(vmm().space(in).resident_pages(), 0);
+  // Wire away the slack so the free pool cannot cover in's working set.
+  (void)vmm().wire_down(vmm().free_frames() - 20);
+  pager.adaptive_page_out(out, in);
+  sim().run();
+  // The missing working set (60 pages) was freed from the outgoing process.
+  EXPECT_GE(vmm().free_frames(), 60);
+  EXPECT_LT(vmm().space(out).resident_pages(), 150);
+  EXPECT_EQ(pager.stats().aggressive_requests, 1u);
+}
+
+TEST_F(PagerFixture, WsHintOverridesKernelEstimate) {
+  AdaptivePagerParams params;
+  params.policy = PolicySet::parse("so/ao");
+  AdaptivePager pager(cluster.node(0), params);
+  const Pid out = make_populated(256, 200);
+  const Pid in = vmm().create_process(256);
+  pager.register_process(out);
+  pager.register_process(in);
+  pager.adaptive_page_out(out, in, /*ws_pages_hint=*/100);
+  sim().run();
+  EXPECT_GE(vmm().free_frames(), 100);
+}
+
+TEST_F(PagerFixture, RecorderCapturesFlushesOfDescheduledProcess) {
+  AdaptivePagerParams params;
+  params.policy = PolicySet::parse("so/ai");
+  AdaptivePager pager(cluster.node(0), params);
+
+  const Pid out = make_populated(256, 100);
+  const Pid in = vmm().create_process(256);
+  pager.register_process(out);
+  pager.register_process(in);
+
+  pager.adaptive_page_out(out, in);
+  pager.on_quantum_start(in);  // out is now descheduled; record its flushes
+  bool done = false;
+  vmm().request_free_frames(vmm().free_frames() + 64, [&] { done = true; });
+  sim().run();
+  ASSERT_TRUE(done);
+  EXPECT_GE(pager.recorder(out).pages(), 64);
+  EXPECT_GT(pager.stats().pages_recorded, 0u);
+  // Sequential eviction compresses to very few runs.
+  EXPECT_LE(pager.recorder(out).runs().size(), 4u);
+}
+
+TEST_F(PagerFixture, AdaptivePageInReplaysAndClearsRecord) {
+  AdaptivePagerParams params;
+  params.policy = PolicySet::parse("so/ao/ai");
+  AdaptivePager pager(cluster.node(0), params);
+
+  const Pid a = make_populated(256, 120);
+  const Pid b = make_populated(256, 120);
+  pager.register_process(a);
+  pager.register_process(b);
+
+  // Switch to b: a's pages get flushed and recorded. (b's residual already
+  // covers most of its working set, so force the flush explicitly, as
+  // sustained memory pressure during b's quantum would.)
+  pager.adaptive_page_out(a, b, 120);
+  pager.on_quantum_start(b);
+  bool flushed = false;
+  vmm().request_free_frames(
+      vmm().free_frames() + vmm().space(a).resident_pages(),
+      [&] { flushed = true; });
+  sim().run();
+  ASSERT_TRUE(flushed);
+  const auto recorded = pager.recorder(a).pages();
+  ASSERT_GT(recorded, 0);
+
+  // Switch back to a: replay.
+  pager.adaptive_page_out(b, a, 120);
+  pager.on_quantum_start(a);
+  bool replay_done = false;
+  pager.adaptive_page_in(a, [&] { replay_done = true; });
+  sim().run();
+  EXPECT_TRUE(replay_done);
+  EXPECT_TRUE(pager.recorder(a).empty());
+  EXPECT_EQ(pager.stats().pages_replayed,
+            static_cast<std::uint64_t>(recorded));
+  // The replayed pages are resident again.
+  EXPECT_GE(vmm().space(a).resident_pages(), recorded / 2);
+}
+
+TEST_F(PagerFixture, AdaptivePageInNoopWithoutPolicy) {
+  AdaptivePagerParams params;
+  params.policy = PolicySet::parse("so");
+  AdaptivePager pager(cluster.node(0), params);
+  const Pid a = make_populated(256, 10);
+  pager.register_process(a);
+  bool done = false;
+  pager.adaptive_page_in(a, [&] { done = true; });
+  sim().run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(pager.stats().pages_replayed, 0u);
+}
+
+TEST_F(PagerFixture, BackgroundWriterCleansDirtyPages) {
+  AdaptivePagerParams params;
+  params.policy = PolicySet::parse("bg");
+  params.bg_batch = 16;
+  params.bg_interval = 10 * kMillisecond;
+  AdaptivePager pager(cluster.node(0), params);
+
+  const Pid a = make_populated(256, 80);
+  pager.register_process(a);
+  ASSERT_EQ(vmm().space(a).dirty_pages(), 80);
+  pager.start_bgwrite(a);
+  sim().run(sim().now() + kSecond);
+  pager.stop_bgwrite();
+  EXPECT_GT(pager.stats().bg_pages_written, 0u);
+  EXPECT_LT(vmm().space(a).dirty_pages(), 80);
+  // Pages stay resident: background writing cleans without unmapping.
+  EXPECT_EQ(vmm().space(a).resident_pages(), 80);
+}
+
+TEST_F(PagerFixture, StopBgwriteHaltsTicks) {
+  AdaptivePagerParams params;
+  params.policy = PolicySet::parse("bg");
+  params.bg_interval = 10 * kMillisecond;
+  AdaptivePager pager(cluster.node(0), params);
+  const Pid a = make_populated(256, 80);
+  pager.start_bgwrite(a);
+  sim().run(sim().now() + 50 * kMillisecond);
+  pager.stop_bgwrite();
+  const auto written = pager.stats().bg_pages_written;
+  sim().run(sim().now() + kSecond);
+  EXPECT_EQ(pager.stats().bg_pages_written, written);
+}
+
+TEST_F(PagerFixture, BgwriteDisabledWithoutPolicy) {
+  AdaptivePagerParams params;
+  params.policy = PolicySet::parse("so");
+  AdaptivePager pager(cluster.node(0), params);
+  const Pid a = make_populated(256, 40);
+  pager.start_bgwrite(a);
+  sim().run(sim().now() + kSecond);
+  EXPECT_EQ(pager.stats().bg_pages_written, 0u);
+}
+
+}  // namespace
+}  // namespace apsim

@@ -1,0 +1,140 @@
+// Unit tests for PolicySet parsing, the RLE page recorder, and the
+// working-set estimator — the small pieces of the paper's contribution.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/page_record.hpp"
+#include "core/policy.hpp"
+#include "core/ws_estimator.hpp"
+
+namespace apsim {
+namespace {
+
+TEST(PolicySet, ParseCanonicalCombos) {
+  EXPECT_EQ(PolicySet::parse("orig"), PolicySet::original());
+  EXPECT_EQ(PolicySet::parse("lru"), PolicySet::original());
+  EXPECT_EQ(PolicySet::parse(""), PolicySet::original());
+  EXPECT_EQ(PolicySet::parse("so/ao/ai/bg"), PolicySet::all());
+
+  const PolicySet so = PolicySet::parse("so");
+  EXPECT_TRUE(so.selective_out);
+  EXPECT_FALSE(so.aggressive_out);
+  EXPECT_FALSE(so.adaptive_in);
+  EXPECT_FALSE(so.bg_write);
+
+  const PolicySet mixed = PolicySet::parse("ai/bg");
+  EXPECT_TRUE(mixed.adaptive_in);
+  EXPECT_TRUE(mixed.bg_write);
+  EXPECT_FALSE(mixed.selective_out);
+}
+
+TEST(PolicySet, ParseOrderInsensitive) {
+  EXPECT_EQ(PolicySet::parse("bg/ai/ao/so"), PolicySet::all());
+}
+
+TEST(PolicySet, ParseRejectsUnknownToken) {
+  EXPECT_THROW((void)PolicySet::parse("so/xx"), std::invalid_argument);
+}
+
+TEST(PolicySet, ToStringCanonical) {
+  EXPECT_EQ(PolicySet::original().to_string(), "orig");
+  EXPECT_EQ(PolicySet::all().to_string(), "so/ao/ai/bg");
+  EXPECT_EQ(PolicySet::parse("ao/so").to_string(), "so/ao");
+}
+
+TEST(PolicySet, RoundTripThroughString) {
+  for (const char* combo :
+       {"orig", "so", "ai", "so/ao", "so/ao/bg", "so/ao/ai/bg", "ai/bg"}) {
+    const PolicySet set = PolicySet::parse(combo);
+    EXPECT_EQ(PolicySet::parse(set.to_string()), set) << combo;
+  }
+}
+
+TEST(PageRecorder, MergesContiguousRuns) {
+  PageRecorder rec;
+  rec.record(10);
+  rec.record(11);
+  rec.record(12);
+  ASSERT_EQ(rec.runs().size(), 1u);
+  EXPECT_EQ(rec.runs()[0], (PageRun{10, 3}));
+  EXPECT_EQ(rec.pages(), 3);
+}
+
+TEST(PageRecorder, BreaksRunOnGap) {
+  PageRecorder rec;
+  rec.record(10);
+  rec.record(12);
+  rec.record(13);
+  ASSERT_EQ(rec.runs().size(), 2u);
+  EXPECT_EQ(rec.runs()[0], (PageRun{10, 1}));
+  EXPECT_EQ(rec.runs()[1], (PageRun{12, 2}));
+}
+
+TEST(PageRecorder, BackwardAddressOpensNewRun) {
+  PageRecorder rec;
+  rec.record(10);
+  rec.record(9);
+  ASSERT_EQ(rec.runs().size(), 2u);
+}
+
+TEST(PageRecorder, TakeDrainsRecorder) {
+  PageRecorder rec;
+  rec.record(1);
+  rec.record(2);
+  auto runs = rec.take();
+  EXPECT_EQ(runs.size(), 1u);
+  EXPECT_TRUE(rec.empty());
+  EXPECT_EQ(rec.pages(), 0);
+}
+
+TEST(PageRecorder, EncodedBytesBeatFlatListForSequentialFlushes) {
+  PageRecorder rec;
+  for (VPage v = 0; v < 10000; ++v) rec.record(v);
+  EXPECT_EQ(rec.runs().size(), 1u);
+  EXPECT_EQ(rec.encoded_bytes(), 12);
+  EXPECT_EQ(rec.flat_bytes(), 80000);
+  // The paper's point: RLE keeps the kernel record tiny.
+  EXPECT_LT(rec.encoded_bytes() * 1000, rec.flat_bytes());
+}
+
+TEST(PageRecorder, FragmentedPatternStillBounded) {
+  PageRecorder rec;
+  for (VPage v = 0; v < 1000; v += 2) rec.record(v);  // all gaps
+  EXPECT_EQ(rec.runs().size(), 500u);
+  EXPECT_EQ(rec.pages(), 500);
+  EXPECT_EQ(rec.encoded_bytes(), 500 * 12);
+}
+
+TEST(WsEstimator, FirstObservationSetsEstimate) {
+  WsEstimator est;
+  EXPECT_EQ(est.estimate(), 0);
+  est.observe(1000);
+  EXPECT_EQ(est.estimate(), 1000);
+}
+
+TEST(WsEstimator, EwmaTracksRecentQuanta) {
+  WsEstimator est(0.7);
+  est.observe(1000);
+  est.observe(2000);
+  EXPECT_EQ(est.estimate(), 1700);  // 0.7*2000 + 0.3*1000
+  est.observe(2000);
+  EXPECT_GT(est.estimate(), 1700);
+}
+
+TEST(WsEstimator, ConvergesToSteadyState) {
+  WsEstimator est(0.5);
+  for (int i = 0; i < 30; ++i) est.observe(5000);
+  EXPECT_EQ(est.estimate(), 5000);
+}
+
+TEST(WsEstimator, AdaptsDownwardAfterPhaseChange) {
+  WsEstimator est(0.7);
+  est.observe(10000);
+  for (int i = 0; i < 10; ++i) est.observe(100);
+  EXPECT_LT(est.estimate(), 200);
+}
+
+}  // namespace
+}  // namespace apsim

@@ -1,0 +1,190 @@
+// Unit tests for the CPU executor: program execution, faulting, signals
+// (SIGSTOP/SIGCONT semantics), round-robin sharing, and accounting.
+
+#include <gtest/gtest.h>
+
+#include "mem/vmm.hpp"
+#include "proc/cpu.hpp"
+#include "workloads/generator.hpp"
+
+namespace apsim {
+namespace {
+
+struct CpuFixture : ::testing::Test {
+  static VmmParams params() {
+    VmmParams p;
+    p.total_frames = 256;
+    p.freepages_min = 8;
+    p.freepages_low = 12;
+    p.freepages_high = 16;
+    return p;
+  }
+
+  Simulator sim;
+  Disk disk{sim, DiskParams{.num_blocks = 1 << 16}};
+  SwapDevice swap{disk, 0, 1 << 16};
+  Vmm vmm{sim, swap, params()};
+  Cpu cpu{sim, vmm};
+
+  std::unique_ptr<Process> make_sweeper(std::int64_t pages,
+                                        std::int64_t iterations,
+                                        const std::string& name = "p") {
+    SweepOptions options;
+    options.pages = pages;
+    options.iterations = iterations;
+    options.compute_per_touch = 10 * kMicrosecond;
+    const Pid pid = vmm.create_process(pages);
+    auto proc =
+        std::make_unique<Process>(name, pid, make_sweep_program(options));
+    cpu.attach(*proc);
+    return proc;
+  }
+};
+
+TEST_F(CpuFixture, ProcessRunsToCompletion) {
+  auto proc = make_sweeper(64, 3);
+  EXPECT_EQ(proc->state(), ProcState::kStopped);
+  cpu.cont_process(*proc);
+  sim.run();
+  EXPECT_EQ(proc->state(), ProcState::kFinished);
+  EXPECT_GT(proc->stats().finished_at, 0);
+  EXPECT_GT(proc->stats().cpu_time, 0);
+  // 64 pages populated: 64 minor faults.
+  EXPECT_EQ(vmm.space(proc->pid()).stats().minor_faults, 64u);
+}
+
+TEST_F(CpuFixture, OnFinishFires) {
+  auto proc = make_sweeper(16, 1);
+  bool finished = false;
+  proc->on_finish = [&](Process& p) {
+    EXPECT_EQ(&p, proc.get());
+    finished = true;
+  };
+  cpu.cont_process(*proc);
+  sim.run();
+  EXPECT_TRUE(finished);
+}
+
+TEST_F(CpuFixture, StopHaltsExecutionContResumes) {
+  auto proc = make_sweeper(64, 2000);
+  cpu.cont_process(*proc);
+  // Let it run a bit, then stop (takes effect at the next slice boundary).
+  sim.run(50 * kMillisecond);
+  ASSERT_EQ(proc->state(), ProcState::kRunning);
+  cpu.stop_process(*proc);
+  sim.run(sim.now() + 200 * kMillisecond);
+  EXPECT_EQ(proc->state(), ProcState::kStopped);
+  const auto cpu_at_stop = proc->stats().cpu_time;
+  // Resume one virtual second later.
+  (void)sim.at(sim.now() + kSecond, [&] { cpu.cont_process(*proc); });
+  sim.run();
+  EXPECT_EQ(proc->state(), ProcState::kFinished);
+  EXPECT_GT(proc->stats().stopped_time, 900 * kMillisecond);
+  EXPECT_GT(proc->stats().cpu_time, cpu_at_stop);
+}
+
+TEST_F(CpuFixture, StopBeforeStartKeepsProcessStopped) {
+  auto proc = make_sweeper(16, 1);
+  cpu.stop_process(*proc);
+  sim.run();
+  EXPECT_EQ(proc->state(), ProcState::kStopped);
+}
+
+TEST_F(CpuFixture, FaultsBlockAndResume) {
+  // Footprint 400 pages > 256 frames: the sweep must fault against the
+  // watermark reclaimer and still finish.
+  auto proc = make_sweeper(400, 2);
+  cpu.cont_process(*proc);
+  sim.run();
+  EXPECT_EQ(proc->state(), ProcState::kFinished);
+  EXPECT_GT(proc->stats().fault_wait, 0);
+  EXPECT_GT(vmm.space(proc->pid()).stats().major_faults, 0u);
+}
+
+TEST_F(CpuFixture, RoundRobinSharesCpu) {
+  auto a = make_sweeper(32, 40, "a");
+  auto b = make_sweeper(32, 40, "b");
+  cpu.cont_process(*a);
+  cpu.cont_process(*b);
+  sim.run();
+  EXPECT_EQ(a->state(), ProcState::kFinished);
+  EXPECT_EQ(b->state(), ProcState::kFinished);
+  // Both did the same work; completion should be near-simultaneous
+  // (within one slice + context switches), proving interleaving.
+  const auto gap =
+      std::abs(a->stats().finished_at - b->stats().finished_at);
+  EXPECT_LT(gap, 2 * cpu.params().slice + 10 * kMillisecond);
+}
+
+TEST_F(CpuFixture, PureComputeOpRuns) {
+  const Pid pid = vmm.create_process(1);
+  auto program = std::make_unique<IterativeProgram>(
+      std::vector<Op>{}, std::vector<Op>{Op::compute_op(500 * kMillisecond)},
+      2);
+  Process proc("compute", pid, std::move(program));
+  cpu.attach(proc);
+  cpu.cont_process(proc);
+  sim.run();
+  EXPECT_EQ(proc.state(), ProcState::kFinished);
+  EXPECT_EQ(proc.stats().cpu_time, kSecond);
+  EXPECT_GE(sim.now(), kSecond);
+}
+
+TEST_F(CpuFixture, CommOpWithoutHandlerCompletes) {
+  const Pid pid = vmm.create_process(1);
+  auto program = std::make_unique<IterativeProgram>(
+      std::vector<Op>{},
+      std::vector<Op>{Op::comm_op(CommOp{CommOp::Type::kBarrier, 0})}, 3);
+  Process proc("comm", pid, std::move(program));
+  cpu.attach(proc);
+  cpu.cont_process(proc);
+  sim.run();
+  EXPECT_EQ(proc.state(), ProcState::kFinished);
+}
+
+TEST_F(CpuFixture, CommHandlerReceivesOps) {
+  const Pid pid = vmm.create_process(1);
+  auto program = std::make_unique<IterativeProgram>(
+      std::vector<Op>{},
+      std::vector<Op>{Op::comm_op(CommOp{CommOp::Type::kExchange, 4096})}, 2);
+  Process proc("comm", pid, std::move(program));
+  cpu.attach(proc);
+  int calls = 0;
+  cpu.set_comm_handler([&](Process& p, const CommOp& op,
+                           std::function<void()> resume) {
+    EXPECT_EQ(&p, &proc);
+    EXPECT_EQ(op.type, CommOp::Type::kExchange);
+    EXPECT_EQ(op.bytes, 4096);
+    ++calls;
+    sim.after(kMillisecond, std::move(resume));
+  });
+  cpu.cont_process(proc);
+  sim.run();
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(proc.stats().comm_wait, 2 * kMillisecond);
+}
+
+TEST_F(CpuFixture, StopWhileBlockedAppliesOnUnblock) {
+  auto proc = make_sweeper(400, 1);
+  cpu.cont_process(*proc);
+  // Run until the process blocks on a fault, then stop it.
+  const bool blocked = sim.run_until(
+      [&] { return proc->state() == ProcState::kBlockedFault; });
+  ASSERT_TRUE(blocked);
+  cpu.stop_process(*proc);
+  sim.run(sim.now() + kSecond);
+  EXPECT_EQ(proc->state(), ProcState::kStopped);
+  cpu.cont_process(*proc);
+  sim.run();
+  EXPECT_EQ(proc->state(), ProcState::kFinished);
+}
+
+TEST_F(CpuFixture, BusyTimeAccumulates) {
+  auto proc = make_sweeper(32, 5);
+  cpu.cont_process(*proc);
+  sim.run();
+  EXPECT_EQ(cpu.busy_time(), proc->stats().cpu_time);
+}
+
+}  // namespace
+}  // namespace apsim

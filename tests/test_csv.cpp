@@ -1,0 +1,59 @@
+// Unit tests for the CSV writer and outcome export.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/csv.hpp"
+
+namespace apsim {
+namespace {
+
+TEST(Csv, PlainFieldsUnquoted) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(Csv, EscapesCommasQuotesNewlines) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, EmptyRow) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row({});
+  EXPECT_EQ(os.str(), "\n");
+}
+
+TEST(Csv, OutcomesExportOneLinePerJob) {
+  RunOutcome outcome;
+  outcome.label = "LU, stressed";
+  outcome.policy = "so/ao";
+  outcome.makespan = 100 * kSecond;
+  JobOutcome job;
+  job.name = "LU#0";
+  job.completion = 60 * kSecond;
+  job.major_faults = 5;
+  outcome.jobs.push_back(job);
+  job.name = "LU#1";
+  job.completion = 100 * kSecond;
+  outcome.jobs.push_back(job);
+
+  std::ostringstream os;
+  write_outcomes_csv(os, {outcome});
+  const std::string text = os.str();
+  // Header + 2 job rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+  EXPECT_NE(text.find("\"LU, stressed\""), std::string::npos);  // quoted
+  EXPECT_NE(text.find("LU#0"), std::string::npos);
+  EXPECT_NE(text.find("LU#1"), std::string::npos);
+  EXPECT_NE(text.find("so/ao"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace apsim

@@ -1,0 +1,207 @@
+// Unit tests for the disk cost model, the C-LOOK scheduler, request
+// coalescing, and priority handling — the physics behind block paging.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "disk/disk.hpp"
+#include "sim/simulator.hpp"
+
+namespace apsim {
+namespace {
+
+DiskParams small_disk() {
+  DiskParams p;
+  p.num_blocks = 100000;
+  return p;
+}
+
+TEST(DiskModel, SeekTimeMonotonicInDistance) {
+  DiskModel model(small_disk());
+  EXPECT_EQ(model.seek_time(0, 0), 0);
+  const auto near = model.seek_time(0, 10);
+  const auto mid = model.seek_time(0, 10000);
+  const auto far = model.seek_time(0, 99999);
+  EXPECT_GT(near, 0);
+  EXPECT_LT(near, mid);
+  EXPECT_LT(mid, far);
+  EXPECT_LE(far, model.params().full_stroke_seek);
+}
+
+TEST(DiskModel, SeekSymmetric) {
+  DiskModel model(small_disk());
+  EXPECT_EQ(model.seek_time(100, 5000), model.seek_time(5000, 100));
+}
+
+TEST(DiskModel, TransferTimeLinear) {
+  DiskModel model(small_disk());
+  const auto one = model.transfer_time(1);
+  const auto hundred = model.transfer_time(100);
+  EXPECT_NEAR(static_cast<double>(hundred),
+              100.0 * static_cast<double>(one), 100.0);
+}
+
+TEST(DiskModel, SequentialAccessSkipsSeekAndRotation) {
+  DiskModel model(small_disk());
+  const auto sequential = model.service_time(500, 500, 8);
+  const auto random = model.service_time(0, 500, 8);
+  EXPECT_EQ(sequential,
+            model.params().per_request_overhead + model.transfer_time(8));
+  EXPECT_GT(random, sequential + model.params().rotation_half());
+}
+
+TEST(DiskModel, BlockTransferBeatsScattered) {
+  // The core economics of block paging: one 64-block transfer must be far
+  // cheaper than 64 scattered single-block transfers.
+  DiskModel model(small_disk());
+  const auto block = model.service_time(0, 50000, 64);
+  SimDuration scattered = 0;
+  for (int i = 0; i < 64; ++i) {
+    scattered += model.service_time(i * 1000, (i + 1) * 1000, 1);
+  }
+  EXPECT_GT(scattered, 8 * block);
+}
+
+TEST(Disk, CompletesRequestAndMovesHead) {
+  Simulator sim;
+  Disk disk(sim, small_disk());
+  bool done = false;
+  disk.submit({.start = 100, .nblocks = 4, .write = false,
+               .priority = IoPriority::kForeground,
+               .on_complete = [&] { done = true; }});
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(disk.head(), 104);
+  EXPECT_EQ(disk.stats().blocks_read, 4u);
+  EXPECT_EQ(disk.stats().services, 1u);
+}
+
+TEST(Disk, ClookOrdersService) {
+  Simulator sim;
+  Disk disk(sim, small_disk());
+  std::vector<int> order;
+  // Busy the head with a request at 0, then queue out-of-order requests.
+  disk.submit({.start = 0, .nblocks = 1, .write = false,
+               .priority = IoPriority::kForeground, .on_complete = [] {}});
+  auto submit = [&](int tag, BlockNum start) {
+    disk.submit({.start = start, .nblocks = 1, .write = false,
+                 .priority = IoPriority::kForeground,
+                 .on_complete = [&order, tag] { order.push_back(tag); }});
+  };
+  submit(3, 9000);
+  submit(1, 100);
+  submit(2, 5000);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Disk, CoalescesContiguousRequests) {
+  Simulator sim;
+  Disk disk(sim, small_disk());
+  int completions = 0;
+  // First request makes the device busy so the rest sit in the queue and
+  // can merge.
+  disk.submit({.start = 0, .nblocks = 1, .write = true,
+               .priority = IoPriority::kForeground,
+               .on_complete = [&] { ++completions; }});
+  for (int i = 0; i < 8; ++i) {
+    disk.submit({.start = 1000 + i * 4, .nblocks = 4, .write = true,
+                 .priority = IoPriority::kForeground,
+                 .on_complete = [&] { ++completions; }});
+  }
+  sim.run();
+  EXPECT_EQ(completions, 9);
+  // 1 head request + 1 merged transfer.
+  EXPECT_EQ(disk.stats().services, 2u);
+  EXPECT_EQ(disk.stats().blocks_written, 33u);
+}
+
+TEST(Disk, DoesNotMergeReadsIntoWrites) {
+  Simulator sim;
+  Disk disk(sim, small_disk());
+  disk.submit({.start = 0, .nblocks = 1, .write = false,
+               .priority = IoPriority::kForeground, .on_complete = [] {}});
+  disk.submit({.start = 100, .nblocks = 4, .write = true,
+               .priority = IoPriority::kForeground, .on_complete = [] {}});
+  disk.submit({.start = 104, .nblocks = 4, .write = false,
+               .priority = IoPriority::kForeground, .on_complete = [] {}});
+  sim.run();
+  EXPECT_EQ(disk.stats().services, 3u);
+}
+
+TEST(Disk, BackgroundYieldsToForeground) {
+  Simulator sim;
+  Disk disk(sim, small_disk());
+  std::vector<char> order;
+  disk.submit({.start = 0, .nblocks = 1, .write = false,
+               .priority = IoPriority::kForeground, .on_complete = [] {}});
+  disk.submit({.start = 10, .nblocks = 1, .write = true,
+               .priority = IoPriority::kBackground,
+               .on_complete = [&] { order.push_back('b'); }});
+  disk.submit({.start = 20, .nblocks = 1, .write = false,
+               .priority = IoPriority::kForeground,
+               .on_complete = [&] { order.push_back('f'); }});
+  sim.run();
+  EXPECT_EQ(order, (std::vector<char>{'f', 'b'}));
+}
+
+TEST(Disk, ClookWrapsToLowestAfterEnd) {
+  Simulator sim;
+  Disk disk(sim, small_disk());
+  std::vector<int> order;
+  // Busy the head at a high position, then queue requests below it plus one
+  // above: C-LOOK serves the one ahead first, then wraps to the lowest.
+  disk.submit({.start = 50000, .nblocks = 1, .write = false,
+               .priority = IoPriority::kForeground, .on_complete = [] {}});
+  auto submit = [&](int tag, BlockNum start) {
+    disk.submit({.start = start, .nblocks = 1, .write = false,
+                 .priority = IoPriority::kForeground,
+                 .on_complete = [&order, tag] { order.push_back(tag); }});
+  };
+  submit(3, 20000);  // behind the head: served after the wrap
+  submit(1, 60000);  // ahead: served first
+  submit(2, 100);    // lowest: first after the wrap
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Disk, MergeStopsAtGaps) {
+  Simulator sim;
+  Disk disk(sim, small_disk());
+  disk.submit({.start = 0, .nblocks = 1, .write = true,
+               .priority = IoPriority::kForeground, .on_complete = [] {}});
+  // Two contiguous requests, then a gap, then another pair.
+  for (BlockNum start : {1000, 1004, 2000, 2004}) {
+    disk.submit({.start = start, .nblocks = 4, .write = true,
+                 .priority = IoPriority::kForeground, .on_complete = [] {}});
+  }
+  sim.run();
+  // head request + two merged groups.
+  EXPECT_EQ(disk.stats().services, 3u);
+}
+
+TEST(Disk, UtilizationBetweenZeroAndOne) {
+  Simulator sim;
+  Disk disk(sim, small_disk());
+  disk.submit({.start = 1000, .nblocks = 64, .write = true,
+               .priority = IoPriority::kForeground, .on_complete = [] {}});
+  sim.run();
+  EXPECT_GT(disk.utilization(), 0.0);
+  EXPECT_LE(disk.utilization(), 1.0);
+}
+
+TEST(Disk, QueueDepthTracked) {
+  Simulator sim;
+  Disk disk(sim, small_disk());
+  for (int i = 0; i < 5; ++i) {
+    disk.submit({.start = i * 500, .nblocks = 1, .write = false,
+                 .priority = IoPriority::kForeground, .on_complete = [] {}});
+  }
+  EXPECT_GE(disk.stats().max_queue_depth, 4u);
+  sim.run();
+  EXPECT_EQ(disk.queue_depth(), 0u);
+}
+
+}  // namespace
+}  // namespace apsim

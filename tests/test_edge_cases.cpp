@@ -1,0 +1,199 @@
+// Edge cases and failure injection: swap exhaustion, process teardown with
+// I/O in flight, three-job gang rotation, narrow-job packing, and other
+// boundary conditions the main suites don't reach.
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "gang/gang_scheduler.hpp"
+#include "workloads/generator.hpp"
+
+namespace apsim {
+namespace {
+
+TEST(EdgeCases, ReleaseProcessWithWritebackInFlight) {
+  Simulator sim;
+  Disk disk(sim, DiskParams{.num_blocks = 1 << 14});
+  SwapDevice swap(disk, 0, 1 << 14);
+  VmmParams params;
+  params.total_frames = 128;
+  Vmm vmm(sim, swap, params);
+
+  const Pid pid = vmm.create_process(64);
+  for (VPage v = 0; v < 32; ++v) {
+    bool done = false;
+    vmm.fault(pid, v, true, [&] { done = true; });
+    sim.run();
+    ASSERT_TRUE(done);
+  }
+  // Start writes, then kill the process before they complete.
+  vmm.writeback_dirty(pid, 32, IoPriority::kForeground, nullptr);
+  vmm.release_process(pid);
+  sim.run();
+  // The completion handlers must reap everything: no leaked frames/slots.
+  EXPECT_EQ(vmm.free_frames(), vmm.frames().usable_frames());
+  EXPECT_EQ(swap.used_slots(), 0);
+}
+
+TEST(EdgeCases, ReleaseProcessWithEvictionInFlight) {
+  Simulator sim;
+  Disk disk(sim, DiskParams{.num_blocks = 1 << 14});
+  SwapDevice swap(disk, 0, 1 << 14);
+  VmmParams params;
+  params.total_frames = 64;
+  params.freepages_min = 4;
+  params.freepages_low = 8;
+  params.freepages_high = 12;
+  Vmm vmm(sim, swap, params);
+
+  const Pid pid = vmm.create_process(128);
+  for (VPage v = 0; v < 50; ++v) {
+    bool done = false;
+    vmm.fault(pid, v, true, [&] { done = true; });
+    sim.run();
+    ASSERT_TRUE(done);
+  }
+  vmm.request_free_frames(40, [] {});  // kick evictions (writes)
+  // Do NOT run the sim yet: release with the reclaim about to start.
+  vmm.release_process(pid);
+  sim.run();
+  EXPECT_EQ(vmm.free_frames(), vmm.frames().usable_frames());
+  EXPECT_EQ(swap.used_slots(), 0);
+}
+
+TEST(EdgeCases, PrefetchOnReleasedProcessCompletes) {
+  Simulator sim;
+  Disk disk(sim, DiskParams{.num_blocks = 1 << 14});
+  SwapDevice swap(disk, 0, 1 << 14);
+  Vmm vmm(sim, swap, VmmParams{.total_frames = 64});
+  const Pid pid = vmm.create_process(32);
+  vmm.release_process(pid);
+  bool done = false;
+  vmm.prefetch(pid, {PageRun{0, 16}}, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);  // completes immediately, reads nothing
+  EXPECT_EQ(disk.stats().blocks_read, 0u);
+}
+
+TEST(EdgeCases, SwapExhaustionDoesNotCrashOrHang) {
+  Simulator sim;
+  Disk disk(sim, DiskParams{.num_blocks = 64});
+  SwapDevice swap(disk, 0, 48);  // far too small
+  VmmParams params;
+  params.total_frames = 32;
+  params.freepages_min = 2;
+  params.freepages_low = 4;
+  params.freepages_high = 6;
+  Vmm vmm(sim, swap, params);
+  vmm.log().set_level(LogLevel::kOff);  // exercise the error paths silently
+
+  const Pid pid = vmm.create_process(256);
+  // Touch far more pages than frames + swap can hold; must terminate (the
+  // early-release safety valve) rather than deadlock.
+  int completed = 0;
+  for (VPage v = 0; v < 128; ++v) {
+    vmm.fault(pid, v, true, [&] { ++completed; });
+    (void)sim.run(sim.now() + 10 * kSecond);
+  }
+  (void)sim.run(sim.now() + kMinute);
+  EXPECT_GT(completed, 0);
+  EXPECT_GT(vmm.stats().oom_waiter_releases + vmm.stats().alloc_retries, 0u);
+}
+
+struct ThreeJobFixture : ::testing::Test {
+  static NodeParams node_params() {
+    NodeParams n;
+    n.vmm.total_frames = 2048;
+    n.disk.num_blocks = 1 << 15;
+    return n;
+  }
+
+  ThreeJobFixture() : cluster(2, node_params()) {}
+
+  Job& add_job(GangScheduler& scheduler, const std::string& name,
+               std::vector<int> nodes, std::int64_t iterations) {
+    Job& job = scheduler.create_job(name);
+    for (int n : nodes) {
+      SweepOptions options;
+      options.pages = 128;
+      options.iterations = iterations;
+      options.compute_per_touch = 20 * kMicrosecond;
+      const Pid pid = cluster.node(n).vmm().create_process(options.pages);
+      procs.push_back(std::make_unique<Process>(name + ":" + std::to_string(n),
+                                                pid,
+                                                make_sweep_program(options)));
+      cluster.node(n).cpu().attach(*procs.back());
+      job.add_process(n, *procs.back());
+    }
+    return job;
+  }
+
+  Cluster cluster;
+  std::vector<std::unique_ptr<Process>> procs;
+};
+
+TEST_F(ThreeJobFixture, ThreeJobsRotateRoundRobin) {
+  GangParams params;
+  params.quantum = kSecond;
+  GangScheduler scheduler(cluster, params);
+  add_job(scheduler, "a", {0, 1}, 800);
+  add_job(scheduler, "b", {0, 1}, 800);
+  add_job(scheduler, "c", {0, 1}, 800);
+  EXPECT_EQ(scheduler.matrix().num_slots(), 0);  // assigned at start()
+  scheduler.start();
+  ASSERT_TRUE(cluster.sim().run_until([&] { return scheduler.all_finished(); },
+                                      30 * kMinute));
+  // Total compute 3 x 800 x 128 x 20us ~= 6.1 s; with 1 s quanta each job
+  // waited roughly two thirds of the time.
+  for (const auto& p : procs) {
+    EXPECT_GT(p->stats().stopped_time, 2 * kSecond);
+  }
+  EXPECT_GE(scheduler.switches(), 5);
+}
+
+TEST_F(ThreeJobFixture, NarrowJobsShareASlot) {
+  GangParams params;
+  params.quantum = kSecond;
+  GangScheduler scheduler(cluster, params);
+  add_job(scheduler, "left", {0}, 400);
+  add_job(scheduler, "right", {1}, 400);
+  add_job(scheduler, "wide", {0, 1}, 400);
+  scheduler.start();
+  // left and right pack into slot 0; wide gets slot 1.
+  EXPECT_EQ(scheduler.matrix().num_slots(), 2);
+  ASSERT_TRUE(cluster.sim().run_until([&] { return scheduler.all_finished(); },
+                                      30 * kMinute));
+  // left and right ran concurrently: their completions are close.
+  const SimTime left_done = procs[0]->stats().finished_at;
+  const SimTime right_done = procs[1]->stats().finished_at;
+  EXPECT_LT(std::abs(left_done - right_done), kSecond);
+}
+
+TEST(EdgeCasesMisc, EmptyGangSchedulerFinishesTrivially) {
+  NodeParams node;
+  node.vmm.total_frames = 256;
+  node.disk.num_blocks = 1 << 12;
+  Cluster cluster(1, node);
+  GangScheduler scheduler(cluster, GangParams{});
+  EXPECT_TRUE(scheduler.all_finished());  // vacuously
+}
+
+TEST(EdgeCasesMisc, ComputeOnlyProgramNeedsNoMemory) {
+  NodeParams node;
+  node.vmm.total_frames = 256;
+  node.disk.num_blocks = 1 << 12;
+  Cluster cluster(1, node);
+  const Pid pid = cluster.node(0).vmm().create_process(1);
+  auto program = std::make_unique<IterativeProgram>(
+      std::vector<Op>{}, std::vector<Op>{Op::compute_op(kSecond)}, 3);
+  Process proc("cpu-only", pid, std::move(program));
+  cluster.node(0).cpu().attach(proc);
+  cluster.node(0).cpu().cont_process(proc);
+  cluster.sim().run();
+  EXPECT_TRUE(proc.finished());
+  EXPECT_EQ(proc.stats().cpu_time, 3 * kSecond);
+  EXPECT_EQ(cluster.node(0).vmm().frames().used_frames(), 0);
+}
+
+}  // namespace
+}  // namespace apsim

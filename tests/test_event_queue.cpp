@@ -1,0 +1,124 @@
+// Unit tests for the discrete-event queue: ordering, stability,
+// cancellation semantics, and handle lifecycle.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace apsim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  (void)queue.schedule(30, [&] { order.push_back(3); });
+  (void)queue.schedule(10, [&] { order.push_back(1); });
+  (void)queue.schedule(20, [&] { order.push_back(2); });
+  while (!queue.empty()) {
+    auto [time, fn] = queue.pop();
+    fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeEventsAreFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    (void)queue.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) queue.pop().fn();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, PopReturnsScheduledTime) {
+  EventQueue queue;
+  (void)queue.schedule(42, [] {});
+  EXPECT_EQ(queue.next_time(), 42);
+  auto popped = queue.pop();
+  EXPECT_EQ(popped.time, 42);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue queue;
+  bool ran = false;
+  auto handle = queue.schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(handle.pending());
+  queue.cancel(handle);
+  EXPECT_FALSE(handle.pending());
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelIsIdempotent) {
+  EventQueue queue;
+  auto handle = queue.schedule(10, [] {});
+  queue.cancel(handle);
+  queue.cancel(handle);  // no-op
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueue, CancelMiddleKeepsOthers) {
+  EventQueue queue;
+  std::vector<int> order;
+  (void)queue.schedule(10, [&] { order.push_back(1); });
+  auto handle = queue.schedule(20, [&] { order.push_back(2); });
+  (void)queue.schedule(30, [&] { order.push_back(3); });
+  queue.cancel(handle);
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, HandleNotPendingAfterPop) {
+  EventQueue queue;
+  auto handle = queue.schedule(10, [] {});
+  (void)queue.pop();
+  EXPECT_FALSE(handle.pending());
+}
+
+TEST(EventQueue, DefaultHandleIsNotPending) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.pending());
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue queue;
+  auto h1 = queue.schedule(1, [] {});
+  (void)queue.schedule(2, [] {});
+  EXPECT_EQ(queue.size(), 2u);
+  queue.cancel(h1);
+  EXPECT_EQ(queue.size(), 1u);
+  (void)queue.pop();
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueue, CancelledHeadSkippedByNextTime) {
+  EventQueue queue;
+  auto h1 = queue.schedule(1, [] {});
+  (void)queue.schedule(2, [] {});
+  queue.cancel(h1);
+  EXPECT_EQ(queue.next_time(), 2);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue queue;
+  // Pseudo-random times, checking global sortedness of pop sequence.
+  std::uint64_t state = 12345;
+  for (int i = 0; i < 10000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    (void)queue.schedule(static_cast<SimTime>(state % 1000), [] {});
+  }
+  SimTime last = -1;
+  while (!queue.empty()) {
+    auto popped = queue.pop();
+    EXPECT_GE(popped.time, last);
+    last = popped.time;
+  }
+}
+
+}  // namespace
+}  // namespace apsim

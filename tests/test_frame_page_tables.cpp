@@ -1,0 +1,100 @@
+// Unit tests for physical-frame accounting (incl. the mlock-style wiring
+// used by the experiments) and the page table / PTE invariants.
+
+#include <gtest/gtest.h>
+
+#include "mem/frame_table.hpp"
+#include "mem/page_table.hpp"
+
+namespace apsim {
+namespace {
+
+TEST(FrameTable, AllocAndFreeConserveCounts) {
+  FrameTable frames(100);
+  EXPECT_EQ(frames.total_frames(), 100);
+  EXPECT_EQ(frames.free_frames(), 100);
+  auto f = frames.alloc(1, 42);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(frames.free_frames(), 99);
+  EXPECT_EQ(frames.used_frames(), 1);
+  EXPECT_EQ(frames.frame(*f).owner, 1);
+  EXPECT_EQ(frames.frame(*f).vpage, 42);
+  frames.free(*f);
+  EXPECT_EQ(frames.free_frames(), 100);
+  EXPECT_EQ(frames.frame(*f).owner, kNoPid);
+}
+
+TEST(FrameTable, ExhaustionReturnsNullopt) {
+  FrameTable frames(3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(frames.alloc(1, i).has_value());
+  }
+  EXPECT_FALSE(frames.alloc(1, 3).has_value());
+}
+
+TEST(FrameTable, WireDownRemovesFromCirculation) {
+  FrameTable frames(100);
+  EXPECT_EQ(frames.wire_down(30), 30);
+  EXPECT_EQ(frames.wired_frames(), 30);
+  EXPECT_EQ(frames.usable_frames(), 70);
+  EXPECT_EQ(frames.free_frames(), 70);
+  int allocated = 0;
+  while (frames.alloc(1, allocated).has_value()) ++allocated;
+  EXPECT_EQ(allocated, 70);
+}
+
+TEST(FrameTable, WireDownClampsToFreePool) {
+  FrameTable frames(10);
+  (void)frames.alloc(1, 0);
+  EXPECT_EQ(frames.wire_down(100), 9);
+  EXPECT_EQ(frames.usable_frames(), 1);
+}
+
+TEST(FrameTable, MbToPagesRoundTrip) {
+  EXPECT_EQ(mb_to_pages(1.0), 256);       // 1 MB = 256 x 4 KiB
+  EXPECT_EQ(mb_to_pages(1024.0), 262144); // 1 GB
+  EXPECT_DOUBLE_EQ(pages_to_mb(256), 1.0);
+}
+
+TEST(PageTable, DefaultPteIsEmpty) {
+  PageTable pt(16);
+  const Pte& pte = pt.at(0);
+  EXPECT_FALSE(pte.present);
+  EXPECT_FALSE(pte.referenced);
+  EXPECT_FALSE(pte.dirty);
+  EXPECT_FALSE(pte.io_busy);
+  EXPECT_EQ(pte.frame, kNoFrame);
+  EXPECT_EQ(pte.slot, kNoSwapSlot);
+  EXPECT_FALSE(pte.ever_touched);
+}
+
+TEST(PageTable, ValidBounds) {
+  PageTable pt(16);
+  EXPECT_TRUE(pt.valid(0));
+  EXPECT_TRUE(pt.valid(15));
+  EXPECT_FALSE(pt.valid(16));
+  EXPECT_FALSE(pt.valid(-1));
+}
+
+TEST(PageTable, ClockHandWraps) {
+  PageTable pt(4);
+  EXPECT_EQ(pt.clock_hand(), 0);
+  for (int i = 0; i < 4; ++i) pt.advance_clock_hand();
+  EXPECT_EQ(pt.clock_hand(), 0);
+  pt.set_clock_hand(7);
+  EXPECT_EQ(pt.clock_hand(), 3);
+}
+
+TEST(Pte, CleanDropSemantics) {
+  Pte pte;
+  EXPECT_FALSE(pte.clean_drop_ok());  // not present
+  pte.present = true;
+  EXPECT_FALSE(pte.clean_drop_ok());  // no swap copy
+  pte.slot = 5;
+  EXPECT_TRUE(pte.clean_drop_ok());
+  pte.dirty = true;
+  EXPECT_FALSE(pte.clean_drop_ok());  // dirty needs a write
+}
+
+}  // namespace
+}  // namespace apsim

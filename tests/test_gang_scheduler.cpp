@@ -1,0 +1,192 @@
+// Unit tests for the gang scheduler (quantum switching, signal sequencing,
+// job completion handling, quantum overrides) and the batch baseline.
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "gang/gang_scheduler.hpp"
+#include "workloads/generator.hpp"
+
+namespace apsim {
+namespace {
+
+struct GangFixture : ::testing::Test {
+  static NodeParams node_params() {
+    NodeParams n;
+    n.vmm.total_frames = 512;
+    n.vmm.freepages_min = 8;
+    n.vmm.freepages_low = 12;
+    n.vmm.freepages_high = 16;
+    n.disk.num_blocks = 1 << 16;
+    return n;
+  }
+
+  GangFixture() : cluster(2, node_params()) {}
+
+  /// Add a job with one sweeper process per node.
+  template <typename Scheduler>
+  Job& add_sweep_job(Scheduler& scheduler, const std::string& name,
+                     std::int64_t pages, std::int64_t iterations) {
+    Job& job = scheduler.create_job(name);
+    for (int n = 0; n < cluster.size(); ++n) {
+      SweepOptions options;
+      options.pages = pages;
+      options.iterations = iterations;
+      options.compute_per_touch = 20 * kMicrosecond;
+      const Pid pid = cluster.node(n).vmm().create_process(pages);
+      procs.push_back(std::make_unique<Process>(name + ":" + std::to_string(n),
+                                                pid,
+                                                make_sweep_program(options)));
+      cluster.node(n).cpu().attach(*procs.back());
+      job.add_process(n, *procs.back());
+    }
+    return job;
+  }
+
+  Cluster cluster;
+  std::vector<std::unique_ptr<Process>> procs;
+};
+
+TEST_F(GangFixture, TwoJobsAlternateAndFinish) {
+  GangParams params;
+  params.quantum = 2 * kSecond;
+  GangScheduler scheduler(cluster, params);
+  add_sweep_job(scheduler, "a", 128, 2000);
+  add_sweep_job(scheduler, "b", 128, 2000);
+  scheduler.start();
+  const bool finished = cluster.sim().run_until(
+      [&] { return scheduler.all_finished(); }, 10 * kMinute);
+  ASSERT_TRUE(finished);
+  EXPECT_GT(scheduler.switches(), 2);
+  EXPECT_GT(scheduler.makespan(), 0);
+  // Each process spent real time stopped (it shared the machine).
+  for (const auto& p : procs) {
+    EXPECT_GT(p->stats().stopped_time, kSecond);
+  }
+}
+
+TEST_F(GangFixture, SingleJobRunsWithoutSwitching) {
+  GangParams params;
+  params.quantum = kSecond;
+  GangScheduler scheduler(cluster, params);
+  add_sweep_job(scheduler, "solo", 64, 100);
+  scheduler.start();
+  const bool finished = cluster.sim().run_until(
+      [&] { return scheduler.all_finished(); }, 10 * kMinute);
+  ASSERT_TRUE(finished);
+  EXPECT_EQ(scheduler.switches(), 0);
+}
+
+TEST_F(GangFixture, FinishedJobYieldsMachineImmediately) {
+  GangParams params;
+  params.quantum = 10 * kSecond;
+  GangScheduler scheduler(cluster, params);
+  add_sweep_job(scheduler, "short", 32, 5);     // finishes within slot 0
+  add_sweep_job(scheduler, "long", 64, 2000);
+  scheduler.start();
+  const bool finished = cluster.sim().run_until(
+      [&] { return scheduler.all_finished(); }, 30 * kMinute);
+  ASSERT_TRUE(finished);
+  // The long job must have been promoted as soon as the short one exited,
+  // not after the short job's full quantum.
+  const SimTime short_done = scheduler.jobs()[0]->finished_at();
+  EXPECT_LT(short_done, 5 * kSecond);
+  // Long job total work ~ 64 pages * 2000 iters * 20us = 2560 s of compute.
+  // It must not have waited for the rest of short's quantum at every turn.
+  EXPECT_GT(procs[2]->stats().cpu_time, 0);
+}
+
+TEST_F(GangFixture, QuantumOverrideExtendsSlot) {
+  GangParams params;
+  params.quantum = kSecond;
+  GangScheduler scheduler(cluster, params);
+  Job& a = add_sweep_job(scheduler, "a", 64, 4000);
+  a.quantum_override = 5 * kSecond;
+  add_sweep_job(scheduler, "b", 64, 4000);
+  scheduler.start();
+  // After 4.5 virtual seconds, job a (slot 0, 5 s quantum) must still hold
+  // the machine.
+  (void)cluster.sim().at(4500 * kMillisecond, [&] {
+    EXPECT_EQ(procs[0]->state(), ProcState::kRunning);
+    EXPECT_EQ(procs[2]->state(), ProcState::kStopped);
+    cluster.sim().stop();
+  });
+  cluster.sim().run();
+}
+
+TEST_F(GangFixture, MakespanMinusOneUntilAllFinish) {
+  GangParams params;
+  GangScheduler scheduler(cluster, params);
+  add_sweep_job(scheduler, "a", 64, 1000);
+  scheduler.start();
+  EXPECT_EQ(scheduler.makespan(), -1);
+  cluster.sim().run();
+  EXPECT_GT(scheduler.makespan(), 0);
+}
+
+TEST_F(GangFixture, BatchRunsJobsSequentially) {
+  BatchRunner runner(cluster);
+  add_sweep_job(runner, "first", 64, 200);
+  add_sweep_job(runner, "second", 64, 200);
+  runner.start();
+  cluster.sim().run();
+  ASSERT_TRUE(runner.all_finished());
+  const SimTime first = runner.jobs()[0]->finished_at();
+  const SimTime second = runner.jobs()[1]->finished_at();
+  EXPECT_GT(first, 0);
+  EXPECT_GT(second, first);
+  // No overlap: the second job accrued zero CPU before the first finished.
+  EXPECT_EQ(runner.makespan(), second);
+  // Equal work, so the second takes about as long again as the first.
+  EXPECT_NEAR(static_cast<double>(second), 2.0 * static_cast<double>(first),
+              0.25 * static_cast<double>(first));
+}
+
+TEST_F(GangFixture, GangTracksBatchWhenMemoryIsAmple) {
+  // Both jobs fit comfortably: gang scheduling should cost almost nothing
+  // vs batch (only signal latencies and context switches).
+  GangParams params;
+  params.quantum = 2 * kSecond;
+  GangScheduler gang(cluster, params);
+  add_sweep_job(gang, "a", 100, 400);
+  add_sweep_job(gang, "b", 100, 400);
+  gang.start();
+  ASSERT_TRUE(cluster.sim().run_until([&] { return gang.all_finished(); },
+                                      60 * kMinute));
+  const double gang_s = to_seconds(gang.makespan());
+
+  Cluster cluster2(2, node_params());
+  BatchRunner batch(cluster2);
+  std::vector<std::unique_ptr<Process>> procs2;
+  for (const char* name : {"a", "b"}) {
+    Job& job = batch.create_job(name);
+    for (int n = 0; n < cluster2.size(); ++n) {
+      SweepOptions options;
+      options.pages = 100;
+      options.iterations = 400;
+      options.compute_per_touch = 20 * kMicrosecond;
+      const Pid pid = cluster2.node(n).vmm().create_process(options.pages);
+      procs2.push_back(std::make_unique<Process>(
+          std::string(name) + ":" + std::to_string(n), pid,
+          make_sweep_program(options)));
+      cluster2.node(n).cpu().attach(*procs2.back());
+      job.add_process(n, *procs2.back());
+    }
+  }
+  batch.start();
+  cluster2.sim().run();
+  ASSERT_TRUE(batch.all_finished());
+  const double batch_s = to_seconds(batch.makespan());
+  EXPECT_NEAR(gang_s, batch_s, 0.05 * batch_s);
+}
+
+TEST_F(GangFixture, PagersExistPerNode) {
+  GangParams params;
+  params.pager.policy = PolicySet::all();
+  GangScheduler scheduler(cluster, params);
+  EXPECT_EQ(scheduler.pager(0).policy(), PolicySet::all());
+  EXPECT_EQ(scheduler.pager(1).policy(), PolicySet::all());
+}
+
+}  // namespace
+}  // namespace apsim

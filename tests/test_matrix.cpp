@@ -1,0 +1,86 @@
+// Unit tests for the Ousterhout scheduling matrix: slot packing of
+// full-width and narrow jobs, removal/compaction, and occupancy.
+
+#include <gtest/gtest.h>
+
+#include "gang/matrix.hpp"
+
+namespace apsim {
+namespace {
+
+TEST(ScheduleMatrix, FullWidthJobsGetOwnSlots) {
+  ScheduleMatrix matrix(4);
+  EXPECT_EQ(matrix.assign(0, {0, 1, 2, 3}), 0);
+  EXPECT_EQ(matrix.assign(1, {0, 1, 2, 3}), 1);
+  EXPECT_EQ(matrix.num_slots(), 2);
+  EXPECT_EQ(matrix.job_at(0, 2), 0);
+  EXPECT_EQ(matrix.job_at(1, 2), 1);
+}
+
+TEST(ScheduleMatrix, NarrowJobsPackSideBySide) {
+  ScheduleMatrix matrix(4);
+  EXPECT_EQ(matrix.assign(0, {0, 1}), 0);
+  EXPECT_EQ(matrix.assign(1, {2, 3}), 0);  // fits next to job 0
+  EXPECT_EQ(matrix.assign(2, {1, 2}), 1);  // conflicts with both
+  EXPECT_EQ(matrix.num_slots(), 2);
+  EXPECT_EQ(matrix.jobs_in_slot(0), (std::vector<int>{0, 1}));
+  EXPECT_EQ(matrix.jobs_in_slot(1), (std::vector<int>{2}));
+}
+
+TEST(ScheduleMatrix, JobAtEmptyCellIsMinusOne) {
+  ScheduleMatrix matrix(4);
+  (void)matrix.assign(0, {0});
+  EXPECT_EQ(matrix.job_at(0, 0), 0);
+  EXPECT_EQ(matrix.job_at(0, 3), -1);
+}
+
+TEST(ScheduleMatrix, RemoveCompactsEmptySlots) {
+  ScheduleMatrix matrix(2);
+  (void)matrix.assign(0, {0, 1});
+  (void)matrix.assign(1, {0, 1});
+  (void)matrix.assign(2, {0, 1});
+  ASSERT_EQ(matrix.num_slots(), 3);
+  matrix.remove(1);
+  EXPECT_EQ(matrix.num_slots(), 2);
+  EXPECT_EQ(matrix.job_at(0, 0), 0);
+  EXPECT_EQ(matrix.job_at(1, 0), 2);  // slot shifted up
+}
+
+TEST(ScheduleMatrix, RemoveKeepsPartiallyOccupiedSlot) {
+  ScheduleMatrix matrix(4);
+  (void)matrix.assign(0, {0, 1});
+  (void)matrix.assign(1, {2, 3});
+  matrix.remove(0);
+  EXPECT_EQ(matrix.num_slots(), 1);
+  EXPECT_EQ(matrix.jobs_in_slot(0), (std::vector<int>{1}));
+}
+
+TEST(ScheduleMatrix, SlotOfFindsJob) {
+  ScheduleMatrix matrix(2);
+  (void)matrix.assign(7, {0, 1});
+  (void)matrix.assign(9, {0});
+  EXPECT_EQ(matrix.slot_of(7), 0);
+  EXPECT_EQ(matrix.slot_of(9), 1);
+  EXPECT_FALSE(matrix.slot_of(42).has_value());
+}
+
+TEST(ScheduleMatrix, OccupancyReflectsPacking) {
+  ScheduleMatrix matrix(4);
+  EXPECT_DOUBLE_EQ(matrix.occupancy(), 0.0);
+  (void)matrix.assign(0, {0, 1, 2, 3});
+  EXPECT_DOUBLE_EQ(matrix.occupancy(), 1.0);
+  (void)matrix.assign(1, {0});
+  EXPECT_DOUBLE_EQ(matrix.occupancy(), 5.0 / 8.0);
+}
+
+TEST(ScheduleMatrix, FillsHolesBeforeAppending) {
+  ScheduleMatrix matrix(4);
+  (void)matrix.assign(0, {0, 1, 2, 3});
+  (void)matrix.assign(1, {0, 1});
+  // A 2-node job fits in slot 1's free columns.
+  EXPECT_EQ(matrix.assign(2, {2, 3}), 1);
+  EXPECT_EQ(matrix.num_slots(), 2);
+}
+
+}  // namespace
+}  // namespace apsim

@@ -1,0 +1,114 @@
+// Unit tests for the metrics layer: paper metric formulas, tables, trace
+// CSV/ASCII rendering and burst concentration.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/experiment.hpp"
+#include "metrics/table.hpp"
+#include "metrics/trace.hpp"
+
+namespace apsim {
+namespace {
+
+TEST(Metrics, SwitchingOverheadFormula) {
+  // gang 100 s, batch 50 s: half the time is switching overhead.
+  EXPECT_DOUBLE_EQ(switching_overhead(100 * kSecond, 50 * kSecond), 0.5);
+  EXPECT_DOUBLE_EQ(switching_overhead(50 * kSecond, 50 * kSecond), 0.0);
+  // Gang faster than batch clamps to zero.
+  EXPECT_DOUBLE_EQ(switching_overhead(40 * kSecond, 50 * kSecond), 0.0);
+}
+
+TEST(Metrics, PagingReductionFormula) {
+  EXPECT_DOUBLE_EQ(paging_reduction(0.05, 0.50), 0.9);
+  EXPECT_DOUBLE_EQ(paging_reduction(0.50, 0.50), 0.0);
+  EXPECT_LT(paging_reduction(0.60, 0.50), 0.0);  // made it worse
+  EXPECT_DOUBLE_EQ(paging_reduction(0.10, 0.0), 0.0);  // nothing to reduce
+}
+
+TEST(Metrics, MeanCompletion) {
+  RunOutcome outcome;
+  outcome.jobs.push_back({.name = "a", .completion = 10 * kSecond});
+  outcome.jobs.push_back({.name = "b", .completion = 20 * kSecond});
+  EXPECT_DOUBLE_EQ(mean_completion_s(outcome), 15.0);
+  EXPECT_DOUBLE_EQ(mean_completion_s(RunOutcome{}), 0.0);
+}
+
+TEST(Table, AlignsColumns) {
+  Table table({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"longer-name", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header and the two rows plus separator.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, MissingCellsRenderEmpty) {
+  Table table({"a", "b", "c"});
+  table.add_row({"only"});
+  EXPECT_NO_THROW((void)table.to_string());
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(0.346), "35%");
+  EXPECT_EQ(Table::pct(0.345, 1), "34.5%");
+  EXPECT_EQ(Table::seconds(12.3, 1), "12.3s");
+}
+
+TEST(Trace, CsvContainsAllBuckets) {
+  PagingTrace trace;
+  trace.label = "node0";
+  trace.pages_in.add(0, 5);
+  trace.pages_in.add(2 * kSecond, 3);
+  trace.pages_out.add(kSecond, 7);
+  std::ostringstream os;
+  write_trace_csv(os, trace);
+  EXPECT_EQ(os.str(),
+            "time_s,pages_in,pages_out\n"
+            "0,5,0\n"
+            "1,0,7\n"
+            "2,3,0\n");
+}
+
+TEST(Trace, AsciiChartMarksBursts) {
+  TimeSeries series(kSecond);
+  series.add(10 * kSecond, 100.0);
+  AsciiChartOptions options;
+  options.columns = 20;
+  options.rows = 3;
+  options.t_end = 20 * kSecond;
+  const std::string chart = render_ascii_series(series, options);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+  // 3 rows of 20 columns + newlines.
+  EXPECT_EQ(chart.size(), 3u * 21u);
+}
+
+TEST(Trace, AsciiChartEmptySeries) {
+  TimeSeries series(kSecond);
+  AsciiChartOptions options;
+  options.columns = 10;
+  options.rows = 2;
+  options.t_end = 5 * kSecond;
+  const std::string chart = render_ascii_series(series, options);
+  EXPECT_EQ(chart, "..........\n");
+}
+
+TEST(Trace, BurstConcentrationSeparatesShapes) {
+  // Compact: everything in 2 buckets. Spread: uniform over 100.
+  TimeSeries compact(kSecond);
+  compact.add(5 * kSecond, 500.0);
+  compact.add(6 * kSecond, 500.0);
+  TimeSeries spread(kSecond);
+  for (int i = 0; i < 100; ++i) spread.add(i * kSecond, 10.0);
+  EXPECT_DOUBLE_EQ(burst_concentration(compact, 5), 1.0);
+  EXPECT_NEAR(burst_concentration(spread, 5), 0.05, 1e-9);
+  EXPECT_DOUBLE_EQ(burst_concentration(TimeSeries(kSecond), 5), 0.0);
+}
+
+}  // namespace
+}  // namespace apsim

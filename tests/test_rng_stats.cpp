@@ -1,0 +1,178 @@
+// Unit tests for the deterministic RNG and the statistics utilities
+// (RunningStat, Histogram, TimeSeries), including parameterized
+// property-style sweeps over distribution parameters.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace apsim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+class RngExponentialTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngExponentialTest, MeanMatches) {
+  const double mean = GetParam();
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.exponential(mean);
+  EXPECT_NEAR(sum / kSamples, mean, mean * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, RngExponentialTest,
+                         ::testing::Values(0.5, 1.0, 10.0, 1000.0));
+
+TEST(Rng, NormalMoments) {
+  Rng rng(19);
+  RunningStat stat;
+  for (int i = 0; i < 20000; ++i) stat.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(stat.mean(), 5.0, 0.1);
+  EXPECT_NEAR(stat.stddev(), 2.0, 0.1);
+}
+
+class RngZipfTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngZipfTest, SkewedTowardLowRanks) {
+  const double theta = GetParam();
+  Rng rng(23);
+  constexpr std::uint64_t kN = 1000;
+  std::uint64_t low = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto r = rng.zipf(kN, theta);
+    ASSERT_LT(r, kN);
+    if (r < kN / 10) ++low;
+  }
+  // Top decile of ranks must hold far more than 10% of the mass.
+  EXPECT_GT(static_cast<double>(low) / kSamples, 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, RngZipfTest,
+                         ::testing::Values(0.6, 0.8, 0.99, 1.2));
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat stat;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.add(x);
+  EXPECT_EQ(stat.count(), 8u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stat.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_EQ(stat.mean(), 0.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+}
+
+TEST(Histogram, CountsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(5.5);
+  h.add(9.999);
+  h.add(10.0);
+  h.add(100.0);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[5], 1u);
+  EXPECT_EQ(h.buckets()[9], 1u);
+}
+
+TEST(Histogram, QuantileInterpolates) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
+}
+
+TEST(TimeSeries, BucketsAccumulate) {
+  TimeSeries ts(kSecond);
+  ts.add(0, 1.0);
+  ts.add(kSecond / 2, 2.0);
+  ts.add(kSecond, 4.0);
+  ts.add(10 * kSecond, 8.0);
+  ASSERT_EQ(ts.buckets().size(), 11u);
+  EXPECT_DOUBLE_EQ(ts.buckets()[0], 3.0);
+  EXPECT_DOUBLE_EQ(ts.buckets()[1], 4.0);
+  EXPECT_DOUBLE_EQ(ts.buckets()[10], 8.0);
+  EXPECT_DOUBLE_EQ(ts.total(), 15.0);
+  EXPECT_DOUBLE_EQ(ts.peak(), 8.0);
+}
+
+TEST(TimeSeries, SumRange) {
+  TimeSeries ts(kSecond);
+  for (int i = 0; i < 10; ++i) ts.add(i * kSecond, 1.0);
+  EXPECT_DOUBLE_EQ(ts.sum_range(0, 10 * kSecond), 10.0);
+  EXPECT_DOUBLE_EQ(ts.sum_range(2 * kSecond, 5 * kSecond), 3.0);
+  EXPECT_DOUBLE_EQ(ts.sum_range(5 * kSecond, 5 * kSecond), 0.0);
+  EXPECT_DOUBLE_EQ(ts.sum_range(20 * kSecond, 30 * kSecond), 0.0);
+}
+
+TEST(TimeSeries, NegativeTimesClampToOrigin) {
+  TimeSeries ts(kSecond);
+  ts.add(-5 * kSecond, 3.0);
+  EXPECT_DOUBLE_EQ(ts.buckets()[0], 3.0);
+}
+
+}  // namespace
+}  // namespace apsim

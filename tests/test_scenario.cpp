@@ -1,0 +1,135 @@
+// Unit tests for the scenario-file parser.
+
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+
+namespace apsim {
+namespace {
+
+TEST(Scenario, DefaultsPropagateToRuns) {
+  const auto configs = parse_scenario(R"(
+[defaults]
+app = MG
+usable_mb = 600
+
+[run]
+label = first
+
+[run]
+label = second
+app = IS
+)");
+  ASSERT_EQ(configs.size(), 2u);
+  EXPECT_EQ(configs[0].label, "first");
+  EXPECT_EQ(configs[0].app, NpbApp::kMG);
+  EXPECT_DOUBLE_EQ(configs[0].usable_memory_mb, 600.0);
+  EXPECT_EQ(configs[1].app, NpbApp::kIS);  // overridden
+  EXPECT_DOUBLE_EQ(configs[1].usable_memory_mb, 600.0);
+}
+
+TEST(Scenario, AllKeysParse) {
+  const auto configs = parse_scenario(R"(
+[run]
+app = CG
+class = A
+nodes = 4
+instances = 3
+memory_mb = 512
+usable_mb = 256
+policy = so/ai
+quantum_s = 120
+quantum_override_s = 240
+page_cluster = 32
+bg_start_frac = 0.8
+pass_ws_hint = true
+seed = 99
+iterations_scale = 0.5
+capture_traces = yes
+batch = false
+label = everything
+horizon_s = 1000
+)");
+  ASSERT_EQ(configs.size(), 1u);
+  const auto& c = configs[0];
+  EXPECT_EQ(c.app, NpbApp::kCG);
+  EXPECT_EQ(c.cls, NpbClass::kA);
+  EXPECT_EQ(c.nodes, 4);
+  EXPECT_EQ(c.instances, 3);
+  EXPECT_DOUBLE_EQ(c.node_memory_mb, 512.0);
+  EXPECT_DOUBLE_EQ(c.usable_memory_mb, 256.0);
+  EXPECT_EQ(c.policy, PolicySet::parse("so/ai"));
+  EXPECT_EQ(c.quantum, 120 * kSecond);
+  ASSERT_TRUE(c.quantum_override.has_value());
+  EXPECT_EQ(*c.quantum_override, 240 * kSecond);
+  EXPECT_EQ(c.page_cluster, 32);
+  EXPECT_DOUBLE_EQ(c.bg_start_frac, 0.8);
+  EXPECT_TRUE(c.pass_ws_hint);
+  EXPECT_EQ(c.seed, 99u);
+  EXPECT_DOUBLE_EQ(c.iterations_scale, 0.5);
+  EXPECT_TRUE(c.capture_traces);
+  EXPECT_FALSE(c.batch_mode);
+  EXPECT_EQ(c.label, "everything");
+  EXPECT_EQ(c.horizon, 1000 * kSecond);
+}
+
+TEST(Scenario, CommentsAndBlanksIgnored) {
+  const auto configs = parse_scenario(R"(
+# a comment
+[run]
+# another
+label = x
+
+)");
+  ASSERT_EQ(configs.size(), 1u);
+  EXPECT_EQ(configs[0].label, "x");
+}
+
+TEST(Scenario, EmptyInputYieldsNoRuns) {
+  EXPECT_TRUE(parse_scenario("").empty());
+  EXPECT_TRUE(parse_scenario("# only comments\n").empty());
+}
+
+TEST(Scenario, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_scenario("[run]\nnodes = many\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Scenario, RejectsUnknownKey) {
+  EXPECT_THROW((void)parse_scenario("[run]\nbogus = 1\n"),
+               std::invalid_argument);
+}
+
+TEST(Scenario, RejectsKeyOutsideSection) {
+  EXPECT_THROW((void)parse_scenario("app = LU\n"), std::invalid_argument);
+}
+
+TEST(Scenario, RejectsUnknownSection) {
+  EXPECT_THROW((void)parse_scenario("[wat]\n"), std::invalid_argument);
+}
+
+TEST(Scenario, RejectsDefaultsAfterRun) {
+  EXPECT_THROW((void)parse_scenario("[run]\nlabel=a\n[defaults]\napp=LU\n"),
+               std::invalid_argument);
+}
+
+TEST(Scenario, RejectsBadBooleanAndNumber) {
+  EXPECT_THROW((void)parse_scenario("[run]\nbatch = perhaps\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario("[run]\nseed = 1.5\n"),
+               std::invalid_argument);
+}
+
+TEST(Scenario, ApplyKeyDirect) {
+  ExperimentConfig config;
+  apply_scenario_key(config, "policy", "so");
+  EXPECT_TRUE(config.policy.selective_out);
+  EXPECT_THROW(apply_scenario_key(config, "nope", "1"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace apsim

@@ -1,0 +1,110 @@
+// Unit tests for the Simulator run loop: virtual time advancement, stop(),
+// horizons, run_until predicates, and nested scheduling.
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace apsim {
+namespace {
+
+TEST(Simulator, TimeAdvancesToEventTimes) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.after(100, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, RunReturnsEventCount) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.after(i, [] {});
+  EXPECT_EQ(sim.run(), 5u);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) sim.after(10, chain);
+  };
+  sim.after(0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now(), 90);
+}
+
+TEST(Simulator, HorizonStopsBeforeLaterEvents) {
+  Simulator sim;
+  bool early = false;
+  bool late = false;
+  sim.after(10, [&] { early = true; });
+  sim.after(100, [&] { late = true; });
+  sim.run(50);
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_TRUE(late);
+}
+
+TEST(Simulator, StopHaltsTheLoop) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.after(i, [&] {
+      if (++count == 3) sim.stop();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.pending_events(), 7u);
+}
+
+TEST(Simulator, RunUntilPredicate) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) sim.after(i, [&] { ++count; });
+  const bool satisfied = sim.run_until([&] { return count == 4; });
+  EXPECT_TRUE(satisfied);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(sim.now(), 4);
+}
+
+TEST(Simulator, RunUntilFalseWhenQueueDrains) {
+  Simulator sim;
+  sim.after(1, [] {});
+  EXPECT_FALSE(sim.run_until([] { return false; }));
+}
+
+TEST(Simulator, CancelledEventsDoNotRun) {
+  Simulator sim;
+  bool ran = false;
+  auto handle = sim.after(10, [&] { ran = true; });
+  sim.cancel(handle);
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
+  Simulator sim;
+  SimTime inner = -1;
+  sim.after(50, [&] {
+    sim.after(0, [&] { inner = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner, 50);
+}
+
+TEST(Simulator, EventsDispatchedAccumulates) {
+  Simulator sim;
+  sim.after(1, [] {});
+  sim.run();
+  sim.after(2, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_dispatched(), 2u);
+}
+
+}  // namespace
+}  // namespace apsim

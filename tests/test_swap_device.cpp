@@ -1,0 +1,132 @@
+// Unit tests for the swap-area slot allocator: contiguity preferences,
+// fragmentation behaviour, exhaustion, and I/O submission.
+
+#include <gtest/gtest.h>
+
+#include "disk/swap_device.hpp"
+#include "sim/simulator.hpp"
+
+namespace apsim {
+namespace {
+
+struct SwapFixture {
+  Simulator sim;
+  Disk disk{sim, DiskParams{.num_blocks = 4096}};
+  SwapDevice swap{disk, 0, 1024};
+};
+
+TEST(SwapDevice, AllocOneAndFree) {
+  SwapFixture f;
+  auto slot = f.swap.alloc_one();
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_TRUE(f.swap.is_allocated(*slot));
+  EXPECT_EQ(f.swap.free_slots(), 1023);
+  f.swap.free_slot(*slot);
+  EXPECT_FALSE(f.swap.is_allocated(*slot));
+  EXPECT_EQ(f.swap.free_slots(), 1024);
+}
+
+TEST(SwapDevice, AllocRunIsContiguous) {
+  SwapFixture f;
+  auto run = f.swap.alloc_run(64);
+  ASSERT_TRUE(run.has_value());
+  EXPECT_EQ(run->count, 64);
+  for (std::int64_t i = 0; i < run->count; ++i) {
+    EXPECT_TRUE(f.swap.is_allocated(run->start + i));
+  }
+}
+
+TEST(SwapDevice, NextFitKeepsSequentialAllocationsAdjacent) {
+  SwapFixture f;
+  auto a = f.swap.alloc_one();
+  auto b = f.swap.alloc_one();
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(*b, *a + 1);
+}
+
+TEST(SwapDevice, AllocPagesCoversRequestWithRuns) {
+  SwapFixture f;
+  auto runs = f.swap.alloc_pages(200, 64);
+  std::int64_t total = 0;
+  for (const auto& run : runs) {
+    EXPECT_LE(run.count, 200);
+    total += run.count;
+  }
+  EXPECT_EQ(total, 200);
+  EXPECT_EQ(f.swap.used_slots(), 200);
+}
+
+TEST(SwapDevice, AllocPagesMergesAdjacentRuns) {
+  SwapFixture f;
+  // max_run 50, but runs continue each other: they must merge in the result.
+  auto runs = f.swap.alloc_pages(150, 50);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].count, 150);
+}
+
+TEST(SwapDevice, FragmentationSplitsRuns) {
+  SwapFixture f;
+  auto big = f.swap.alloc_run(1024);
+  ASSERT_TRUE(big.has_value());
+  ASSERT_EQ(big->count, 1024);
+  // Free every other slot: max contiguous run length becomes 1.
+  for (SwapSlot s = 0; s < 1024; s += 2) f.swap.free_slot(s);
+  auto runs = f.swap.alloc_pages(10, 64);
+  std::int64_t total = 0;
+  for (const auto& run : runs) {
+    EXPECT_EQ(run.count, 1);
+    total += run.count;
+  }
+  EXPECT_EQ(total, 10);
+}
+
+TEST(SwapDevice, ExhaustionReturnsNullopt) {
+  SwapFixture f;
+  (void)f.swap.alloc_pages(1024, 1024);
+  EXPECT_EQ(f.swap.free_slots(), 0);
+  EXPECT_FALSE(f.swap.alloc_one().has_value());
+  EXPECT_FALSE(f.swap.alloc_run(4).has_value());
+  EXPECT_TRUE(f.swap.alloc_pages(4, 4).empty());
+}
+
+TEST(SwapDevice, AllocPagesPartialWhenNearlyFull) {
+  SwapFixture f;
+  (void)f.swap.alloc_pages(1020, 1024);
+  auto runs = f.swap.alloc_pages(10, 8);
+  std::int64_t total = 0;
+  for (const auto& run : runs) total += run.count;
+  EXPECT_EQ(total, 4);  // only 4 slots were left
+}
+
+TEST(SwapDevice, ReadWriteRoundTripThroughDisk) {
+  SwapFixture f;
+  auto run = f.swap.alloc_run(16);
+  ASSERT_TRUE(run.has_value());
+  bool wrote = false, read = false;
+  f.swap.write(*run, IoPriority::kForeground, [&] { wrote = true; });
+  f.swap.read(*run, IoPriority::kForeground, [&] { read = true; });
+  f.sim.run();
+  EXPECT_TRUE(wrote);
+  EXPECT_TRUE(read);
+  EXPECT_EQ(f.disk.stats().blocks_written, 16u);
+  EXPECT_EQ(f.disk.stats().blocks_read, 16u);
+}
+
+TEST(SwapDevice, BaseOffsetMapsToDiskBlocks) {
+  Simulator sim;
+  Disk disk(sim, DiskParams{.num_blocks = 4096});
+  SwapDevice swap(disk, 100, 1024);
+  EXPECT_EQ(swap.block_of(0), 100);
+  EXPECT_EQ(swap.block_of(1023), 1123);
+}
+
+TEST(SwapDeviceDeath, DoubleFreeAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  SwapFixture f;
+  auto slot = f.swap.alloc_one();
+  f.swap.free_slot(*slot);
+  EXPECT_DEBUG_DEATH(f.swap.free_slot(*slot), "double free");
+}
+
+}  // namespace
+}  // namespace apsim

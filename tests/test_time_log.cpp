@@ -1,0 +1,71 @@
+// Unit tests for time helpers and the logger.
+
+#include <gtest/gtest.h>
+
+#include "sim/log.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace apsim {
+namespace {
+
+TEST(Time, UnitConstructors) {
+  EXPECT_EQ(microseconds(3), 3000);
+  EXPECT_EQ(milliseconds(3), 3'000'000);
+  EXPECT_EQ(seconds(3), 3'000'000'000);
+  EXPECT_EQ(minutes(2), 120 * kSecond);
+  EXPECT_EQ(5 * kMinute, seconds(300));
+}
+
+TEST(Time, Conversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_seconds(500 * kMillisecond), 0.5);
+  EXPECT_DOUBLE_EQ(to_milliseconds(kSecond), 1000.0);
+}
+
+TEST(Time, FormatDuration) {
+  EXPECT_EQ(format_duration(90 * kSecond), "1m30.0s");
+  EXPECT_EQ(format_duration(2 * kSecond), "2.000s");
+  EXPECT_EQ(format_duration(5 * kMillisecond), "5.000ms");
+  EXPECT_EQ(format_duration(250 * kMicrosecond), "250us");
+  EXPECT_EQ(format_duration(-2 * kSecond), "-2.000s");
+}
+
+TEST(Log, LevelsFilter) {
+  Logger logger("test", nullptr, nullptr, LogLevel::kWarn);
+  EXPECT_FALSE(logger.enabled(LogLevel::kDebug));
+  EXPECT_FALSE(logger.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger.enabled(LogLevel::kWarn));
+  EXPECT_TRUE(logger.enabled(LogLevel::kError));
+  logger.set_level(LogLevel::kOff);
+  EXPECT_FALSE(logger.enabled(LogLevel::kError));
+}
+
+TEST(Log, WritesToSink) {
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  Simulator sim;
+  Logger logger("unit", &sim,
+                [](const void* ctx) {
+                  return static_cast<const Simulator*>(ctx)->now();
+                },
+                LogLevel::kInfo, sink);
+  logger.info("hello %d", 42);
+  logger.debug("filtered %d", 1);  // below level: not written
+  std::rewind(sink);
+  char buf[256] = {};
+  ASSERT_NE(std::fgets(buf, sizeof buf, sink), nullptr);
+  EXPECT_NE(std::string(buf).find("hello 42"), std::string::npos);
+  EXPECT_NE(std::string(buf).find("unit"), std::string::npos);
+  EXPECT_EQ(std::fgets(buf, sizeof buf, sink), nullptr);  // only one line
+  std::fclose(sink);
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_EQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_EQ(to_string(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace apsim

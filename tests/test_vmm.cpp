@@ -1,0 +1,387 @@
+// Unit tests for the VMM: fault paths, read-ahead, watermark reclaim, swap
+// cache semantics, prefetch, background writeback, working-set accounting,
+// and the eviction observer — the substrate the adaptive mechanisms drive.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/vmm.hpp"
+
+namespace apsim {
+namespace {
+
+struct VmmFixture : ::testing::Test {
+  static VmmParams small_params() {
+    VmmParams p;
+    p.total_frames = 128;
+    p.freepages_min = 8;
+    p.freepages_low = 12;
+    p.freepages_high = 16;
+    p.page_cluster = 8;
+    return p;
+  }
+
+  Simulator sim;
+  Disk disk{sim, DiskParams{.num_blocks = 1 << 16}};
+  SwapDevice swap{disk, 0, 1 << 16};
+  Vmm vmm{sim, swap, small_params()};
+
+  bool sync_fault(Pid pid, VPage v, bool write = false) {
+    bool done = false;
+    vmm.fault(pid, v, write, [&] { done = true; });
+    sim.run();
+    return done;
+  }
+
+  void populate(Pid pid, VPage begin, VPage end, bool write = true) {
+    for (VPage v = begin; v < end; ++v) {
+      if (!vmm.touch(pid, v, write)) {
+        ASSERT_TRUE(sync_fault(pid, v, write));
+      }
+    }
+  }
+
+  /// Force eviction of everything evictable down to `target` free frames.
+  void force_free(std::int64_t target) {
+    bool done = false;
+    vmm.request_free_frames(target, [&] { done = true; });
+    sim.run();
+    ASSERT_TRUE(done);
+  }
+};
+
+TEST_F(VmmFixture, MinorFaultPopulatesPage) {
+  const Pid pid = vmm.create_process(64);
+  ASSERT_TRUE(sync_fault(pid, 5, false));
+  const auto& as = vmm.space(pid);
+  const Pte& pte = as.page_table().at(5);
+  EXPECT_TRUE(pte.present);
+  EXPECT_TRUE(pte.dirty);  // anonymous pages are born dirty
+  EXPECT_TRUE(pte.ever_touched);
+  EXPECT_EQ(as.resident_pages(), 1);
+  EXPECT_EQ(as.dirty_pages(), 1);
+  EXPECT_EQ(as.stats().minor_faults, 1u);
+  EXPECT_EQ(as.stats().major_faults, 0u);
+}
+
+TEST_F(VmmFixture, TouchMissesWhenNotPresent) {
+  const Pid pid = vmm.create_process(64);
+  EXPECT_FALSE(vmm.touch(pid, 0, false));
+}
+
+TEST_F(VmmFixture, TouchHitUpdatesBits) {
+  const Pid pid = vmm.create_process(64);
+  ASSERT_TRUE(sync_fault(pid, 0, false));
+  EXPECT_TRUE(vmm.touch(pid, 0, false));
+  const Pte& pte = vmm.space(pid).page_table().at(0);
+  EXPECT_TRUE(pte.referenced);
+}
+
+TEST_F(VmmFixture, EvictionWritesDirtyPagesAndUnmaps) {
+  const Pid pid = vmm.create_process(256);
+  populate(pid, 0, 120);
+  const auto before = vmm.space(pid).resident_pages();
+  force_free(64);
+  EXPECT_LT(vmm.space(pid).resident_pages(), before);
+  EXPECT_GE(vmm.free_frames(), 64);
+  EXPECT_GT(vmm.space(pid).stats().pages_swapped_out, 0u);
+  EXPECT_GT(disk.stats().blocks_written, 0u);
+}
+
+TEST_F(VmmFixture, MajorFaultRestoresEvictedPage) {
+  const Pid pid = vmm.create_process(256);
+  populate(pid, 0, 120);
+  force_free(64);
+  // Find an evicted page.
+  VPage victim = -1;
+  for (VPage v = 0; v < 120; ++v) {
+    const Pte& pte = vmm.space(pid).page_table().at(v);
+    if (!pte.present && pte.slot != kNoSwapSlot) {
+      victim = v;
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  ASSERT_TRUE(sync_fault(pid, victim, false));
+  const Pte& pte = vmm.space(pid).page_table().at(victim);
+  EXPECT_TRUE(pte.present);
+  EXPECT_FALSE(pte.dirty);                 // clean copy from swap
+  EXPECT_NE(pte.slot, kNoSwapSlot);        // swap-cache copy retained
+  EXPECT_GT(vmm.space(pid).stats().major_faults, 0u);
+  EXPECT_GT(vmm.space(pid).stats().pages_swapped_in, 0u);
+}
+
+TEST_F(VmmFixture, ReadAheadBringsNeighbours) {
+  const Pid pid = vmm.create_process(256);
+  populate(pid, 0, 64);
+  force_free(128);  // evict everything (slots stay sequential)
+  const auto& as = vmm.space(pid);
+  ASSERT_EQ(as.resident_pages(), 0);
+  const auto in_before = as.stats().pages_swapped_in;
+  ASSERT_TRUE(sync_fault(pid, 30, false));
+  // One fault must have pulled a cluster (8), not a single page.
+  EXPECT_GE(as.stats().pages_swapped_in - in_before, 4u);
+  EXPECT_GT(as.resident_pages(), 1);
+  // Only the faulting page is referenced.
+  EXPECT_TRUE(as.page_table().at(30).referenced);
+}
+
+TEST_F(VmmFixture, WriteTouchInvalidatesSwapCopy) {
+  const Pid pid = vmm.create_process(256);
+  populate(pid, 0, 100);
+  force_free(64);
+  VPage victim = -1;
+  for (VPage v = 0; v < 100; ++v) {
+    if (!vmm.space(pid).page_table().at(v).present) {
+      victim = v;
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  ASSERT_TRUE(sync_fault(pid, victim, false));
+  const SwapSlot slot = vmm.space(pid).page_table().at(victim).slot;
+  ASSERT_NE(slot, kNoSwapSlot);
+  ASSERT_TRUE(swap.is_allocated(slot));
+  EXPECT_TRUE(vmm.touch(pid, victim, true));  // dirty it
+  const Pte& pte = vmm.space(pid).page_table().at(victim);
+  EXPECT_TRUE(pte.dirty);
+  EXPECT_EQ(pte.slot, kNoSwapSlot);
+  EXPECT_FALSE(swap.is_allocated(slot));  // slot was released
+}
+
+TEST_F(VmmFixture, CleanPagesDropWithoutDiskWrites) {
+  const Pid pid = vmm.create_process(256);
+  populate(pid, 0, 100);
+  force_free(128);  // evict everything: all pages now clean copies in swap
+  ASSERT_EQ(vmm.space(pid).resident_pages(), 0);
+  // Fault half of them back in, read-only: resident but clean.
+  for (VPage v = 0; v < 50; ++v) {
+    if (!vmm.space(pid).page_table().at(v).present) {
+      ASSERT_TRUE(sync_fault(pid, v, false));
+    }
+  }
+  ASSERT_EQ(vmm.space(pid).dirty_pages(), 0);
+  const auto writes_before = disk.stats().blocks_written;
+  const auto drops_before = vmm.space(pid).stats().pages_clean_dropped;
+  force_free(128);  // evict them again
+  EXPECT_GT(vmm.space(pid).stats().pages_clean_dropped, drops_before);
+  // Every page had a valid swap copy: no disk writes needed.
+  EXPECT_EQ(disk.stats().blocks_written, writes_before);
+}
+
+TEST_F(VmmFixture, PrefetchMapsRecordedRuns) {
+  const Pid pid = vmm.create_process(256);
+  populate(pid, 0, 100);
+  force_free(128);  // evict everything
+  ASSERT_EQ(vmm.space(pid).resident_pages(), 0);
+  bool done = false;
+  vmm.prefetch(pid, {PageRun{0, 50}}, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(vmm.space(pid).resident_pages(), 50);
+  for (VPage v = 0; v < 50; ++v) {
+    EXPECT_TRUE(vmm.space(pid).page_table().at(v).present) << v;
+  }
+}
+
+TEST_F(VmmFixture, PrefetchSkipsResidentAndUnswappedPages) {
+  const Pid pid = vmm.create_process(256);
+  populate(pid, 0, 10);  // resident, never swapped
+  bool done = false;
+  const auto reads_before = disk.stats().blocks_read;
+  vmm.prefetch(pid, {PageRun{0, 20}}, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(disk.stats().blocks_read, reads_before);  // nothing to read
+}
+
+TEST_F(VmmFixture, PrefetchUsesLargeBlockReads) {
+  const Pid pid = vmm.create_process(256);
+  populate(pid, 0, 100);
+  force_free(128);
+  const auto services_before = disk.stats().services;
+  bool done = false;
+  vmm.prefetch(pid, {PageRun{0, 100}}, [&] { done = true; });
+  sim.run();
+  ASSERT_TRUE(done);
+  const auto services = disk.stats().services - services_before;
+  // 100 pages must arrive in a handful of transfers, not 100.
+  EXPECT_LE(services, 12u);
+}
+
+TEST_F(VmmFixture, WritebackCleansWithoutUnmapping) {
+  const Pid pid = vmm.create_process(64);
+  populate(pid, 0, 40);
+  ASSERT_EQ(vmm.space(pid).dirty_pages(), 40);
+  std::int64_t started = -1;
+  vmm.writeback_dirty(pid, 16, IoPriority::kBackground,
+                      [&](std::int64_t n) { started = n; });
+  sim.run();
+  EXPECT_EQ(started, 16);
+  const auto& as = vmm.space(pid);
+  EXPECT_EQ(as.resident_pages(), 40);   // still mapped
+  EXPECT_EQ(as.dirty_pages(), 24);      // 16 cleaned
+  EXPECT_EQ(as.stats().pages_swapped_out, 16u);
+  std::int64_t with_slots = 0;
+  for (VPage v = 0; v < 40; ++v) {
+    const Pte& pte = as.page_table().at(v);
+    if (pte.present && !pte.dirty && pte.slot != kNoSwapSlot) ++with_slots;
+  }
+  EXPECT_EQ(with_slots, 16);
+}
+
+TEST_F(VmmFixture, RedirtyDuringWritebackInvalidatesCopy) {
+  const Pid pid = vmm.create_process(64);
+  populate(pid, 0, 8);
+  vmm.writeback_dirty(pid, 8, IoPriority::kForeground, nullptr);
+  // The writes are now in flight; re-dirty page 3 before they complete.
+  EXPECT_TRUE(vmm.touch(pid, 3, true));
+  sim.run();
+  const Pte& pte = vmm.space(pid).page_table().at(3);
+  EXPECT_TRUE(pte.present);
+  EXPECT_TRUE(pte.dirty);
+  EXPECT_EQ(pte.slot, kNoSwapSlot);  // stale copy released
+  // Its neighbours were cleaned normally.
+  EXPECT_FALSE(vmm.space(pid).page_table().at(4).dirty);
+  EXPECT_NE(vmm.space(pid).page_table().at(4).slot, kNoSwapSlot);
+}
+
+TEST_F(VmmFixture, WsEpochCountsDistinctPages) {
+  const Pid pid = vmm.create_process(64);
+  populate(pid, 0, 20);
+  vmm.begin_ws_epoch(pid);
+  EXPECT_EQ(vmm.space(pid).ws_pages(), 0);
+  for (VPage v = 0; v < 10; ++v) EXPECT_TRUE(vmm.touch(pid, v, false));
+  for (VPage v = 0; v < 10; ++v) EXPECT_TRUE(vmm.touch(pid, v, true));
+  EXPECT_EQ(vmm.space(pid).ws_pages(), 10);  // distinct, not total
+  vmm.begin_ws_epoch(pid);
+  EXPECT_EQ(vmm.space(pid).ws_pages(), 0);
+}
+
+TEST_F(VmmFixture, EvictObserverSeesEvictions) {
+  const Pid pid = vmm.create_process(256);
+  std::set<VPage> seen;
+  vmm.set_evict_observer([&](Pid p, VPage v) {
+    EXPECT_EQ(p, pid);
+    seen.insert(v);
+  });
+  populate(pid, 0, 120);
+  force_free(64);
+  EXPECT_GE(std::ssize(seen), 40);
+}
+
+TEST_F(VmmFixture, FalseEvictionDetectedWithinEpoch) {
+  const Pid pid = vmm.create_process(256);
+  populate(pid, 0, 120);
+  force_free(64);  // evicts within the current epoch
+  VPage victim = -1;
+  for (VPage v = 0; v < 120; ++v) {
+    if (!vmm.space(pid).page_table().at(v).present) {
+      victim = v;
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  ASSERT_TRUE(sync_fault(pid, victim, false));
+  EXPECT_GE(vmm.space(pid).stats().false_evictions, 1u);
+  // After an epoch boundary, refaults are not false evictions.
+  force_free(64);
+  vmm.begin_ws_epoch(pid);
+  VPage victim2 = -1;
+  for (VPage v = 0; v < 120; ++v) {
+    if (!vmm.space(pid).page_table().at(v).present &&
+        vmm.space(pid).page_table().at(v).slot != kNoSwapSlot) {
+      victim2 = v;
+      break;
+    }
+  }
+  ASSERT_GE(victim2, 0);
+  const auto fe_before = vmm.space(pid).stats().false_evictions;
+  ASSERT_TRUE(sync_fault(pid, victim2, false));
+  EXPECT_EQ(vmm.space(pid).stats().false_evictions, fe_before);
+}
+
+TEST_F(VmmFixture, ReleaseProcessFreesFramesAndSlots) {
+  const Pid pid = vmm.create_process(256);
+  populate(pid, 0, 100);
+  force_free(64);
+  const auto used_slots_before = swap.used_slots();
+  EXPECT_GT(used_slots_before, 0);
+  vmm.release_process(pid);
+  sim.run();
+  EXPECT_EQ(swap.used_slots(), 0);
+  EXPECT_EQ(vmm.free_frames(), vmm.frames().usable_frames());
+  EXPECT_FALSE(vmm.space(pid).alive());
+}
+
+TEST_F(VmmFixture, RequestFreeFramesImmediateWhenSatisfied) {
+  (void)vmm.create_process(16);
+  bool done = false;
+  vmm.request_free_frames(16, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(VmmFixture, ConcurrentFaultsOnSamePagePiggyback) {
+  const Pid pid = vmm.create_process(256);
+  populate(pid, 0, 64);
+  force_free(128);
+  ASSERT_FALSE(vmm.space(pid).page_table().at(10).present);
+  int resumed = 0;
+  const auto reads_before = disk.stats().blocks_read;
+  vmm.fault(pid, 10, false, [&] { ++resumed; });
+  vmm.fault(pid, 10, true, [&] { ++resumed; });
+  sim.run();
+  EXPECT_EQ(resumed, 2);
+  // The second fault must not have issued a second read of page 10: at most
+  // one cluster's worth of blocks.
+  EXPECT_LE(disk.stats().blocks_read - reads_before,
+            static_cast<std::uint64_t>(small_params().page_cluster));
+}
+
+TEST_F(VmmFixture, PrefetchUnderMemoryPressureReclaimsAsItGoes) {
+  // Two processes: evict A fully, let B occupy nearly all memory, then
+  // prefetch A's recorded set — the pump must interleave reclaim (of B)
+  // with its reads instead of giving up.
+  const Pid a = vmm.create_process(256);
+  populate(a, 0, 100);
+  force_free(128);
+  ASSERT_EQ(vmm.space(a).resident_pages(), 0);
+  const Pid b = vmm.create_process(256);
+  populate(b, 0, 110);  // nearly fills the 128 frames
+  bool done = false;
+  vmm.prefetch(a, {PageRun{0, 100}}, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_GT(vmm.space(a).resident_pages(), 50);
+  EXPECT_LT(vmm.space(b).resident_pages(), 110);  // B was reclaimed
+}
+
+TEST_F(VmmFixture, ReadAheadDoesNotCrossNonContiguousSlots) {
+  const Pid pid = vmm.create_process(256);
+  populate(pid, 0, 40);
+  force_free(128);
+  // Punch a hole in the swap contiguity: re-fault page 20 alone, dirty it
+  // (frees its slot), evict again — it gets a fresh, distant-ish slot.
+  ASSERT_TRUE(sync_fault(pid, 20, true));
+  force_free(128);
+  const Pte& p19 = vmm.space(pid).page_table().at(19);
+  const Pte& p20 = vmm.space(pid).page_table().at(20);
+  ASSERT_NE(p19.slot, kNoSwapSlot);
+  ASSERT_NE(p20.slot, kNoSwapSlot);
+  ASSERT_NE(p20.slot, p19.slot + 1);
+  // Fault page 16: the read-ahead cluster must stop before page 20.
+  ASSERT_TRUE(sync_fault(pid, 16, false));
+  EXPECT_FALSE(vmm.space(pid).page_table().at(20).present);
+}
+
+TEST_F(VmmFixture, WatermarkKeepsMinimumFreePool) {
+  const Pid pid = vmm.create_process(512);
+  populate(pid, 0, 400);  // far beyond physical memory
+  EXPECT_GE(vmm.free_frames(), small_params().freepages_min);
+  EXPECT_GT(vmm.space(pid).stats().pages_swapped_out, 0u);
+}
+
+}  // namespace
+}  // namespace apsim

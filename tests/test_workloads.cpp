@@ -1,0 +1,204 @@
+// Unit tests for the NPB workload specs and program builders, plus the
+// generic generators, parameterized across apps and classes.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/generator.hpp"
+#include "workloads/npb.hpp"
+
+namespace apsim {
+namespace {
+
+class SpecTest : public ::testing::TestWithParam<NpbApp> {};
+
+TEST_P(SpecTest, ClassScalingIsMonotone) {
+  const NpbApp app = GetParam();
+  double last = 0.0;
+  for (NpbClass cls : {NpbClass::kS, NpbClass::kW, NpbClass::kA, NpbClass::kB,
+                       NpbClass::kC}) {
+    const auto spec = npb_spec(app, cls);
+    EXPECT_GT(spec.total_footprint_mb, last);
+    last = spec.total_footprint_mb;
+    EXPECT_GT(spec.iterations, 0);
+    EXPECT_GT(spec.compute_per_touch, 0);
+    EXPECT_FALSE(spec.phases.empty());
+  }
+}
+
+TEST_P(SpecTest, ParallelFootprintSharesWithReplication) {
+  const auto spec = npb_spec(GetParam(), NpbClass::kB);
+  const double serial = spec.footprint_mb(1);
+  const double on4 = spec.footprint_mb(4);
+  EXPECT_GT(on4, serial / 4.0);          // replication overhead
+  EXPECT_LT(on4, serial / 4.0 * 1.25);   // but bounded
+  EXPECT_GT(spec.footprint_pages(4), 0);
+}
+
+TEST_P(SpecTest, ExpectedWsWithinFootprint) {
+  for (int nprocs : {1, 2, 4}) {
+    const auto spec = npb_spec(GetParam(), NpbClass::kB);
+    const auto ws = spec.expected_ws_pages(nprocs);
+    EXPECT_GT(ws, 0);
+    EXPECT_LE(ws, spec.footprint_pages(nprocs));
+  }
+}
+
+TEST_P(SpecTest, ProgramTouchesOnlyItsFootprint) {
+  const auto spec = npb_spec(GetParam(), NpbClass::kS);
+  NpbBuildOptions options;
+  options.nprocs = 1;
+  auto program = build_npb_program(spec, options);
+  const std::int64_t npages = spec.footprint_pages(1);
+  int guard = 0;
+  for (Op op = program->next(); op.kind != Op::Kind::kDone;
+       op = program->next()) {
+    ASSERT_LT(++guard, 100000) << "program never terminates";
+    if (op.kind != Op::Kind::kAccess) continue;
+    const auto& chunk = op.access;
+    EXPECT_GE(chunk.region_start, 0);
+    EXPECT_LE(chunk.region_start + chunk.region_pages, npages);
+    // Spot-check addressing.
+    for (std::int64_t i = 0; i < std::min<std::int64_t>(chunk.touches, 64);
+         ++i) {
+      const VPage v = chunk.page_at(i);
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, npages);
+    }
+  }
+  EXPECT_DOUBLE_EQ(program->progress(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, SpecTest, ::testing::ValuesIn(kAllApps),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(Spec, NamesRoundTrip) {
+  for (NpbApp app : kAllApps) {
+    EXPECT_EQ(parse_app(to_string(app)), app);
+  }
+  for (NpbClass cls : {NpbClass::kS, NpbClass::kW, NpbClass::kA, NpbClass::kB,
+                       NpbClass::kC}) {
+    EXPECT_EQ(parse_class(to_string(cls)), cls);
+  }
+  EXPECT_THROW((void)parse_app("XX"), std::invalid_argument);
+  EXPECT_THROW((void)parse_class("Q"), std::invalid_argument);
+}
+
+TEST(Spec, QualitativeShapesMatchThePaper) {
+  const auto lu = npb_spec(NpbApp::kLU, NpbClass::kB);
+  const auto sp = npb_spec(NpbApp::kSP, NpbClass::kB);
+  const auto cg = npb_spec(NpbApp::kCG, NpbClass::kB);
+  const auto is = npb_spec(NpbApp::kIS, NpbClass::kB);
+  const auto mg = npb_spec(NpbApp::kMG, NpbClass::kB);
+  // MG has the largest footprint, IS the smallest.
+  EXPECT_GT(mg.total_footprint_mb, lu.total_footprint_mb);
+  EXPECT_GT(mg.total_footprint_mb, sp.total_footprint_mb);
+  EXPECT_LT(is.total_footprint_mb, lu.total_footprint_mb);
+  // CG's working set is small relative to its (large) footprint.
+  const double cg_ws_frac =
+      static_cast<double>(cg.expected_ws_pages(1)) /
+      static_cast<double>(cg.footprint_pages(1));
+  const double lu_ws_frac =
+      static_cast<double>(lu.expected_ws_pages(1)) /
+      static_cast<double>(lu.footprint_pages(1));
+  EXPECT_LT(cg_ws_frac, 0.6);
+  EXPECT_GT(lu_ws_frac, 0.9);
+}
+
+TEST(NpbProgram, ParallelRanksGetCommOps) {
+  NpbBuildOptions options;
+  options.nprocs = 4;
+  auto program = build_npb_program(NpbApp::kLU, NpbClass::kS, options);
+  bool saw_exchange = false;
+  bool saw_allreduce = false;
+  int guard = 0;
+  for (Op op = program->next(); op.kind != Op::Kind::kDone;
+       op = program->next()) {
+    ASSERT_LT(++guard, 100000);
+    if (op.kind == Op::Kind::kComm) {
+      saw_exchange |= op.comm.type == CommOp::Type::kExchange;
+      saw_allreduce |= op.comm.type == CommOp::Type::kAllreduce;
+    }
+  }
+  EXPECT_TRUE(saw_exchange);
+  EXPECT_TRUE(saw_allreduce);
+}
+
+TEST(NpbProgram, SerialHasNoCommOps) {
+  auto program = build_npb_program(NpbApp::kLU, NpbClass::kS, {});
+  int guard = 0;
+  for (Op op = program->next(); op.kind != Op::Kind::kDone;
+       op = program->next()) {
+    ASSERT_LT(++guard, 100000);
+    EXPECT_NE(op.kind, Op::Kind::kComm);
+  }
+}
+
+TEST(NpbProgram, IterationScaleShortensRun) {
+  NpbBuildOptions half;
+  half.iterations_scale = 0.5;
+  auto full = build_npb_program(NpbApp::kIS, NpbClass::kS, {});
+  auto halved = build_npb_program(NpbApp::kIS, NpbClass::kS, half);
+  auto count_ops = [](Program& p) {
+    int n = 0;
+    while (p.next().kind != Op::Kind::kDone) ++n;
+    return n;
+  };
+  const int full_ops = count_ops(*full);
+  const int half_ops = count_ops(*halved);
+  EXPECT_NEAR(half_ops, full_ops / 2, full_ops / 10 + 2);
+}
+
+TEST(Generators, SweepProgramShape) {
+  SweepOptions options;
+  options.pages = 100;
+  options.iterations = 3;
+  auto program = make_sweep_program(options);
+  // Prologue + 3 sweeps.
+  for (int i = 0; i < 4; ++i) {
+    const Op op = program->next();
+    ASSERT_EQ(op.kind, Op::Kind::kAccess);
+    EXPECT_EQ(op.access.touches, 100);
+  }
+  EXPECT_EQ(program->next().kind, Op::Kind::kDone);
+}
+
+TEST(Generators, HotColdConcentratesTouches) {
+  HotColdOptions options;
+  options.pages = 1000;
+  options.hot_fraction = 0.1;
+  options.hot_touch_share = 0.9;
+  options.touches_per_iteration = 1000;
+  options.iterations = 1;
+  auto program = make_hot_cold_program(options);
+  (void)program->next();  // prologue
+  const Op hot = program->next();
+  const Op cold = program->next();
+  ASSERT_EQ(hot.kind, Op::Kind::kAccess);
+  ASSERT_EQ(cold.kind, Op::Kind::kAccess);
+  EXPECT_EQ(hot.access.region_pages, 100);
+  EXPECT_EQ(hot.access.touches, 900);
+  EXPECT_EQ(cold.access.region_start, 100);
+  EXPECT_EQ(cold.access.touches, 100);
+}
+
+TEST(Generators, RandomProgramSplitsReadsAndWrites) {
+  RandomOptions options;
+  options.touches_per_iteration = 1000;
+  options.write_fraction = 0.25;
+  options.iterations = 1;
+  auto program = make_random_program(options);
+  (void)program->next();  // prologue
+  const Op reads = program->next();
+  const Op writes = program->next();
+  EXPECT_FALSE(reads.access.write);
+  EXPECT_EQ(reads.access.touches, 750);
+  EXPECT_TRUE(writes.access.write);
+  EXPECT_EQ(writes.access.touches, 250);
+}
+
+}  // namespace
+}  // namespace apsim
