@@ -64,6 +64,10 @@ int main(int argc, char** argv) {
       std::printf("(no scenario file given; running the built-in demo)\n\n");
       configs = parse_scenario(kDemoScenario);
     }
+    // Validate before launching the (parallel) runs: an exception thrown
+    // inside a worker thread would terminate the process instead of
+    // producing an error message.
+    for (const auto& config : configs) config.validate();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
@@ -77,15 +81,19 @@ int main(int argc, char** argv) {
       configs, [](const ExperimentConfig& c) { return run_config(c); });
 
   Table table({"run", "policy", "makespan (s)", "mean completion (s)",
-               "pages in", "pages out"});
+               "pages in", "pages out", "failed"});
   for (const auto& outcome : outcomes) {
-    table.add_row({outcome.label, outcome.policy,
-                   outcome.makespan >= 0
-                       ? Table::fmt(to_seconds(outcome.makespan), 0)
-                       : std::string("(timeout)"),
+    std::string makespan = "(timeout)";
+    if (outcome.makespan >= 0) {
+      makespan = Table::fmt(to_seconds(outcome.makespan), 0);
+    } else if (outcome.jobs_failed > 0) {
+      makespan = "(jobs failed)";
+    }
+    table.add_row({outcome.label, outcome.policy, makespan,
                    Table::fmt(mean_completion_s(outcome), 0),
                    std::to_string(outcome.pages_swapped_in),
-                   std::to_string(outcome.pages_swapped_out)});
+                   std::to_string(outcome.pages_swapped_out),
+                   std::to_string(outcome.jobs_failed)});
   }
   std::printf("%s", table.to_string().c_str());
 

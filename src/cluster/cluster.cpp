@@ -5,13 +5,30 @@
 namespace apsim {
 
 Cluster::Cluster(int num_nodes, const NodeParams& node_params,
-                 NetParams net_params, std::uint64_t seed)
+                 NetParams net_params, std::uint64_t seed, FaultPlan faults)
     : sim_(seed), net_(sim_, num_nodes, net_params) {
   assert(num_nodes > 0);
   nodes_.reserve(static_cast<std::size_t>(num_nodes));
   for (int i = 0; i < num_nodes; ++i) {
     nodes_.push_back(std::make_unique<Node>(sim_, node_params, i));
   }
+  if (!faults.empty()) {
+    injector_ = std::make_unique<FaultInjector>(sim_, std::move(faults));
+    for (int i = 0; i < num_nodes; ++i) {
+      nodes_[static_cast<std::size_t>(i)]->disk().set_fault_injector(
+          injector_.get(), i);
+    }
+    injector_->schedule_crashes([this](int n) {
+      if (n >= 0 && n < size()) fail_node(n);
+    });
+  }
+}
+
+void Cluster::fail_node(int i) {
+  Node& n = node(i);
+  if (n.failed()) return;
+  n.fail();
+  if (node_failure_observer_) node_failure_observer_(i);
 }
 
 }  // namespace apsim

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "cluster/node.hpp"
+#include "fault/fault_injector.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 
@@ -11,13 +13,17 @@
 /// The whole modelled system: a Simulator, N identical nodes, and the
 /// interconnect. Experiments construct one Cluster per configuration; sweep
 /// runners construct many Clusters, one per worker thread (shared-nothing).
+/// A non-empty FaultPlan attaches a FaultInjector to every node's disk and
+/// schedules any planned node crashes; with an empty plan no injector exists
+/// at all, so fault-free runs are bit-identical to builds without faults.
 
 namespace apsim {
 
 class Cluster {
  public:
   Cluster(int num_nodes, const NodeParams& node_params,
-          NetParams net_params = {}, std::uint64_t seed = 1);
+          NetParams net_params = {}, std::uint64_t seed = 1,
+          FaultPlan faults = {});
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
@@ -27,10 +33,26 @@ class Cluster {
   [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
   [[nodiscard]] Node& node(int i) { return *nodes_[static_cast<std::size_t>(i)]; }
 
+  /// The fault injector, or nullptr when the plan is empty (fault-free).
+  [[nodiscard]] FaultInjector* fault_injector() { return injector_.get(); }
+
+  /// Crash node \p i at the current virtual time (idempotent). The
+  /// node-failure observer, if any, runs after the node is torn down.
+  void fail_node(int i);
+  [[nodiscard]] bool node_alive(int i) { return !node(i).failed(); }
+
+  /// Invoked after a node crashes; the gang scheduler hooks in here to fail
+  /// affected jobs and drop the node from the rotation.
+  void set_node_failure_observer(std::function<void(int)> observer) {
+    node_failure_observer_ = std::move(observer);
+  }
+
  private:
   Simulator sim_;
   Network net_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::function<void(int)> node_failure_observer_;
 };
 
 }  // namespace apsim

@@ -15,4 +15,16 @@ Node::Node(Simulator& sim, const NodeParams& params, int index)
   }
 }
 
+void Node::fail() {
+  if (failed_) return;
+  failed_ = true;
+  disk_.fail_device();
+  cpu_.kill_all();
+  // Release every still-live address space; pages with I/O in flight are
+  // reaped by the (now erroring) completion handlers.
+  for (const Pid pid : vmm_.pids()) {
+    if (vmm_.space(pid).alive()) vmm_.release_process(pid);
+  }
+}
+
 }  // namespace apsim

@@ -41,12 +41,18 @@ class Node {
   [[nodiscard]] Vmm& vmm() { return vmm_; }
   [[nodiscard]] Cpu& cpu() { return cpu_; }
 
+  /// Crash the node: the disk fails permanently, every attached process is
+  /// killed, and their address spaces are released. Idempotent.
+  void fail();
+  [[nodiscard]] bool failed() const { return failed_; }
+
  private:
   int index_;
   Disk disk_;
   SwapDevice swap_;
   Vmm vmm_;
   Cpu cpu_;
+  bool failed_ = false;
 };
 
 }  // namespace apsim

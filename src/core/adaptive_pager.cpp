@@ -107,12 +107,32 @@ void AdaptivePager::on_evict(Pid pid, VPage vpage) {
   ++stats_.pages_recorded;
 }
 
+void AdaptivePager::enter_degraded(const char* reason) {
+  if (degraded_) return;
+  degraded_ = true;
+  ++stats_.degradations;
+  node_.vmm().log().warn(
+      "adaptive pager degraded to plain demand paging: %s", reason);
+  stop_bgwrite();
+}
+
+bool AdaptivePager::check_degraded() {
+  if (!degraded_) {
+    if (node_.disk().failed()) {
+      enter_degraded("swap disk failed");
+    } else if (node_.vmm().reclaim_stalled()) {
+      enter_degraded("reclaim stalled (swap exhausted or unwritable)");
+    }
+  }
+  return degraded_;
+}
+
 void AdaptivePager::adaptive_page_out(Pid out, Pid in,
                                       std::int64_t ws_pages_hint) {
   ++stats_.switches;
   if (selective_ != nullptr) selective_->set_victim_process(out);
 
-  if (params_.policy.aggressive_out) {
+  if (params_.policy.aggressive_out && !check_degraded()) {
     std::int64_t ws = ws_pages_hint >= 0 ? ws_pages_hint : ws_estimate(in);
     ws = static_cast<std::int64_t>(static_cast<double>(ws) * params_.ws_margin);
     auto& vmm = node_.vmm();
@@ -146,7 +166,7 @@ void AdaptivePager::adaptive_page_out(Pid out, Pid in,
 }
 
 void AdaptivePager::adaptive_page_in(Pid in, std::function<void()> done) {
-  if (!params_.policy.adaptive_in) {
+  if (!params_.policy.adaptive_in || check_degraded()) {
     if (done) node_.vmm().sim().after(0, std::move(done));
     return;
   }
@@ -159,11 +179,21 @@ void AdaptivePager::adaptive_page_in(Pid in, std::function<void()> done) {
   std::int64_t total = 0;
   for (const auto& run : runs) total += run.count;
   stats_.pages_replayed += static_cast<std::uint64_t>(total);
-  node_.vmm().prefetch(in, std::move(runs), std::move(done));
+  // If the replay aborts on an I/O error the VMM counts a prefetch abort;
+  // seeing one means the disk is unreliable, so give up on replays for good.
+  const std::uint64_t aborts_before = node_.vmm().stats().prefetch_aborts;
+  node_.vmm().prefetch(
+      in, std::move(runs),
+      [this, aborts_before, done = std::move(done)]() mutable {
+        if (node_.vmm().stats().prefetch_aborts > aborts_before) {
+          enter_degraded("prefetch replay aborted on I/O error");
+        }
+        if (done) done();
+      });
 }
 
 void AdaptivePager::start_bgwrite(Pid pid) {
-  if (!params_.policy.bg_write) return;
+  if (!params_.policy.bg_write || check_degraded()) return;
   stop_bgwrite();
   bg_pid_ = pid;
   schedule_bg_tick();
@@ -178,6 +208,12 @@ void AdaptivePager::stop_bgwrite() {
 void AdaptivePager::schedule_bg_tick() {
   bg_event_ = node_.vmm().sim().after(params_.bg_interval, [this] {
     if (bg_pid_ == kNoPid) return;
+    // The target died (job failed / node-local kill) or the disk went bad:
+    // stop rescheduling so the event queue can quiesce.
+    if (!node_.vmm().space(bg_pid_).alive() || check_degraded()) {
+      bg_pid_ = kNoPid;
+      return;
+    }
     node_.vmm().writeback_dirty(
         bg_pid_, params_.bg_batch, IoPriority::kBackground,
         [this](std::int64_t written) {

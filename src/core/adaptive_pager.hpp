@@ -108,6 +108,12 @@ class AdaptivePager {
   /// Current working-set estimate for \p pid, in pages (0 if never run).
   [[nodiscard]] std::int64_t ws_estimate(Pid pid) const;
 
+  /// True once the pager gave up on its optimizations after persistent I/O
+  /// errors (failed disk, stalled reclaim, or an aborted prefetch replay):
+  /// adaptive page-in and background writing become no-ops and the node falls
+  /// back to plain demand paging. One-way; fault-free runs never set this.
+  [[nodiscard]] bool degraded() const { return degraded_; }
+
   /// Recorder contents for \p pid (for tests and diagnostics).
   [[nodiscard]] const PageRecorder& recorder(Pid pid) const;
 
@@ -117,12 +123,16 @@ class AdaptivePager {
     std::uint64_t bg_pages_written = 0;
     std::uint64_t aggressive_requests = 0;
     std::uint64_t switches = 0;
+    std::uint64_t degradations = 0;  ///< times the pager entered degraded mode
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
   void on_evict(Pid pid, VPage vpage);
   void schedule_bg_tick();
+  void enter_degraded(const char* reason);
+  /// Degrade if the node shows persistent I/O trouble; returns degraded().
+  bool check_degraded();
 
   Node& node_;
   AdaptivePagerParams params_;
@@ -135,6 +145,7 @@ class AdaptivePager {
 
   Pid bg_pid_ = kNoPid;
   EventHandle bg_event_;
+  bool degraded_ = false;
 
   Stats stats_;
 };

@@ -10,6 +10,13 @@ void Disk::submit(DiskRequest req) {
   assert(req.nblocks > 0);
   assert(req.start >= 0 && req.start + req.nblocks <= model_.params().num_blocks);
   ++stats_.requests;
+  if (failed_) {
+    ++stats_.io_errors;
+    if (req.on_complete) {
+      sim_.after(0, [fn = std::move(req.on_complete)] { fn(IoResult::error()); });
+    }
+    return;
+  }
   auto& queue =
       req.priority == IoPriority::kForeground ? foreground_ : background_;
   queue.push_back(std::move(req));
@@ -52,8 +59,8 @@ void Disk::start_next() {
 
   // Coalesce exactly-contiguous same-direction requests into one transfer
   // (block-layer request merging). Completion callbacks fire together at the
-  // end of the merged transfer.
-  std::vector<std::function<void()>> completions;
+  // end of the merged transfer and share its outcome.
+  std::vector<IoCallback> completions;
   completions.push_back(std::move(first.on_complete));
   BlockNum start = first.start;
   BlockNum nblocks = first.nblocks;
@@ -73,7 +80,16 @@ void Disk::start_next() {
     }
   }
 
-  const SimDuration service = model_.service_time(head_, start, nblocks);
+  SimDuration service = model_.service_time(head_, start, nblocks);
+  bool inject_error = false;
+  if (injector_ != nullptr) {
+    const auto outcome = injector_->on_disk_request(node_index_, first.write);
+    inject_error = outcome.fail;
+    if (outcome.slow_factor != 1.0) {
+      service = static_cast<SimDuration>(static_cast<double>(service) *
+                                         outcome.slow_factor);
+    }
+  }
   busy_ = true;
   ++stats_.services;
   stats_.busy_time += service;
@@ -83,15 +99,37 @@ void Disk::start_next() {
     stats_.blocks_read += static_cast<std::uint64_t>(nblocks);
   }
 
-  sim_.after(service, [this, start, nblocks,
+  sim_.after(service, [this, start, nblocks, inject_error,
                        completions = std::move(completions)]() mutable {
     head_ = start + nblocks;
     busy_ = false;
+    // The device may have failed while the transfer was in flight.
+    const IoResult result{!(inject_error || failed_)};
+    if (!result.ok) stats_.io_errors += completions.size();
     for (auto& fn : completions) {
-      if (fn) fn();
+      if (fn) fn(result);
     }
-    if (!busy_) start_next();  // a completion may have restarted the device
+    if (!busy_ && !failed_) start_next();  // a completion may have restarted the device
   });
+}
+
+void Disk::fail_device() {
+  if (failed_) return;
+  failed_ = true;
+  // Drain both queues with error completions; anything in flight errors in
+  // its own completion event. New submits error immediately.
+  auto drain = [this](std::deque<DiskRequest>& queue) {
+    for (auto& req : queue) {
+      ++stats_.io_errors;
+      if (req.on_complete) {
+        sim_.after(0,
+                   [fn = std::move(req.on_complete)] { fn(IoResult::error()); });
+      }
+    }
+    queue.clear();
+  };
+  drain(foreground_);
+  drain(background_);
 }
 
 double Disk::utilization() const {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "disk/disk_model.hpp"
+#include "fault/fault_injector.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 
@@ -20,13 +21,25 @@ namespace apsim {
 
 enum class IoPriority : std::uint8_t { kForeground = 0, kBackground = 1 };
 
+/// Completion status of one disk transfer. Errors come from the fault
+/// injector (transient/persistent media errors) or a failed device; coalesced
+/// requests share the outcome of their merged transfer.
+struct IoResult {
+  bool ok = true;
+
+  [[nodiscard]] static IoResult success() { return IoResult{true}; }
+  [[nodiscard]] static IoResult error() { return IoResult{false}; }
+};
+
+using IoCallback = std::function<void(IoResult)>;
+
 struct DiskRequest {
   BlockNum start = 0;
   BlockNum nblocks = 1;
   bool write = false;
   IoPriority priority = IoPriority::kForeground;
-  /// Invoked exactly once when the transfer finishes.
-  std::function<void()> on_complete;
+  /// Invoked exactly once when the transfer finishes (or errors out).
+  IoCallback on_complete;
 };
 
 class Disk {
@@ -38,7 +51,21 @@ class Disk {
   Disk& operator=(const Disk&) = delete;
 
   /// Enqueue a request. Service begins immediately if the device is idle.
+  /// On a failed device the request completes with an error instead.
   void submit(DiskRequest req);
+
+  /// Attach the cluster's fault injector (nullptr = fault-free). \p node is
+  /// this disk's owning node index, used to match FaultSpec targets.
+  void set_fault_injector(FaultInjector* injector, int node) {
+    injector_ = injector;
+    node_index_ = node;
+  }
+
+  /// Permanently fail the device (node crash): queued requests complete with
+  /// errors, in-flight transfers error on landing, and every future submit
+  /// errors immediately. Idempotent.
+  void fail_device();
+  [[nodiscard]] bool failed() const { return failed_; }
 
   [[nodiscard]] const DiskModel& model() const { return model_; }
   [[nodiscard]] BlockNum head() const { return head_; }
@@ -55,6 +82,7 @@ class Disk {
     std::uint64_t blocks_written = 0;
     SimDuration busy_time = 0;           ///< time spent servicing
     std::size_t max_queue_depth = 0;
+    std::uint64_t io_errors = 0;         ///< requests completed with an error
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -73,6 +101,9 @@ class Disk {
   std::deque<DiskRequest> background_;
   BlockNum head_ = 0;
   bool busy_ = false;
+  bool failed_ = false;
+  FaultInjector* injector_ = nullptr;
+  int node_index_ = 0;
   Stats stats_;
 };
 

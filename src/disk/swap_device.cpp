@@ -79,7 +79,7 @@ bool SwapDevice::is_allocated(SwapSlot slot) const {
 }
 
 void SwapDevice::submit(SlotRun run, bool is_write, IoPriority priority,
-                        std::function<void()> on_complete) {
+                        IoCallback on_complete) {
   assert(run.count > 0);
   assert(run.start >= 0 && run.start + run.count <= num_slots());
   DiskRequest req;
@@ -92,12 +92,12 @@ void SwapDevice::submit(SlotRun run, bool is_write, IoPriority priority,
 }
 
 void SwapDevice::read(SlotRun run, IoPriority priority,
-                      std::function<void()> on_complete) {
+                      IoCallback on_complete) {
   submit(run, /*is_write=*/false, priority, std::move(on_complete));
 }
 
 void SwapDevice::write(SlotRun run, IoPriority priority,
-                       std::function<void()> on_complete) {
+                       IoCallback on_complete) {
   submit(run, /*is_write=*/true, priority, std::move(on_complete));
 }
 

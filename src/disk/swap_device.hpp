@@ -61,9 +61,10 @@ class SwapDevice {
   [[nodiscard]] bool is_allocated(SwapSlot slot) const;
 
   /// Submit a read/write of a slot run; \p on_complete fires when the
-  /// transfer finishes.
-  void read(SlotRun run, IoPriority priority, std::function<void()> on_complete);
-  void write(SlotRun run, IoPriority priority, std::function<void()> on_complete);
+  /// transfer finishes, receiving its IoResult (errors come from the fault
+  /// injector or a failed device).
+  void read(SlotRun run, IoPriority priority, IoCallback on_complete);
+  void write(SlotRun run, IoPriority priority, IoCallback on_complete);
 
   [[nodiscard]] Disk& disk() { return disk_; }
   [[nodiscard]] const Disk& disk() const { return disk_; }
@@ -73,7 +74,7 @@ class SwapDevice {
 
  private:
   void submit(SlotRun run, bool is_write, IoPriority priority,
-              std::function<void()> on_complete);
+              IoCallback on_complete);
 
   Disk& disk_;
   BlockNum base_;

@@ -1,0 +1,62 @@
+#include "fault/fault_injector.hpp"
+
+namespace apsim {
+
+FaultInjector::DiskOutcome FaultInjector::on_disk_request(int node,
+                                                          bool /*write*/) {
+  DiskOutcome out;
+  const SimTime now = sim_.now();
+  for (const auto& spec : plan_.specs) {
+    if (!spec.applies(node, now)) continue;
+    switch (spec.kind) {
+      case FaultKind::kDiskTransient:
+      case FaultKind::kDiskPersistent:
+        if (rng_.bernoulli(spec.probability)) out.fail = true;
+        break;
+      case FaultKind::kDiskSlow:
+        out.slow_factor *= spec.slow_factor;
+        break;
+      default:
+        break;
+    }
+  }
+  if (out.fail) ++stats_.disk_errors_injected;
+  if (out.slow_factor != 1.0) ++stats_.disk_requests_slowed;
+  return out;
+}
+
+FaultInjector::SignalOutcome FaultInjector::on_control_signal(int node) {
+  SignalOutcome out;
+  const SimTime now = sim_.now();
+  for (const auto& spec : plan_.specs) {
+    if (!spec.applies(node, now)) continue;
+    switch (spec.kind) {
+      case FaultKind::kSignalDrop:
+        if (rng_.bernoulli(spec.probability)) out.drop = true;
+        break;
+      case FaultKind::kSignalDelay:
+        out.extra_delay += spec.extra_delay;
+        break;
+      default:
+        break;
+    }
+  }
+  if (out.drop) {
+    ++stats_.signals_dropped;
+  } else if (out.extra_delay > 0) {
+    ++stats_.signals_delayed;
+  }
+  return out;
+}
+
+void FaultInjector::schedule_crashes(std::function<void(int)> crash) {
+  for (const auto& spec : plan_.specs) {
+    if (spec.kind != FaultKind::kNodeCrash || spec.node < 0) continue;
+    sim_.at(spec.start, [this, crash, node = spec.node] {
+      ++stats_.node_crashes;
+      crash(node);
+    });
+  }
+}
+
+}  // namespace apsim

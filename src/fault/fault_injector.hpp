@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "fault/fault_plan.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+/// \file fault_injector.hpp
+/// Runtime evaluator of a FaultPlan. One injector per Cluster; consumers
+/// (Disk for I/O faults, GangScheduler for control-plane faults) hold a
+/// nullable pointer and query it per event. The injector derives its RNG
+/// stream from the Simulator's root RNG at construction, so chaos runs are
+/// bit-reproducible and a Cluster without a plan never constructs one —
+/// fault-free runs draw nothing and stay bit-identical to a build without
+/// this subsystem.
+
+namespace apsim {
+
+class FaultInjector {
+ public:
+  FaultInjector(Simulator& sim, FaultPlan plan)
+      : sim_(sim), plan_(std::move(plan)), rng_(sim.rng()()) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  /// Outcome of one disk request on \p node at the current virtual time.
+  struct DiskOutcome {
+    bool fail = false;          ///< complete the transfer with an I/O error
+    double slow_factor = 1.0;   ///< multiply the service time
+  };
+  [[nodiscard]] DiskOutcome on_disk_request(int node, bool write);
+
+  /// Outcome of one gang-scheduler control message to \p node.
+  struct SignalOutcome {
+    bool drop = false;          ///< the message is lost
+    SimDuration extra_delay = 0;
+  };
+  [[nodiscard]] SignalOutcome on_control_signal(int node);
+
+  /// Schedule every kNodeCrash spec as a simulator event invoking \p crash
+  /// with the node index at the spec's time. Call exactly once.
+  void schedule_crashes(std::function<void(int)> crash);
+
+  struct Stats {
+    std::uint64_t disk_errors_injected = 0;
+    std::uint64_t disk_requests_slowed = 0;
+    std::uint64_t signals_dropped = 0;
+    std::uint64_t signals_delayed = 0;
+    std::uint64_t node_crashes = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  Simulator& sim_;
+  FaultPlan plan_;
+  Rng rng_;
+  Stats stats_;
+};
+
+}  // namespace apsim

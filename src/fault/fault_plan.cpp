@@ -1,0 +1,222 @@
+#include "fault/fault_plan.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace apsim {
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDiskTransient: return "disk_transient";
+    case FaultKind::kDiskPersistent: return "disk_persistent";
+    case FaultKind::kDiskSlow: return "disk_slow";
+    case FaultKind::kSignalDelay: return "signal_delay";
+    case FaultKind::kSignalDrop: return "signal_drop";
+    case FaultKind::kNodeCrash: return "node_crash";
+  }
+  return "?";
+}
+
+namespace {
+
+[[nodiscard]] FaultKind parse_kind(std::string_view token) {
+  for (FaultKind kind :
+       {FaultKind::kDiskTransient, FaultKind::kDiskPersistent,
+        FaultKind::kDiskSlow, FaultKind::kSignalDelay, FaultKind::kSignalDrop,
+        FaultKind::kNodeCrash}) {
+    if (token == to_string(kind)) return kind;
+  }
+  throw std::invalid_argument("fault: unknown kind '" + std::string(token) +
+                              "'");
+}
+
+[[nodiscard]] double parse_number(std::string_view value,
+                                  std::string_view key) {
+  try {
+    std::size_t consumed = 0;
+    const double out = std::stod(std::string(value), &consumed);
+    if (consumed != value.size()) throw std::invalid_argument("trailing junk");
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault: bad number for '" + std::string(key) +
+                                "': " + std::string(value));
+  }
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::parse(std::string_view text) {
+  // Tokenize on whitespace: first token is the kind, the rest key=value.
+  std::vector<std::string_view> tokens;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+    std::size_t start = pos;
+    while (pos < text.size() && !std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+    if (pos > start) tokens.push_back(text.substr(start, pos - start));
+  }
+  if (tokens.empty()) throw std::invalid_argument("fault: empty spec");
+
+  FaultSpec spec;
+  spec.kind = parse_kind(tokens[0]);
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string_view token = tokens[i];
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("fault: expected key=value, got '" +
+                                  std::string(token) + "'");
+    }
+    const std::string_view key = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+    if (key == "node") {
+      spec.node = static_cast<int>(parse_number(value, key));
+    } else if (key == "start_s" || key == "at_s") {
+      spec.start = static_cast<SimTime>(parse_number(value, key) *
+                                        static_cast<double>(kSecond));
+    } else if (key == "end_s") {
+      spec.end = static_cast<SimTime>(parse_number(value, key) *
+                                      static_cast<double>(kSecond));
+    } else if (key == "p") {
+      spec.probability = parse_number(value, key);
+    } else if (key == "slow") {
+      spec.slow_factor = parse_number(value, key);
+    } else if (key == "delay_ms") {
+      spec.extra_delay = static_cast<SimDuration>(
+          parse_number(value, key) * static_cast<double>(kMillisecond));
+    } else {
+      throw std::invalid_argument("fault: unknown key '" + std::string(key) +
+                                  "'");
+    }
+  }
+
+  if (spec.probability < 0.0 || spec.probability > 1.0) {
+    throw std::invalid_argument("fault: p must be in [0, 1]");
+  }
+  if (spec.slow_factor < 1.0) {
+    throw std::invalid_argument("fault: slow must be >= 1");
+  }
+  if (spec.extra_delay < 0) {
+    throw std::invalid_argument("fault: delay_ms must be >= 0");
+  }
+  if (spec.start < 0 || spec.end < spec.start) {
+    throw std::invalid_argument("fault: window must satisfy 0 <= start <= end");
+  }
+  if (spec.kind == FaultKind::kDiskSlow && spec.slow_factor == 1.0) {
+    throw std::invalid_argument("fault: disk_slow needs slow=<factor>");
+  }
+  if (spec.kind == FaultKind::kSignalDelay && spec.extra_delay == 0) {
+    throw std::invalid_argument("fault: signal_delay needs delay_ms=<ms>");
+  }
+  return spec;
+}
+
+std::string FaultSpec::to_string() const {
+  char buf[192];
+  std::string out{apsim::to_string(kind)};
+  if (node >= 0) {
+    std::snprintf(buf, sizeof buf, " node=%d", node);
+    out += buf;
+  }
+  if (kind == FaultKind::kNodeCrash) {
+    std::snprintf(buf, sizeof buf, " at_s=%.3f", to_seconds(start));
+    out += buf;
+    return out;
+  }
+  if (start > 0) {
+    std::snprintf(buf, sizeof buf, " start_s=%.3f", to_seconds(start));
+    out += buf;
+  }
+  if (end != std::numeric_limits<SimTime>::max()) {
+    std::snprintf(buf, sizeof buf, " end_s=%.3f", to_seconds(end));
+    out += buf;
+  }
+  if (probability != 1.0) {
+    std::snprintf(buf, sizeof buf, " p=%g", probability);
+    out += buf;
+  }
+  if (kind == FaultKind::kDiskSlow) {
+    std::snprintf(buf, sizeof buf, " slow=%g", slow_factor);
+    out += buf;
+  }
+  if (kind == FaultKind::kSignalDelay) {
+    std::snprintf(buf, sizeof buf, " delay_ms=%.3f",
+                  to_milliseconds(extra_delay));
+    out += buf;
+  }
+  return out;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, int nodes, SimTime horizon) {
+  Rng rng(seed ^ 0xFA17FA17FA17FA17ULL);
+  FaultPlan plan;
+
+  auto window = [&](FaultSpec& spec) {
+    // Start somewhere in the first 60% of the horizon, last at most 25% of
+    // it: every window closes well before the run must quiesce.
+    const auto h = static_cast<double>(horizon);
+    spec.start = static_cast<SimTime>(rng.uniform(0.05, 0.6) * h);
+    spec.end = spec.start + static_cast<SimTime>(rng.uniform(0.02, 0.25) * h);
+  };
+
+  const int n_faults = 1 + static_cast<int>(rng.next_below(3));
+  for (int i = 0; i < n_faults; ++i) {
+    FaultSpec spec;
+    spec.node = static_cast<int>(rng.next_below(
+                    static_cast<std::uint64_t>(nodes) + 1)) - 1;  // -1 = all
+    switch (rng.next_below(5)) {
+      case 0:
+        spec.kind = FaultKind::kDiskTransient;
+        window(spec);
+        spec.probability = rng.uniform(0.01, 0.4);
+        break;
+      case 1:
+        spec.kind = FaultKind::kDiskSlow;
+        window(spec);
+        spec.slow_factor = rng.uniform(1.5, 8.0);
+        break;
+      case 2:
+        spec.kind = FaultKind::kSignalDrop;
+        window(spec);
+        spec.probability = rng.uniform(0.05, 0.6);
+        break;
+      case 3:
+        spec.kind = FaultKind::kSignalDelay;
+        window(spec);
+        spec.extra_delay = static_cast<SimDuration>(
+            rng.uniform(0.5, 20.0) * static_cast<double>(kMillisecond));
+        break;
+      case 4:
+        spec.kind = FaultKind::kDiskTransient;
+        window(spec);
+        spec.probability = rng.uniform(0.3, 1.0);
+        break;
+    }
+    plan.add(spec);
+  }
+
+  // Sometimes crash one node; never more than one, so that on multi-node
+  // clusters at least one node always survives.
+  if (nodes > 1 && rng.bernoulli(0.35)) {
+    FaultSpec crash;
+    crash.kind = FaultKind::kNodeCrash;
+    crash.node = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(nodes)));
+    crash.start = static_cast<SimTime>(
+        rng.uniform(0.2, 0.7) * static_cast<double>(horizon));
+    plan.add(crash);
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (const auto& spec : specs) {
+    if (!out.empty()) out += "; ";
+    out += spec.to_string();
+  }
+  return out.empty() ? "(no faults)" : out;
+}
+
+}  // namespace apsim

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// \file fault_plan.hpp
+/// Declarative fault schedule for chaos experiments. A FaultPlan is a list of
+/// timed/probabilistic FaultSpecs; the FaultInjector evaluates it at run time
+/// with an RNG stream derived from the Simulator seed, so every chaos run is
+/// bit-reproducible. An empty plan means a fault-free run: the consumers then
+/// take the exact code paths of a build without the fault subsystem.
+
+namespace apsim {
+
+enum class FaultKind : std::uint8_t {
+  kDiskTransient,   ///< each disk request fails with `probability` inside the window
+  kDiskPersistent,  ///< every disk request fails from `start` on (probability defaults to 1)
+  kDiskSlow,        ///< fail-slow device: service time x slow_factor inside the window
+  kSignalDelay,     ///< gang control messages gain extra_delay inside the window
+  kSignalDrop,      ///< gang control messages are lost with `probability` inside the window
+  kNodeCrash,       ///< the whole node dies at `start`
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kDiskTransient;
+
+  /// Target node index; -1 applies to every node.
+  int node = -1;
+
+  /// Active window [start, end); kNodeCrash fires once at `start`.
+  SimTime start = 0;
+  SimTime end = std::numeric_limits<SimTime>::max();
+
+  /// Per-event probability (disk errors, signal drops); 1.0 = always.
+  double probability = 1.0;
+
+  /// Service-time multiplier for kDiskSlow (>= 1.0).
+  double slow_factor = 1.0;
+
+  /// Added control-message latency for kSignalDelay.
+  SimDuration extra_delay = 0;
+
+  /// True when the spec targets \p node (or all nodes) and `now` falls in
+  /// the active window.
+  [[nodiscard]] bool applies(int target_node, SimTime now) const {
+    return (node < 0 || node == target_node) && now >= start && now < end;
+  }
+
+  /// Render as the scenario-file syntax parse() accepts.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parse one spec from scenario-file syntax, e.g.
+  ///   "disk_transient node=0 start_s=10 end_s=60 p=0.05"
+  ///   "disk_slow start_s=30 end_s=90 slow=4"
+  ///   "signal_drop node=1 p=0.2"
+  ///   "signal_delay delay_ms=5"
+  ///   "node_crash node=1 at_s=120"
+  /// Throws std::invalid_argument on malformed input or out-of-range values.
+  [[nodiscard]] static FaultSpec parse(std::string_view text);
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> specs;
+
+  [[nodiscard]] bool empty() const { return specs.empty(); }
+
+  FaultPlan& add(FaultSpec spec) {
+    specs.push_back(spec);
+    return *this;
+  }
+
+  [[nodiscard]] bool has(FaultKind kind) const {
+    for (const auto& s : specs) {
+      if (s.kind == kind) return true;
+    }
+    return false;
+  }
+
+  /// True when the plan can interfere with the gang scheduler's control
+  /// messages or kill nodes — the cases a switch watchdog must cover.
+  [[nodiscard]] bool disturbs_control_plane() const {
+    return has(FaultKind::kSignalDrop) || has(FaultKind::kSignalDelay) ||
+           has(FaultKind::kNodeCrash);
+  }
+
+  /// Randomized plan for chaos testing: one to three faults with bounded
+  /// probabilities and windows inside [0, horizon), plus (sometimes) a
+  /// single node crash, so that runs always quiesce and — on multi-node
+  /// clusters — some node can survive. Deterministic in `seed`.
+  [[nodiscard]] static FaultPlan random(std::uint64_t seed, int nodes,
+                                        SimTime horizon);
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace apsim

@@ -13,6 +13,25 @@ GangScheduler::GangScheduler(Cluster& cluster, GangParams params)
         std::make_unique<AdaptivePager>(cluster.node(n), params_.pager));
   }
   running_job_.assign(static_cast<std::size_t>(cluster.size()), nullptr);
+  switch_applied_.assign(static_cast<std::size_t>(cluster.size()), 0);
+  switch_action_.assign(static_cast<std::size_t>(cluster.size()), nullptr);
+  switch_retries_.assign(static_cast<std::size_t>(cluster.size()), 0);
+  node_dead_.assign(static_cast<std::size_t>(cluster.size()), false);
+  for (int n = 0; n < cluster.size(); ++n) {
+    cluster_.node(n).vmm().set_failure_handler(
+        [this, n](Pid pid, VPage, Vmm::PageFailure) {
+          on_page_unrecoverable(n, pid);
+        });
+  }
+  cluster_.set_node_failure_observer(
+      [this](int n) { handle_node_failure(n); });
+}
+
+GangScheduler::~GangScheduler() {
+  cluster_.set_node_failure_observer(nullptr);
+  for (int n = 0; n < cluster_.size(); ++n) {
+    cluster_.node(n).vmm().set_failure_handler(nullptr);
+  }
 }
 
 Job& GangScheduler::create_job(std::string name) {
@@ -38,7 +57,15 @@ void GangScheduler::start() {
     }
   }
   try_admit();
-  assert(matrix_.num_slots() > 0 && "no job admitted at start");
+  // A node may have crashed before start (a t=0 planned fault): its jobs are
+  // lost before they ever run.
+  for (int n = 0; n < cluster_.size(); ++n) {
+    if (!node_dead_[static_cast<std::size_t>(n)]) continue;
+    for (auto& job : jobs_) {
+      if (!job->done() && job->process_on(n) != nullptr) fail_job(*job);
+    }
+  }
+  if (matrix_.num_slots() == 0) return;  // everything failed already
   current_slot_ = 0;
   activate_slot(0);
   schedule_switch_timer(0);
@@ -58,7 +85,7 @@ bool GangScheduler::fits_in_memory(const Job& job) const {
   for (int node : job.nodes()) {
     std::int64_t total = demand(job, node);
     for (std::size_t i = 0; i < jobs_.size(); ++i) {
-      if (!admitted_[i] || jobs_[i]->finished()) continue;
+      if (!admitted_[i] || jobs_[i]->done()) continue;
       total += demand(*jobs_[i], node);
     }
     const auto& frames = cluster_.node(node).vmm().frames();
@@ -72,7 +99,7 @@ bool GangScheduler::fits_in_memory(const Job& job) const {
 
 void GangScheduler::try_admit() {
   for (std::size_t i = 0; i < jobs_.size(); ++i) {
-    if (admitted_[i] || jobs_[i]->finished()) continue;
+    if (admitted_[i] || jobs_[i]->done()) continue;
     if (params_.admission_control && !fits_in_memory(*jobs_[i])) continue;
     admitted_[i] = true;
     matrix_.assign(jobs_[i]->id(), jobs_[i]->nodes());
@@ -90,18 +117,27 @@ SimDuration GangScheduler::slot_quantum(int slot) const {
 
 void GangScheduler::activate_slot(int to_slot) {
   assert(to_slot >= 0 && to_slot < matrix_.num_slots());
+  const std::uint64_t gen = ++switch_gen_;
+  bool any_pending = false;
   for (int node = 0; node < cluster_.size(); ++node) {
+    const auto ni = static_cast<std::size_t>(node);
+    switch_action_[ni] = nullptr;
+    if (node_dead_[ni]) continue;
     const int in_job_id = matrix_.job_at(to_slot, node);
     Job* in_job = in_job_id >= 0 ? jobs_[static_cast<std::size_t>(in_job_id)].get()
                                  : nullptr;
-    Job* out_job = running_job_[static_cast<std::size_t>(node)];
-    if (in_job == out_job) continue;  // same job keeps the node: no switch
-    running_job_[static_cast<std::size_t>(node)] = in_job;
+    // running_job_ is delivery-time truth: it only changes when a switch
+    // action actually runs on the node. Skip the signal only when the node
+    // both runs the right job and has no older action still in flight —
+    // otherwise a dropped cont could leave the job stopped forever while the
+    // bookkeeping claims it is running.
+    if (in_job == running_job_[ni] && switch_applied_[ni] == gen - 1) {
+      switch_applied_[ni] = gen;  // nothing to apply on this node
+      continue;
+    }
 
-    Process* out_proc = out_job ? out_job->process_on(node) : nullptr;
     Process* in_proc = in_job ? in_job->process_on(node) : nullptr;
-    const bool out_live = out_proc != nullptr && !out_proc->finished();
-    AdaptivePager* pager = pagers_[static_cast<std::size_t>(node)].get();
+    AdaptivePager* pager = pagers_[ni].get();
     auto& cpu = cluster_.node(node).cpu();
 
     std::int64_t ws_hint = -1;
@@ -109,28 +145,85 @@ void GangScheduler::activate_slot(int to_slot) {
       ws_hint = *in_job->declared_ws_pages;
     }
 
-    // The control message reaches the node after the signal latency; the
-    // whole per-node switch sequence then runs locally, mirroring the
-    // paper's Figure 5 (scheduler signals + kernel API calls).
-    cluster_.sim().after(
-        params_.signal_latency,
-        [pager, &cpu, out_proc, in_proc, out_live, ws_hint] {
-          pager->stop_bgwrite();
-          if (out_live) {
-            pager->on_quantum_end(out_proc->pid());
-            cpu.stop_process(*out_proc);
-          }
-          if (in_proc != nullptr && !in_proc->finished()) {
-            if (out_live) {
-              pager->adaptive_page_out(out_proc->pid(), in_proc->pid(),
-                                       ws_hint);
-            }
-            pager->on_quantum_start(in_proc->pid());
-            pager->adaptive_page_in(in_proc->pid());
-            cpu.cont_process(*in_proc);
-          }
-        });
+    // The per-node switch sequence, run when the control message arrives,
+    // mirroring the paper's Figure 5 (scheduler signals + kernel API calls).
+    // Applying is idempotent per generation — a watchdog retransmission that
+    // races a late original delivery runs the body only once — and a stale
+    // generation is skipped once a newer switch has been applied. The
+    // outgoing job and liveness (dead()) are evaluated at delivery time, not
+    // send time: a process may finish or be killed, and an earlier switch
+    // may land or be lost, while this signal is in flight.
+    switch_action_[ni] = [this, node, ni, gen, pager, &cpu, in_job, in_proc,
+                          ws_hint] {
+      if (switch_applied_[ni] >= gen || node_dead_[ni]) return;
+      switch_applied_[ni] = gen;
+      Job* out_job = running_job_[ni];
+      if (out_job == in_job) return;  // already running the right job
+      running_job_[ni] = in_job;
+      Process* out_proc = out_job ? out_job->process_on(node) : nullptr;
+      const bool out_live = out_proc != nullptr && !out_proc->dead();
+      pager->stop_bgwrite();
+      if (out_live) {
+        pager->on_quantum_end(out_proc->pid());
+        cpu.stop_process(*out_proc);
+      }
+      if (in_proc != nullptr && !in_proc->dead()) {
+        if (out_live) {
+          pager->adaptive_page_out(out_proc->pid(), in_proc->pid(), ws_hint);
+        }
+        pager->on_quantum_start(in_proc->pid());
+        pager->adaptive_page_in(in_proc->pid());
+        cpu.cont_process(*in_proc);
+      }
+    };
+    switch_retries_[ni] = 0;
+    any_pending = true;
+    send_signal(node, switch_action_[ni]);
   }
+  if (any_pending) arm_watchdog(gen);
+}
+
+void GangScheduler::send_signal(int node, const std::function<void()>& action) {
+  SimDuration latency = params_.signal_latency;
+  if (FaultInjector* injector = cluster_.fault_injector()) {
+    const auto outcome = injector->on_control_signal(node);
+    if (outcome.drop) return;  // lost in transit; the watchdog recovers
+    latency += outcome.extra_delay;
+  }
+  cluster_.sim().after(latency, action);
+}
+
+void GangScheduler::arm_watchdog(std::uint64_t gen) {
+  if (params_.switch_watchdog <= 0) return;
+  cluster_.sim().cancel(watchdog_event_);
+  watchdog_event_ =
+      cluster_.sim().after(params_.signal_latency + params_.switch_watchdog,
+                           [this, gen] { check_watchdog(gen); });
+}
+
+void GangScheduler::check_watchdog(std::uint64_t gen) {
+  if (gen != switch_gen_) return;  // superseded by a newer switch
+  bool pending = false;
+  for (int node = 0; node < cluster_.size(); ++node) {
+    const auto ni = static_cast<std::size_t>(node);
+    if (node_dead_[ni] || !switch_action_[ni]) continue;
+    if (switch_applied_[ni] >= gen) continue;
+    if (switch_retries_[ni] >= params_.watchdog_max_retries) {
+      // The node does not respond to control signals: fence it (STONITH)
+      // so the rotation can make progress without it.
+      cluster_.node(node).vmm().log().warn(
+          "node %d unresponsive after %d switch retransmissions; fencing",
+          node, switch_retries_[ni]);
+      cluster_.fail_node(node);  // observer -> handle_node_failure
+      if (gen != switch_gen_) return;  // failure handling rescheduled
+      continue;
+    }
+    ++switch_retries_[ni];
+    ++stats_.signal_retransmits;
+    send_signal(node, switch_action_[ni]);
+    pending = true;
+  }
+  if (pending && gen == switch_gen_) arm_watchdog(gen);
 }
 
 void GangScheduler::schedule_switch_timer(int slot) {
@@ -149,10 +242,11 @@ void GangScheduler::schedule_bg_start(int slot) {
   bg_event_ = cluster_.sim().after(delay, [this, slot] {
     if (current_slot_ != slot || matrix_.num_slots() <= slot) return;
     for (int node = 0; node < cluster_.size(); ++node) {
+      if (node_dead_[static_cast<std::size_t>(node)]) continue;
       const int job_id = matrix_.job_at(slot, node);
       if (job_id < 0) continue;
       Process* p = jobs_[static_cast<std::size_t>(job_id)]->process_on(node);
-      if (p != nullptr && !p->finished()) {
+      if (p != nullptr && !p->dead()) {
         pagers_[static_cast<std::size_t>(node)]->start_bgwrite(p->pid());
       }
     }
@@ -183,9 +277,61 @@ void GangScheduler::on_job_finished(Job& job) {
   }
   matrix_.remove(job.id());
   try_admit();  // freed memory may let a waiting job in (admission control)
+  reschedule();
+}
 
+void GangScheduler::fail_job(Job& job) {
+  if (job.done()) return;
+  job.mark_failed(cluster_.sim().now());
+  ++stats_.jobs_failed;
+  for (const auto& placement : job.processes()) {
+    const auto ni = static_cast<std::size_t>(placement.node);
+    if (!node_dead_[ni]) {
+      auto& node = cluster_.node(placement.node);
+      node.cpu().kill_process(*placement.process);
+      if (node.vmm().space(placement.process->pid()).alive()) {
+        node.vmm().release_process(placement.process->pid());
+      }
+    }
+    if (running_job_[ni] == &job) running_job_[ni] = nullptr;
+  }
+  matrix_.remove(job.id());
+  try_admit();  // freed memory may admit a waiting job
+}
+
+void GangScheduler::on_page_unrecoverable(int node, Pid pid) {
+  for (auto& job : jobs_) {
+    if (job->done()) continue;
+    Process* p = job->process_on(node);
+    if (p == nullptr || p->pid() != pid) continue;
+    cluster_.node(node).vmm().log().warn(
+        "job %d lost a page on node %d (pid %d); aborting the job",
+        job->id(), node, static_cast<int>(pid));
+    fail_job(*job);
+    reschedule();
+    return;
+  }
+}
+
+void GangScheduler::handle_node_failure(int node) {
+  const auto ni = static_cast<std::size_t>(node);
+  if (node_dead_[ni]) return;
+  node_dead_[ni] = true;
+  ++stats_.nodes_failed;
+  running_job_[ni] = nullptr;
+  switch_action_[ni] = nullptr;
+  if (!started_) return;  // start() fails the affected jobs itself
+  for (auto& job : jobs_) {
+    if (!job->done() && job->process_on(node) != nullptr) fail_job(*job);
+  }
+  reschedule();
+}
+
+void GangScheduler::reschedule() {
+  if (!started_) return;
   cluster_.sim().cancel(switch_event_);
   cluster_.sim().cancel(bg_event_);
+  cluster_.sim().cancel(watchdog_event_);
   if (matrix_.num_slots() == 0) return;  // all done
 
   // Promote whatever should run now (compaction may have shifted slots).
@@ -197,7 +343,7 @@ void GangScheduler::on_job_finished(Job& job) {
 
 bool GangScheduler::all_finished() const {
   return std::all_of(jobs_.begin(), jobs_.end(),
-                     [](const auto& job) { return job->finished(); });
+                     [](const auto& job) { return job->done(); });
 }
 
 SimTime GangScheduler::makespan() const {

@@ -30,6 +30,16 @@ struct GangParams {
   /// Latency of the control message that carries a signal to a node.
   SimDuration signal_latency = 200 * kMicrosecond;
 
+  /// Per-switch watchdog: when > 0, a node that has not applied the current
+  /// switch this long after its signal was sent gets the signal retransmitted
+  /// (control signals can be dropped or delayed by the fault injector); after
+  /// watchdog_max_retries retransmissions the node is declared failed and
+  /// fenced. 0 disables the watchdog entirely — the fault-free default, so
+  /// undisturbed runs schedule no extra events. The harness auto-enables it
+  /// when the fault plan disturbs the control plane.
+  SimDuration switch_watchdog = 0;
+  int watchdog_max_retries = 8;
+
   /// When true, the scheduler passes each job's declared_ws_pages as the
   /// ws_size API argument; otherwise the kernel estimate is used.
   bool pass_ws_hint = false;
@@ -50,6 +60,7 @@ struct GangParams {
 class GangScheduler {
  public:
   GangScheduler(Cluster& cluster, GangParams params);
+  ~GangScheduler();
 
   GangScheduler(const GangScheduler&) = delete;
   GangScheduler& operator=(const GangScheduler&) = delete;
@@ -61,6 +72,7 @@ class GangScheduler {
   /// Begin gang scheduling: slot 0 starts immediately.
   void start();
 
+  /// Every job reached a terminal state (finished or failed).
   [[nodiscard]] bool all_finished() const;
 
   /// Completion time of the last job (-1 while any job is unfinished).
@@ -82,9 +94,38 @@ class GangScheduler {
     return admitted_[static_cast<std::size_t>(job.id())];
   }
 
+  /// React to a crashed node: fail every job placed there, drop the node
+  /// from the rotation, and keep scheduling the survivors. Wired to the
+  /// cluster's node-failure observer; also callable directly from tests.
+  void handle_node_failure(int node);
+
+  [[nodiscard]] bool node_alive(int node) const {
+    return !node_dead_[static_cast<std::size_t>(node)];
+  }
+
+  /// Failure-path statistics (all zero on undisturbed runs).
+  struct Stats {
+    std::uint64_t signal_retransmits = 0;  ///< watchdog-resent switch signals
+    int jobs_failed = 0;
+    int nodes_failed = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
  private:
   void activate_slot(int to_slot);
   void do_switch();
+  /// Deliver \p action to \p node after the (possibly disturbed) signal
+  /// latency; a dropped signal is simply never delivered.
+  void send_signal(int node, const std::function<void()>& action);
+  void arm_watchdog(std::uint64_t gen);
+  void check_watchdog(std::uint64_t gen);
+  /// Abort an unfinished job: kill and release its processes on surviving
+  /// nodes and take it out of the rotation.
+  void fail_job(Job& job);
+  /// A page of (node, pid) became unrecoverable: abort the owning job.
+  void on_page_unrecoverable(int node, Pid pid);
+  /// Re-activate the current slot after the matrix changed.
+  void reschedule();
   /// Admit every waiting job whose memory demand fits (no-op without
   /// admission control, which admits everything up front).
   void try_admit();
@@ -107,6 +148,17 @@ class GangScheduler {
   bool started_ = false;
   int switch_count_ = 0;
   SimTime last_finish_ = -1;
+
+  // Failure handling. Each activate_slot() starts a new switch generation;
+  // per node we remember the generation last applied and the pending switch
+  // action so the watchdog can retransmit idempotently.
+  std::uint64_t switch_gen_ = 0;
+  std::vector<std::uint64_t> switch_applied_;
+  std::vector<std::function<void()>> switch_action_;
+  std::vector<int> switch_retries_;
+  std::vector<bool> node_dead_;
+  EventHandle watchdog_event_;
+  Stats stats_;
 };
 
 /// Batch baseline: run the same jobs strictly one after another. The paper

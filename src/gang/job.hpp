@@ -54,6 +54,17 @@ class Job {
     return !procs_.empty();
   }
 
+  /// The job was aborted (node crash or unrecoverable page fault) and will
+  /// never finish.
+  [[nodiscard]] bool failed() const { return failed_at_ >= 0; }
+  [[nodiscard]] SimTime failed_at() const { return failed_at_; }
+  void mark_failed(SimTime now) {
+    if (failed_at_ < 0) failed_at_ = now;
+  }
+
+  /// Finished or failed: no further scheduling for this job.
+  [[nodiscard]] bool done() const { return failed() || finished(); }
+
   /// Completion time: when the last process finished (-1 if not finished).
   [[nodiscard]] SimTime finished_at() const {
     SimTime t = -1;
@@ -78,6 +89,7 @@ class Job {
   int id_;
   std::string name_;
   std::vector<Placement> procs_;
+  SimTime failed_at_ = -1;
 };
 
 }  // namespace apsim

@@ -1,8 +1,66 @@
 #include "harness/config.hpp"
 
-#include <cassert>
+#include <algorithm>
+#include <stdexcept>
+#include <string>
 
 namespace apsim {
+
+void ExperimentConfig::validate() const {
+  auto fail = [](const std::string& message) {
+    throw std::invalid_argument("config: " + message);
+  };
+  if (nodes < 1) fail("nodes must be >= 1, got " + std::to_string(nodes));
+  if (instances < 1) {
+    fail("instances must be >= 1, got " + std::to_string(instances));
+  }
+  if (quantum <= 0) {
+    fail("quantum must be positive, got " + std::to_string(quantum) + " ns");
+  }
+  if (quantum_override && *quantum_override <= 0) {
+    fail("quantum_override must be positive, got " +
+         std::to_string(*quantum_override) + " ns");
+  }
+  if (bg_start_frac < 0.0 || bg_start_frac > 1.0) {
+    fail("bg_start_frac must be in [0, 1], got " +
+         std::to_string(bg_start_frac));
+  }
+  if (node_memory_mb <= 0.0) {
+    fail("node_memory_mb must be positive, got " +
+         std::to_string(node_memory_mb));
+  }
+  if (usable_memory_mb <= 0.0) {
+    fail("usable_memory_mb must be positive, got " +
+         std::to_string(usable_memory_mb));
+  }
+  if (usable_memory_mb > node_memory_mb) {
+    fail("usable_memory_mb (" + std::to_string(usable_memory_mb) +
+         ") exceeds node_memory_mb (" + std::to_string(node_memory_mb) + ")");
+  }
+  const VmmParams vmm_defaults;
+  if (mb_to_pages(usable_memory_mb) <= vmm_defaults.freepages_high) {
+    fail("usable memory of " + std::to_string(usable_memory_mb) +
+         " MB leaves no frames above the freepages.high watermark");
+  }
+  if (page_cluster < 1) {
+    fail("page_cluster must be >= 1, got " + std::to_string(page_cluster));
+  }
+  if (iterations_scale <= 0.0) {
+    fail("iterations_scale must be positive, got " +
+         std::to_string(iterations_scale));
+  }
+  if (horizon <= 0) {
+    fail("horizon must be positive, got " + std::to_string(horizon) + " ns");
+  }
+  if (swap_mb < 0.0) {
+    fail("swap_mb must be >= 0, got " + std::to_string(swap_mb));
+  }
+  if (swap_mb > 0.0 && swap_mb < node_memory_mb - usable_memory_mb) {
+    fail("swap of " + std::to_string(swap_mb) +
+         " MB is smaller than the wired-down memory (" +
+         std::to_string(node_memory_mb - usable_memory_mb) + " MB)");
+  }
+}
 
 std::string ExperimentConfig::describe() const {
   if (!label.empty()) return label;
@@ -22,21 +80,25 @@ std::string ExperimentConfig::describe() const {
 }
 
 NodeParams ExperimentConfig::make_node_params() const {
-  assert(usable_memory_mb > 0.0 && usable_memory_mb <= node_memory_mb);
+  validate();
   NodeParams node;
   node.vmm.total_frames = mb_to_pages(node_memory_mb);
   node.vmm.page_cluster = page_cluster;
   node.vmm.page_aging = page_aging;
   node.wired_mb = node_memory_mb - usable_memory_mb;
-  // Swap partition sized like a 2002 installation: ~1.5x the anonymous
-  // memory it must hold. Tight enough that slot churn from partially
-  // re-dirtied footprints fragments the free map over time (defeating block
-  // transfers for scatter-write workloads such as IS), roomy enough never
-  // to run out.
-  const WorkloadSpec spec = npb_spec(app, cls);
-  const std::int64_t per_proc = spec.footprint_pages(nodes);
-  node.swap_slots =
-      std::max<std::int64_t>((3 * per_proc * instances) / 2, mb_to_pages(512.0));
+  if (swap_mb > 0.0) {
+    node.swap_slots = mb_to_pages(swap_mb);
+  } else {
+    // Swap partition sized like a 2002 installation: ~1.5x the anonymous
+    // memory it must hold. Tight enough that slot churn from partially
+    // re-dirtied footprints fragments the free map over time (defeating
+    // block transfers for scatter-write workloads such as IS), roomy enough
+    // never to run out.
+    const WorkloadSpec spec = npb_spec(app, cls);
+    const std::int64_t per_proc = spec.footprint_pages(nodes);
+    node.swap_slots = std::max<std::int64_t>((3 * per_proc * instances) / 2,
+                                             mb_to_pages(512.0));
+  }
   node.disk.num_blocks = node.swap_slots;
   return node;
 }

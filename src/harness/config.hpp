@@ -6,6 +6,7 @@
 
 #include "cluster/node.hpp"
 #include "core/policy.hpp"
+#include "fault/fault_plan.hpp"
 #include "net/network.hpp"
 #include "workloads/spec.hpp"
 
@@ -52,10 +53,32 @@ struct ExperimentConfig {
   /// with makespan == -1.
   SimDuration horizon = 100 * 3600 * kSecond;
 
+  /// Faults injected into the run. An empty plan means no injector is
+  /// constructed at all: fault-free runs are bit-identical to pre-fault
+  /// builds.
+  FaultPlan faults;
+
+  /// Gang switch watchdog. 0 = automatic: enabled (50 ms) only when the
+  /// fault plan disturbs the control plane (dropped/delayed signals or node
+  /// crashes), disabled otherwise so undisturbed runs schedule no extra
+  /// events. > 0 forces that timeout; < 0 forces the watchdog off.
+  SimDuration switch_watchdog = 0;
+
+  /// Swap partition size per node, MB. 0 = auto-size to ~1.5x the workload's
+  /// anonymous footprint (the default installation). A small explicit value
+  /// exercises the out-of-swap failure path.
+  double swap_mb = 0.0;
+
+  /// Check the configuration for nonsense (negative quantum, bg_start_frac
+  /// outside [0, 1], zero usable memory, swap smaller than wired memory,
+  /// ...). Throws std::invalid_argument with a specific message.
+  void validate() const;
+
   /// Canonical one-line description used as the outcome label.
   [[nodiscard]] std::string describe() const;
 
-  /// Node hardware/kernel parameters implied by this config.
+  /// Node hardware/kernel parameters implied by this config. Calls
+  /// validate().
   [[nodiscard]] NodeParams make_node_params() const;
 
   [[nodiscard]] NetParams make_net_params() const { return NetParams{}; }

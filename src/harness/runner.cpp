@@ -26,7 +26,7 @@ struct Built {
   built.spec = npb_spec(config.app, config.cls);
   built.cluster = std::make_unique<Cluster>(
       config.nodes, config.make_node_params(), config.make_net_params(),
-      config.seed);
+      config.seed, config.faults);
   return built;
 }
 
@@ -90,6 +90,8 @@ void collect(const Built& built, const ExperimentConfig& config,
     JobOutcome jo;
     jo.name = job->name();
     jo.completion = job->finished_at();
+    jo.failed = job->failed();
+    if (jo.failed) ++out.jobs_failed;
     for (const auto& placement : job->processes()) {
       const auto& proc = *placement.process;
       const auto& space =
@@ -109,6 +111,14 @@ void collect(const Built& built, const ExperimentConfig& config,
     out.false_evictions += jo.false_evictions;
     out.jobs.push_back(std::move(jo));
   }
+  for (int n = 0; n < built.cluster->size(); ++n) {
+    auto& node = built.cluster->node(n);
+    out.io_errors += node.disk().stats().io_errors;
+    const auto& vstats = node.vmm().stats();
+    out.io_retries += vstats.io_retries;
+    out.pages_unrecoverable +=
+        vstats.pages_unrecoverable + vstats.out_of_swap_faults;
+  }
   if (config.capture_traces) {
     for (int n = 0; n < built.cluster->size(); ++n) {
       auto& vmm = built.cluster->node(n).vmm();
@@ -124,6 +134,7 @@ void collect(const Built& built, const ExperimentConfig& config,
 }  // namespace
 
 RunOutcome run_gang(const ExperimentConfig& config) {
+  config.validate();
   Built built = build_cluster(config);
 
   GangParams params;
@@ -131,6 +142,14 @@ RunOutcome run_gang(const ExperimentConfig& config) {
   params.bg_start_frac = config.bg_start_frac;
   params.pass_ws_hint = config.pass_ws_hint;
   params.pager.policy = config.policy;
+  if (config.switch_watchdog > 0) {
+    params.switch_watchdog = config.switch_watchdog;
+  } else if (config.switch_watchdog == 0 &&
+             config.faults.disturbs_control_plane()) {
+    // Auto mode: the control plane is under attack, so arm the watchdog;
+    // undisturbed runs keep it off and schedule no extra events.
+    params.switch_watchdog = 50 * kMillisecond;
+  }
   GangScheduler scheduler(*built.cluster, params);
   build_jobs(built, config, scheduler);
   scheduler.start();
@@ -149,10 +168,13 @@ RunOutcome run_gang(const ExperimentConfig& config) {
     out.pages_replayed += stats.pages_replayed;
     out.bg_pages_written += stats.bg_pages_written;
   }
+  out.nodes_failed = scheduler.stats().nodes_failed;
+  out.signal_retransmits = scheduler.stats().signal_retransmits;
   return out;
 }
 
 RunOutcome run_batch(const ExperimentConfig& config) {
+  config.validate();
   Built built = build_cluster(config);
 
   BatchRunner runner(*built.cluster);

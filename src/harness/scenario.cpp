@@ -96,6 +96,15 @@ void apply_scenario_key(ExperimentConfig& config, std::string_view key,
   } else if (key == "horizon_s") {
     config.horizon = static_cast<SimDuration>(parse_double(value, key) *
                                               static_cast<double>(kSecond));
+  } else if (key == "fault") {
+    // Repeatable: each line appends one FaultSpec, e.g.
+    //   fault = disk_transient node=0 start_s=60 end_s=120 p=0.05
+    config.faults.add(FaultSpec::parse(value));
+  } else if (key == "watchdog_ms") {
+    config.switch_watchdog = static_cast<SimDuration>(
+        parse_double(value, key) * static_cast<double>(kMillisecond));
+  } else if (key == "swap_mb") {
+    config.swap_mb = parse_double(value, key);
   } else {
     throw std::invalid_argument("scenario: unknown key '" + std::string(key) +
                                 "'");

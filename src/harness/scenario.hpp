@@ -34,7 +34,8 @@
 /// Recognised keys: app, class, nodes, instances, memory_mb, usable_mb,
 /// policy, quantum_s, quantum_override_s, page_cluster, bg_start_frac,
 /// pass_ws_hint, seed, iterations_scale, capture_traces, batch, label,
-/// horizon_s.
+/// horizon_s, fault (repeatable; see FaultSpec::parse), watchdog_ms,
+/// swap_mb.
 
 namespace apsim {
 

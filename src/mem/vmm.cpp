@@ -48,6 +48,11 @@ void Vmm::release_process(Pid pid) {
       pte.slot = kNoSwapSlot;
     }
   }
+  // Freed frames and slots are reclaim progress: clear any stall.
+  reclaim_stalled_ = false;
+  write_failure_streak_ = 0;
+  std::erase_if(stalled_retry_counts_,
+                [pid](const auto& kv) { return kv.first.first == pid; });
   kick_reclaim();  // freed frames may satisfy waiters
 }
 
@@ -110,6 +115,7 @@ void Vmm::fault_impl(Pid pid, VPage vpage, bool write,
                      std::function<void()> resume, bool skip_watermark) {
   auto& as = space(pid);
   assert(as.page_table().valid(vpage));
+  if (!as.alive_) return;  // process was killed while the fault was pending
   Pte& pte = as.page_table().at(vpage);
 
   if (pte.present) {
@@ -153,6 +159,19 @@ void Vmm::fault_impl(Pid pid, VPage vpage, bool write,
 
 void Vmm::retry_fault_later(Pid pid, VPage vpage, bool write,
                             std::function<void()> resume) {
+  if (reclaim_stalled_) {
+    // Reclaim cannot help this fault. Count the consecutive stalled retries
+    // and abandon past the cap instead of spinning for the whole horizon —
+    // this is the diagnosable out-of-swap outcome.
+    int& count = stalled_retry_counts_[{pid, vpage}];
+    if (++count > params_.stalled_fault_retry_limit) {
+      stalled_retry_counts_.erase({pid, vpage});
+      declare_unrecoverable(pid, vpage, PageFailure::kOutOfSwap);
+      return;  // resume dropped: the process stays blocked (handler kills it)
+    }
+  } else {
+    stalled_retry_counts_.erase({pid, vpage});
+  }
   ++stats_.alloc_retries;
   kick_reclaim();
   sim_.after(kMillisecond, [this, pid, vpage, write,
@@ -235,41 +254,129 @@ void Vmm::start_major_fault(Pid pid, VPage vpage, bool write,
   }
 
   const std::int64_t count = hi - lo + 1;
-  const SlotRun run{s0 - (vpage - lo), count};
   if (frames_.free_frames() < params_.freepages_low) kick_reclaim();
 
-  swap_.read(run, IoPriority::kForeground,
-             [this, pid, lo, count, vpage, write,
-              resume = std::move(resume)]() mutable {
-               auto& as2 = space(pid);
-               auto& pt2 = as2.page_table();
-               for (VPage v = lo; v < lo + count; ++v) {
-                 Pte& p = pt2.at(v);
-                 assert(p.io_busy && !p.present);
-                 p.io_busy = false;
-                 if (!as2.alive_) {
-                   frames_.free(p.frame);
-                   p.frame = kNoFrame;
-                   if (p.slot != kNoSwapSlot) {
-                     swap_.free_slot(p.slot);
-                     p.slot = kNoSwapSlot;
-                   }
-                   continue;
-                 }
-                 p.present = true;
-                 // Only the faulting page counts as referenced; read-ahead
-                 // pages age out if they go unused (Linux behaviour).
-                 p.referenced = (v == vpage);
-                 p.age = params_.age_initial;
-                 p.last_ref = sim_.now();
-                 ++as2.resident_;
-                 fire_io_waiters(pid, v);
-               }
-               if (!as2.alive_) return;
-               account_pagein(count, as2);
-               (void)touch(as2, vpage, write);
-               sim_.after(params_.major_fault_cpu, std::move(resume));
-             });
+  issue_major_read(pid, lo, count, vpage, write, std::move(resume),
+                   /*attempt=*/0);
+}
+
+void Vmm::issue_major_read(Pid pid, VPage lo, std::int64_t count, VPage vpage,
+                           bool write, std::function<void()> resume,
+                           int attempt) {
+  auto& as = space(pid);
+  auto& pt = as.page_table();
+
+  // Reap path shared by "owner died while waiting" and "retries exhausted":
+  // release the reserved frames; a live owner keeps the swap slots (the data
+  // is still on disk, a later demand fault may succeed once the fault
+  // condition clears), a dead one gives them back.
+  auto abandon = [this, pid, lo, count](AddressSpace& as2) {
+    auto& pt2 = as2.page_table();
+    for (VPage v = lo; v < lo + count; ++v) {
+      Pte& p = pt2.at(v);
+      assert(p.io_busy && !p.present);
+      p.io_busy = false;
+      frames_.free(p.frame);
+      p.frame = kNoFrame;
+      if (!as2.alive_ && p.slot != kNoSwapSlot) {
+        swap_.free_slot(p.slot);
+        p.slot = kNoSwapSlot;
+      }
+      drop_io_waiters(pid, v);
+    }
+    kick_reclaim();
+  };
+
+  if (!as.alive_) {
+    abandon(as);
+    return;
+  }
+
+  const SlotRun run{pt.at(lo).slot, count};
+  swap_.read(
+      run, IoPriority::kForeground,
+      [this, pid, lo, count, vpage, write, resume = std::move(resume), attempt,
+       abandon](IoResult result) mutable {
+        auto& as2 = space(pid);
+        auto& pt2 = as2.page_table();
+        if (!result.ok) {
+          ++stats_.io_read_failures;
+          if (as2.alive_ && attempt < params_.io_retry_limit &&
+              !swap_.disk().failed()) {
+            // Transient error: retry the whole read with capped exponential
+            // backoff. The frames stay reserved (io_busy), so concurrent
+            // faults keep piggybacking on this read.
+            ++stats_.io_retries;
+            const SimDuration backoff =
+                std::min(params_.io_retry_cap,
+                         params_.io_retry_base << std::min(attempt, 30));
+            sim_.after(backoff, [this, pid, lo, count, vpage, write,
+                                 resume = std::move(resume),
+                                 attempt]() mutable {
+              issue_major_read(pid, lo, count, vpage, write, std::move(resume),
+                               attempt + 1);
+            });
+            return;
+          }
+          abandon(as2);
+          if (as2.alive_) {
+            ++stats_.pages_unrecoverable;
+            log_.error("swap read for pid %d page %lld failed %d time(s); "
+                       "declaring unrecoverable",
+                       static_cast<int>(pid), static_cast<long long>(vpage),
+                       attempt + 1);
+            declare_unrecoverable(pid, vpage, PageFailure::kIoError);
+          }
+          return;
+        }
+        for (VPage v = lo; v < lo + count; ++v) {
+          Pte& p = pt2.at(v);
+          assert(p.io_busy && !p.present);
+          p.io_busy = false;
+          if (!as2.alive_) {
+            frames_.free(p.frame);
+            p.frame = kNoFrame;
+            if (p.slot != kNoSwapSlot) {
+              swap_.free_slot(p.slot);
+              p.slot = kNoSwapSlot;
+            }
+            continue;
+          }
+          p.present = true;
+          // Only the faulting page counts as referenced; read-ahead
+          // pages age out if they go unused (Linux behaviour).
+          p.referenced = (v == vpage);
+          p.age = params_.age_initial;
+          p.last_ref = sim_.now();
+          ++as2.resident_;
+          stalled_retry_counts_.erase({pid, v});
+          fire_io_waiters(pid, v);
+        }
+        if (!as2.alive_) return;
+        account_pagein(count, as2);
+        (void)touch(as2, vpage, write);
+        if (resume) sim_.after(params_.major_fault_cpu, std::move(resume));
+      });
+}
+
+void Vmm::drop_io_waiters(Pid pid, VPage vpage) {
+  io_waiters_.erase({pid, vpage});
+}
+
+void Vmm::declare_unrecoverable(Pid pid, VPage vpage, PageFailure failure) {
+  if (failure == PageFailure::kOutOfSwap) {
+    ++stats_.out_of_swap_faults;
+    log_.error("fault for pid %d page %lld cannot be served: reclaim stalled "
+               "(out of swap space); abandoning",
+               static_cast<int>(pid), static_cast<long long>(vpage));
+  }
+  if (failure_handler_) {
+    // Via an event: the handler typically kills the job (release_process),
+    // which must not run inside I/O completion or reclaim iteration.
+    sim_.after(0, [this, pid, vpage, failure] {
+      if (failure_handler_) failure_handler_(pid, vpage, failure);
+    });
+  }
 }
 
 void Vmm::add_io_waiter(Pid pid, VPage vpage, std::function<void()> resume) {
@@ -333,7 +440,9 @@ void Vmm::reclaim_step() {
 
   std::int64_t goal = 0;
   for (const auto& w : waiters_) goal = std::max(goal, w.target);
-  if (frames_.free_frames() < params_.freepages_low) {
+  // A stalled reclaimer drops the kswapd goal (its evictions cannot complete)
+  // but demand waiters keep probing so a transient window recovers.
+  if (!reclaim_stalled_ && frames_.free_frames() < params_.freepages_low) {
     goal = std::max(goal, params_.freepages_high);  // kswapd target
   }
   if (goal == 0) return;
@@ -367,17 +476,20 @@ void Vmm::reclaim_step() {
   if (freed_now == 0 && evictions_in_flight_ == in_flight_before) {
     // No progress despite victims — e.g. the swap device is full. Treat it
     // like memory exhaustion rather than spinning at this instant.
-    if (evictions_in_flight_ == 0 && !waiters_.empty()) {
-      std::size_t strict = 0;
-      for (const auto& w : waiters_) {
-        if (!w.best_effort) ++strict;
+    if (evictions_in_flight_ == 0) {
+      reclaim_stalled_ = true;  // starts the stalled-fault countdown
+      if (!waiters_.empty()) {
+        std::size_t strict = 0;
+        for (const auto& w : waiters_) {
+          if (!w.best_effort) ++strict;
+        }
+        if (strict > 0) {
+          stats_.oom_waiter_releases += strict;
+          warn_release_rate_limited("reclaim cannot make progress");
+        }
+        for (auto& w : waiters_) sim_.after(0, std::move(w.done));
+        waiters_.clear();
       }
-      if (strict > 0) {
-        stats_.oom_waiter_releases += strict;
-        warn_release_rate_limited("reclaim cannot make progress");
-      }
-      for (auto& w : waiters_) sim_.after(0, std::move(w.done));
-      waiters_.clear();
     }
     return;
   }
@@ -470,20 +582,53 @@ std::int64_t Vmm::evict_batch(std::span<const Victim> victims,
       evictions_in_flight_ += run->count;
 
       swap_.write(*run, priority,
-                  [this, pid, run_begin, count = run->count]() {
+                  [this, pid, run_begin, count = run->count](IoResult result) {
                     auto& as2 = space(pid);
                     auto& pt2 = as2.page_table();
+                    if (!result.ok) {
+                      ++stats_.io_write_failures;
+                      if (++write_failure_streak_ >=
+                              params_.write_failure_streak_limit &&
+                          !reclaim_stalled_) {
+                        reclaim_stalled_ = true;
+                        log_.warn("eviction write-outs keep failing; reclaim "
+                                  "stalled");
+                      }
+                    } else {
+                      // Reclaim progress: clear any stall.
+                      write_failure_streak_ = 0;
+                      reclaim_stalled_ = false;
+                    }
                     for (VPage p = run_begin; p < run_begin + count; ++p) {
                       Pte& pte = pt2.at(p);
                       assert(pte.io_busy);
                       pte.io_busy = false;
+                      if (!result.ok && pte.slot != kNoSwapSlot) {
+                        // The swap copy was never written; drop the slot.
+                        swap_.free_slot(pte.slot);
+                        pte.slot = kNoSwapSlot;
+                      }
                       if (!as2.alive_) {
                         frames_.free(pte.frame);
                         pte.frame = kNoFrame;
                         pte.present = false;
+                        --as2.resident_;
+                        if (pte.dirty) {
+                          pte.dirty = false;
+                          --as2.dirty_resident_;
+                        }
                         if (pte.slot != kNoSwapSlot) {
                           swap_.free_slot(pte.slot);
                           pte.slot = kNoSwapSlot;
+                        }
+                        continue;
+                      }
+                      if (!result.ok) {
+                        // The data exists only in memory: the page stays
+                        // resident and is dirty again. kswapd retries later.
+                        if (!pte.dirty) {
+                          pte.dirty = true;
+                          ++as2.dirty_resident_;
                         }
                         continue;
                       }
@@ -501,7 +646,7 @@ std::int64_t Vmm::evict_batch(std::span<const Victim> victims,
                       --as2.resident_;
                     }
                     evictions_in_flight_ -= count;
-                    if (as2.alive_) account_pageout(count, as2);
+                    if (result.ok && as2.alive_) account_pageout(count, as2);
                     kick_reclaim();
                   });
     }
@@ -584,9 +729,45 @@ void Vmm::prefetch_pump(const std::shared_ptr<PrefetchJob>& job) {
 
     const VPage batch_begin = v;
     swap_.read(SlotRun{s0, len}, IoPriority::kForeground,
-               [this, job, batch_begin, len]() {
+               [this, job, batch_begin, len](IoResult result) {
                  auto& as2 = space(job->pid);
                  auto& pt2 = as2.page_table();
+                 if (!result.ok) {
+                   ++stats_.io_read_failures;
+                   ++stats_.prefetch_aborts;
+                   for (VPage p = batch_begin; p < batch_begin + len; ++p) {
+                     Pte& pte = pt2.at(p);
+                     assert(pte.io_busy && !pte.present);
+                     if (as2.alive_ && has_io_waiters(job->pid, p)) {
+                       // A demand fault piggybacked on this prefetch read:
+                       // escalate to a single-page foreground read with the
+                       // full retry budget so the waiter is not dropped.
+                       issue_major_read(job->pid, p, 1, p, /*write=*/false,
+                                        /*resume=*/{}, /*attempt=*/1);
+                       continue;
+                     }
+                     // Release the frame but keep the swap slot (live owner):
+                     // plain demand paging retries the page later.
+                     pte.io_busy = false;
+                     frames_.free(pte.frame);
+                     pte.frame = kNoFrame;
+                     if (!as2.alive_ && pte.slot != kNoSwapSlot) {
+                       swap_.free_slot(pte.slot);
+                       pte.slot = kNoSwapSlot;
+                     }
+                   }
+                   // Abandon the rest of the replay: the pager falls back to
+                   // demand paging for whatever was not yet fetched.
+                   job->run_idx = job->runs.size();
+                   job->page_idx = 0;
+                   --job->reads_in_flight;
+                   kick_reclaim();
+                   if (job->reads_in_flight == 0 && job->done) {
+                     auto done = std::move(job->done);
+                     done();
+                   }
+                   return;
+                 }
                  for (VPage p = batch_begin; p < batch_begin + len; ++p) {
                    Pte& pte = pt2.at(p);
                    assert(pte.io_busy && !pte.present);
@@ -687,20 +868,41 @@ void Vmm::writeback_dirty(Pid pid, std::int64_t max_pages, IoPriority priority,
       remaining -= run->count;
       started += run->count;
 
-      swap_.write(*run, priority, [this, pid, run_begin, count = run->count]() {
+      swap_.write(*run, priority, [this, pid, run_begin,
+                                   count = run->count](IoResult result) {
         auto& as2 = space(pid);
         auto& pt2 = as2.page_table();
+        if (!result.ok) ++stats_.io_write_failures;
         for (VPage p = run_begin; p < run_begin + count; ++p) {
           Pte& pte = pt2.at(p);
           assert(pte.io_busy && pte.present);
           pte.io_busy = false;
+          if (!result.ok && pte.slot != kNoSwapSlot) {
+            // The swap copy was never written; drop the slot.
+            swap_.free_slot(pte.slot);
+            pte.slot = kNoSwapSlot;
+          }
           if (!as2.alive_) {
             frames_.free(pte.frame);
             pte.frame = kNoFrame;
             pte.present = false;
+            --as2.resident_;
+            if (pte.dirty) {
+              pte.dirty = false;
+              --as2.dirty_resident_;
+            }
             if (pte.slot != kNoSwapSlot) {
               swap_.free_slot(pte.slot);
               pte.slot = kNoSwapSlot;
+            }
+            continue;
+          }
+          if (!result.ok) {
+            // The page is still dirty in memory only. No retry here — the
+            // background writer's next tick tries again naturally.
+            if (!pte.dirty) {
+              pte.dirty = true;
+              ++as2.dirty_resident_;
             }
             continue;
           }
@@ -712,7 +914,7 @@ void Vmm::writeback_dirty(Pid pid, std::int64_t max_pages, IoPriority priority,
           // Page stays mapped either way; cleaning it without unmapping is
           // the point of background writing.
         }
-        if (as2.alive_) account_pageout(count, as2);
+        if (result.ok && as2.alive_) account_pageout(count, as2);
       });
       if (run->count == 0) break;
     }

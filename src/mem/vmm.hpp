@@ -67,6 +67,22 @@ struct VmmParams {
 
   /// Kernel CPU overhead of a major fault, excluding disk time.
   SimDuration major_fault_cpu = 8 * kMicrosecond;
+
+  /// Transient-I/O recovery: a failed demand/read-ahead swap read is retried
+  /// with capped exponential backoff (base, base*2, base*4, ... up to cap)
+  /// at most io_retry_limit times before the page is declared unrecoverable.
+  int io_retry_limit = 4;
+  SimDuration io_retry_base = 5 * kMillisecond;
+  SimDuration io_retry_cap = 80 * kMillisecond;
+
+  /// Faults that keep retrying while reclaim is stalled (swap exhausted or
+  /// the device persistently failing) are abandoned after this many 1 ms
+  /// retries instead of looping forever.
+  int stalled_fault_retry_limit = 200;
+
+  /// Consecutive failed eviction write-outs before the reclaimer reports
+  /// itself stalled (stops the kswapd goal; demand waiters still probe).
+  int write_failure_streak_limit = 3;
 };
 
 /// Per-process memory state owned by the VMM.
@@ -191,6 +207,23 @@ class Vmm {
   /// start); ws_pages() then counts distinct pages touched in the new epoch.
   void begin_ws_epoch(Pid pid);
 
+  // ---- failure reporting ----
+
+  /// Why a page became unrecoverable.
+  enum class PageFailure : std::uint8_t {
+    kIoError,    ///< swap read kept failing after capped-backoff retries
+    kOutOfSwap,  ///< reclaim stalled (swap exhausted / unwritable) past the cap
+  };
+
+  /// Invoked (via an event) when a fault on (pid, vpage) is abandoned: the
+  /// faulting process stays blocked, so the handler should kill the job.
+  /// Without a handler the process simply never resumes — the queue still
+  /// quiesces and the stats below make the outcome diagnosable.
+  using FailureHandler = std::function<void(Pid, VPage, PageFailure)>;
+  void set_failure_handler(FailureHandler handler) {
+    failure_handler_ = std::move(handler);
+  }
+
   // ---- introspection ----
 
   [[nodiscard]] Simulator& sim() { return sim_; }
@@ -207,8 +240,18 @@ class Vmm {
     std::uint64_t reclaim_steps = 0;
     std::uint64_t oom_waiter_releases = 0;  ///< waiters released unsatisfied
     std::uint64_t alloc_retries = 0;        ///< frame allocation retried after delay
+    std::uint64_t io_read_failures = 0;     ///< failed swap read transfers
+    std::uint64_t io_write_failures = 0;    ///< failed swap write transfers
+    std::uint64_t io_retries = 0;           ///< read retries after transient errors
+    std::uint64_t pages_unrecoverable = 0;  ///< faults abandoned: I/O retry exhaustion
+    std::uint64_t out_of_swap_faults = 0;   ///< faults abandoned: stalled reclaim
+    std::uint64_t prefetch_aborts = 0;      ///< prefetch replays abandoned on error
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// True while the reclaimer cannot make progress (swap exhausted or its
+  /// writes persistently failing); the adaptive pager uses this to degrade.
+  [[nodiscard]] bool reclaim_stalled() const { return reclaim_stalled_; }
 
   /// Pages read from swap per second (trace for Figure 6).
   [[nodiscard]] TimeSeries& pagein_series() { return pagein_series_; }
@@ -232,10 +275,20 @@ class Vmm {
                          std::function<void()> resume);
   void start_major_fault(Pid pid, VPage vpage, bool write,
                          std::function<void()> resume);
+  /// Issue (or re-issue, attempt > 0) the swap read for a major fault whose
+  /// frames are already reserved over [lo, lo + count).
+  void issue_major_read(Pid pid, VPage lo, std::int64_t count, VPage vpage,
+                        bool write, std::function<void()> resume, int attempt);
   void finish_minor_fault(Pid pid, VPage vpage, bool write,
                           std::function<void()> resume);
   void add_io_waiter(Pid pid, VPage vpage, std::function<void()> resume);
   void fire_io_waiters(Pid pid, VPage vpage);
+  [[nodiscard]] bool has_io_waiters(Pid pid, VPage vpage) const {
+    return io_waiters_.contains({pid, vpage});
+  }
+  void drop_io_waiters(Pid pid, VPage vpage);
+  /// Abandon the fault on (pid, vpage) and notify the failure handler.
+  void declare_unrecoverable(Pid pid, VPage vpage, PageFailure failure);
 
   // Reclaim machinery.
   void kick_reclaim();
@@ -280,6 +333,16 @@ class Vmm {
   std::int64_t evictions_in_flight_ = 0;  ///< frames that will free on write completion
   bool reclaim_scheduled_ = false;
   std::uint64_t release_warnings_ = 0;
+
+  /// Reclaim cannot currently make progress (swap exhausted or its writes
+  /// keep failing). Suppresses the background kswapd goal — demand waiters
+  /// still probe — and starts the stalled-fault abandonment countdown.
+  /// Cleared by any successful eviction or freed memory.
+  bool reclaim_stalled_ = false;
+  int write_failure_streak_ = 0;
+  std::map<std::pair<Pid, VPage>, int> stalled_retry_counts_;
+
+  FailureHandler failure_handler_;
 
   std::map<std::pair<Pid, VPage>, std::vector<std::function<void()>>> io_waiters_;
 

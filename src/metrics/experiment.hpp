@@ -20,6 +20,7 @@ namespace apsim {
 struct JobOutcome {
   std::string name;
   SimTime completion = -1;          ///< job finish time
+  bool failed = false;              ///< aborted (node crash / lost page)
   std::uint64_t major_faults = 0;
   std::uint64_t minor_faults = 0;
   std::uint64_t pages_swapped_in = 0;
@@ -46,6 +47,14 @@ struct RunOutcome {
   std::uint64_t pages_replayed = 0;
   std::uint64_t bg_pages_written = 0;
   int switches = 0;
+
+  // Failure/robustness statistics (all zero on fault-free runs).
+  int jobs_failed = 0;
+  int nodes_failed = 0;
+  std::uint64_t io_errors = 0;            ///< disk transfers completed in error
+  std::uint64_t io_retries = 0;           ///< swap reads retried after errors
+  std::uint64_t pages_unrecoverable = 0;  ///< abandoned faults (I/O + out-of-swap)
+  std::uint64_t signal_retransmits = 0;   ///< watchdog-resent switch signals
 
   [[nodiscard]] double makespan_s() const { return to_seconds(makespan); }
 };

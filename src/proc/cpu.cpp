@@ -13,6 +13,7 @@ void Cpu::attach(Process& p) {
 }
 
 void Cpu::cont_process(Process& p) {
+  if (p.dead()) return;
   p.stop_requested_ = false;
   if (p.state_ == ProcState::kStopped) {
     p.stats_.stopped_time += sim_.now() - p.stopped_since_;
@@ -22,7 +23,7 @@ void Cpu::cont_process(Process& p) {
 }
 
 void Cpu::stop_process(Process& p) {
-  if (p.state_ == ProcState::kFinished) return;
+  if (p.dead()) return;
   p.stop_requested_ = true;
   if (p.state_ == ProcState::kReady) {
     std::erase(ready_, &p);
@@ -34,8 +35,24 @@ void Cpu::stop_process(Process& p) {
   // kBlocked*: unblock() applies the flag when the wait completes.
 }
 
+void Cpu::kill_process(Process& p) {
+  if (p.dead()) return;
+  if (p.state_ == ProcState::kStopped) {
+    p.stats_.stopped_time += sim_.now() - p.stopped_since_;
+  }
+  std::erase(ready_, &p);
+  ++p.run_gen_;  // drop every pending continuation
+  p.state_ = ProcState::kFailed;
+  if (current_ == &p) current_ = nullptr;
+  dispatch();
+}
+
+void Cpu::kill_all() {
+  for (Process* p : attached_) kill_process(*p);
+}
+
 void Cpu::make_runnable(Process& p) {
-  assert(p.state_ != ProcState::kFinished);
+  assert(!p.dead());
   p.state_ = ProcState::kReady;
   ready_.push_back(&p);
   dispatch();
@@ -192,7 +209,7 @@ void Cpu::yield_or_continue(Process& p) {
 }
 
 void Cpu::unblock(Process& p) {
-  if (p.state_ == ProcState::kFinished) return;
+  if (p.dead()) return;  // killed or finished while the wait was in flight
   assert(p.state_ == ProcState::kBlockedFault ||
          p.state_ == ProcState::kBlockedComm);
   if (p.stop_requested_) {

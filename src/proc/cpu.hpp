@@ -52,6 +52,14 @@ class Cpu {
   /// next slice boundary; blocked ones when their wait completes.
   void stop_process(Process& p);
 
+  /// SIGKILL: the process enters kFailed immediately, never runs again, and
+  /// all of its pending continuations are invalidated. Idempotent; a no-op
+  /// on finished processes. The caller releases the VMM address space.
+  void kill_process(Process& p);
+
+  /// Kill every attached process (node crash).
+  void kill_all();
+
   /// Install the communication delegate (the MPI layer). Without one, comm
   /// ops complete immediately.
   void set_comm_handler(CommHandler handler) { comm_ = std::move(handler); }

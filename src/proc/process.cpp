@@ -10,6 +10,7 @@ std::string_view to_string(ProcState s) {
     case ProcState::kBlockedComm: return "comm-wait";
     case ProcState::kStopped: return "stopped";
     case ProcState::kFinished: return "finished";
+    case ProcState::kFailed: return "failed";
   }
   return "?";
 }

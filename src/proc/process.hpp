@@ -27,6 +27,7 @@ enum class ProcState : std::uint8_t {
   kBlockedComm,   ///< waiting inside a communication op
   kStopped,       ///< SIGSTOPped by the gang scheduler
   kFinished,      ///< program completed
+  kFailed,        ///< killed (node crash or unrecoverable page fault)
 };
 
 [[nodiscard]] std::string_view to_string(ProcState s);
@@ -45,6 +46,9 @@ class Process {
   [[nodiscard]] Program& program() { return *program_; }
   [[nodiscard]] bool stop_requested() const { return stop_requested_; }
   [[nodiscard]] bool finished() const { return state_ == ProcState::kFinished; }
+  [[nodiscard]] bool failed() const { return state_ == ProcState::kFailed; }
+  /// Finished or failed: the process will never run again.
+  [[nodiscard]] bool dead() const { return finished() || failed(); }
 
   /// MPI identity (meaningful for parallel programs only).
   int rank = 0;

@@ -1,0 +1,191 @@
+// Chaos property test: randomized fault plans (FaultPlan::random) against a
+// small gang-scheduled cluster. For each seed the run must quiesce, every job
+// must reach a terminal state, surviving nodes must end with all memory and
+// swap returned, any failure must be diagnosable from the statistics, and the
+// whole run must be bit-reproducible from its seed.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "fault/fault_injector.hpp"
+#include "gang/gang_scheduler.hpp"
+#include "workloads/generator.hpp"
+
+namespace apsim {
+namespace {
+
+constexpr int kNodes = 2;
+constexpr SimTime kFaultHorizon = 60 * kSecond;  // fault windows live in here
+
+NodeParams chaos_node_params() {
+  NodeParams n;
+  n.vmm.total_frames = 512;
+  n.vmm.freepages_min = 8;
+  n.vmm.freepages_low = 12;
+  n.vmm.freepages_high = 16;
+  n.disk.num_blocks = 1 << 16;
+  return n;
+}
+
+/// Everything observable about one chaos run, for determinism comparison.
+struct ChaosOutcome {
+  bool finished = false;
+  std::vector<SimTime> finish_times;
+  std::vector<bool> failed;
+  std::uint64_t pages_swapped_in = 0;
+  std::uint64_t io_errors = 0;
+  std::uint64_t io_retries = 0;
+  std::uint64_t retransmits = 0;
+  int jobs_failed = 0;
+  int nodes_failed = 0;
+
+  friend bool operator==(const ChaosOutcome&, const ChaosOutcome&) = default;
+};
+
+ChaosOutcome run_chaos(std::uint64_t seed) {
+  const FaultPlan plan = FaultPlan::random(seed, kNodes, kFaultHorizon);
+  SCOPED_TRACE("seed " + std::to_string(seed) + ": " + plan.to_string());
+
+  Cluster cluster(kNodes, chaos_node_params(), NetParams{}, seed, plan);
+  GangParams params;
+  params.quantum = 2 * kSecond;
+  if (plan.disturbs_control_plane()) {
+    params.switch_watchdog = 50 * kMillisecond;
+  }
+  GangScheduler scheduler(cluster, params);
+
+  // Three jobs under real memory pressure: two full-width (900 pages on
+  // node 0, 600 on node 1, against 512 frames) plus one single-node job that
+  // can survive a crash of node 1.
+  std::vector<std::unique_ptr<Process>> procs;
+  auto add_job = [&](const std::string& name, const std::vector<int>& nodes,
+                     std::int64_t pages, std::int64_t iterations) {
+    Job& job = scheduler.create_job(name);
+    for (int n : nodes) {
+      SweepOptions options;
+      options.pages = pages;
+      options.iterations = iterations;
+      options.compute_per_touch = 20 * kMicrosecond;
+      const Pid pid = cluster.node(n).vmm().create_process(pages);
+      procs.push_back(std::make_unique<Process>(
+          name + ":" + std::to_string(n), pid, make_sweep_program(options)));
+      cluster.node(n).cpu().attach(*procs.back());
+      job.add_process(n, *procs.back());
+    }
+  };
+  add_job("wide-a", {0, 1}, 300, 300);
+  add_job("wide-b", {0, 1}, 300, 300);
+  add_job("solo", {0}, 300, 300);
+
+  scheduler.start();
+  ChaosOutcome out;
+  out.finished = cluster.sim().run_until(
+      [&] { return scheduler.all_finished(); }, 30 * kMinute);
+
+  // Property 1: the run quiesces. Every job reached a terminal state well
+  // before the horizon, and after draining the remaining events (planned
+  // crashes, in-flight I/O reaps) the event queue is empty — nothing keeps
+  // rescheduling itself.
+  EXPECT_TRUE(out.finished) << "run did not terminate";
+  (void)cluster.sim().run_until([] { return false; },
+                                cluster.sim().now() + 5 * kMinute);
+  EXPECT_EQ(cluster.sim().pending_events(), 0u) << "event queue did not drain";
+
+  // Property 2: every job is terminal, and failures only happen for a
+  // diagnosable reason (a crashed node or an injected I/O error).
+  for (const auto& job : scheduler.jobs()) {
+    EXPECT_TRUE(job->done()) << job->name();
+    out.finish_times.push_back(job->finished_at());
+    out.failed.push_back(job->failed());
+  }
+  out.jobs_failed = scheduler.stats().jobs_failed;
+  out.nodes_failed = scheduler.stats().nodes_failed;
+  out.retransmits = scheduler.stats().signal_retransmits;
+
+  std::uint64_t unrecoverable = 0;
+  for (int n = 0; n < kNodes; ++n) {
+    const auto& vstats = cluster.node(n).vmm().stats();
+    unrecoverable += vstats.pages_unrecoverable + vstats.out_of_swap_faults;
+    out.io_errors += cluster.node(n).disk().stats().io_errors;
+    out.io_retries += vstats.io_retries;
+  }
+  if (out.jobs_failed > 0) {
+    EXPECT_TRUE(out.nodes_failed > 0 || unrecoverable > 0)
+        << "jobs failed without a recorded cause";
+  }
+
+  // Property 3: a crashed node only ever takes down jobs placed on it; the
+  // single-node job on node 0 survives any crash of node 1.
+  if (out.nodes_failed > 0) {
+    EXPECT_EQ(out.nodes_failed, 1);  // FaultPlan::random crashes at most one
+    for (const auto& job : scheduler.jobs()) {
+      bool on_dead_node = false;
+      for (int node : job->nodes()) {
+        if (!cluster.node_alive(node)) on_dead_node = true;
+      }
+      if (job->failed() && unrecoverable == 0) {
+        EXPECT_TRUE(on_dead_node)
+            << job->name() << " failed off the crashed node";
+      }
+    }
+  }
+
+  // Property 4: surviving nodes end the run with every frame free, every
+  // swap slot returned, and no resident pages — no leaks through any
+  // error/retry/reap path.
+  for (int n = 0; n < kNodes; ++n) {
+    if (!cluster.node_alive(n)) continue;
+    auto& vmm = cluster.node(n).vmm();
+    EXPECT_EQ(vmm.free_frames(), vmm.frames().usable_frames()) << "node " << n;
+    EXPECT_EQ(cluster.node(n).swap().used_slots(), 0) << "node " << n;
+    for (Pid pid : vmm.pids()) {
+      EXPECT_FALSE(vmm.space(pid).alive()) << "node " << n << " pid " << pid;
+      EXPECT_EQ(vmm.space(pid).resident_pages(), 0)
+          << "node " << n << " pid " << pid;
+    }
+  }
+
+  for (const auto& job : scheduler.jobs()) {
+    out.pages_swapped_in += [&] {
+      std::uint64_t total = 0;
+      for (const auto& placement : job->processes()) {
+        total += cluster.node(placement.node)
+                     .vmm()
+                     .space(placement.process->pid())
+                     .stats()
+                     .pages_swapped_in;
+      }
+      return total;
+    }();
+  }
+  return out;
+}
+
+TEST(Chaos, RandomFaultPlansAlwaysQuiesceWithInvariantsIntact) {
+  int with_faults_exercised = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const ChaosOutcome outcome = run_chaos(seed);
+    if (outcome.io_errors > 0 || outcome.retransmits > 0 ||
+        outcome.nodes_failed > 0) {
+      ++with_faults_exercised;
+    }
+  }
+  // The property is vacuous if no plan ever perturbed a run; with 20 random
+  // plans a healthy majority must have actually injected something.
+  EXPECT_GE(with_faults_exercised, 5);
+}
+
+TEST(Chaos, SameSeedReproducesTheRunBitForBit) {
+  for (std::uint64_t seed : {3u, 7u, 11u, 17u}) {
+    const ChaosOutcome first = run_chaos(seed);
+    const ChaosOutcome second = run_chaos(seed);
+    EXPECT_EQ(first, second) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace apsim

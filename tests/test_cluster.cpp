@@ -70,12 +70,14 @@ TEST(Cluster, DisksOperateConcurrently) {
   SimTime done1 = -1;
   cluster.node(0).disk().submit({.start = 0, .nblocks = 256, .write = true,
                                  .priority = IoPriority::kForeground,
-                                 .on_complete =
-                                     [&] { done0 = cluster.sim().now(); }});
+                                 .on_complete = [&](IoResult) {
+                                   done0 = cluster.sim().now();
+                                 }});
   cluster.node(1).disk().submit({.start = 0, .nblocks = 256, .write = true,
                                  .priority = IoPriority::kForeground,
-                                 .on_complete =
-                                     [&] { done1 = cluster.sim().now(); }});
+                                 .on_complete = [&](IoResult) {
+                                   done1 = cluster.sim().now();
+                                 }});
   cluster.sim().run();
   // Same-sized transfers on separate spindles complete at the same time.
   EXPECT_EQ(done0, done1);

@@ -69,7 +69,10 @@ TEST(Disk, CompletesRequestAndMovesHead) {
   bool done = false;
   disk.submit({.start = 100, .nblocks = 4, .write = false,
                .priority = IoPriority::kForeground,
-               .on_complete = [&] { done = true; }});
+               .on_complete = [&](IoResult result) {
+                 EXPECT_TRUE(result.ok);
+                 done = true;
+               }});
   sim.run();
   EXPECT_TRUE(done);
   EXPECT_EQ(disk.head(), 104);
@@ -83,11 +86,12 @@ TEST(Disk, ClookOrdersService) {
   std::vector<int> order;
   // Busy the head with a request at 0, then queue out-of-order requests.
   disk.submit({.start = 0, .nblocks = 1, .write = false,
-               .priority = IoPriority::kForeground, .on_complete = [] {}});
+               .priority = IoPriority::kForeground, .on_complete = [](IoResult) {}});
   auto submit = [&](int tag, BlockNum start) {
     disk.submit({.start = start, .nblocks = 1, .write = false,
                  .priority = IoPriority::kForeground,
-                 .on_complete = [&order, tag] { order.push_back(tag); }});
+                 .on_complete =
+                     [&order, tag](IoResult) { order.push_back(tag); }});
   };
   submit(3, 9000);
   submit(1, 100);
@@ -104,11 +108,11 @@ TEST(Disk, CoalescesContiguousRequests) {
   // can merge.
   disk.submit({.start = 0, .nblocks = 1, .write = true,
                .priority = IoPriority::kForeground,
-               .on_complete = [&] { ++completions; }});
+               .on_complete = [&](IoResult) { ++completions; }});
   for (int i = 0; i < 8; ++i) {
     disk.submit({.start = 1000 + i * 4, .nblocks = 4, .write = true,
                  .priority = IoPriority::kForeground,
-                 .on_complete = [&] { ++completions; }});
+                 .on_complete = [&](IoResult) { ++completions; }});
   }
   sim.run();
   EXPECT_EQ(completions, 9);
@@ -121,11 +125,11 @@ TEST(Disk, DoesNotMergeReadsIntoWrites) {
   Simulator sim;
   Disk disk(sim, small_disk());
   disk.submit({.start = 0, .nblocks = 1, .write = false,
-               .priority = IoPriority::kForeground, .on_complete = [] {}});
+               .priority = IoPriority::kForeground, .on_complete = [](IoResult) {}});
   disk.submit({.start = 100, .nblocks = 4, .write = true,
-               .priority = IoPriority::kForeground, .on_complete = [] {}});
+               .priority = IoPriority::kForeground, .on_complete = [](IoResult) {}});
   disk.submit({.start = 104, .nblocks = 4, .write = false,
-               .priority = IoPriority::kForeground, .on_complete = [] {}});
+               .priority = IoPriority::kForeground, .on_complete = [](IoResult) {}});
   sim.run();
   EXPECT_EQ(disk.stats().services, 3u);
 }
@@ -135,13 +139,13 @@ TEST(Disk, BackgroundYieldsToForeground) {
   Disk disk(sim, small_disk());
   std::vector<char> order;
   disk.submit({.start = 0, .nblocks = 1, .write = false,
-               .priority = IoPriority::kForeground, .on_complete = [] {}});
+               .priority = IoPriority::kForeground, .on_complete = [](IoResult) {}});
   disk.submit({.start = 10, .nblocks = 1, .write = true,
                .priority = IoPriority::kBackground,
-               .on_complete = [&] { order.push_back('b'); }});
+               .on_complete = [&](IoResult) { order.push_back('b'); }});
   disk.submit({.start = 20, .nblocks = 1, .write = false,
                .priority = IoPriority::kForeground,
-               .on_complete = [&] { order.push_back('f'); }});
+               .on_complete = [&](IoResult) { order.push_back('f'); }});
   sim.run();
   EXPECT_EQ(order, (std::vector<char>{'f', 'b'}));
 }
@@ -153,11 +157,12 @@ TEST(Disk, ClookWrapsToLowestAfterEnd) {
   // Busy the head at a high position, then queue requests below it plus one
   // above: C-LOOK serves the one ahead first, then wraps to the lowest.
   disk.submit({.start = 50000, .nblocks = 1, .write = false,
-               .priority = IoPriority::kForeground, .on_complete = [] {}});
+               .priority = IoPriority::kForeground, .on_complete = [](IoResult) {}});
   auto submit = [&](int tag, BlockNum start) {
     disk.submit({.start = start, .nblocks = 1, .write = false,
                  .priority = IoPriority::kForeground,
-                 .on_complete = [&order, tag] { order.push_back(tag); }});
+                 .on_complete =
+                     [&order, tag](IoResult) { order.push_back(tag); }});
   };
   submit(3, 20000);  // behind the head: served after the wrap
   submit(1, 60000);  // ahead: served first
@@ -170,11 +175,11 @@ TEST(Disk, MergeStopsAtGaps) {
   Simulator sim;
   Disk disk(sim, small_disk());
   disk.submit({.start = 0, .nblocks = 1, .write = true,
-               .priority = IoPriority::kForeground, .on_complete = [] {}});
+               .priority = IoPriority::kForeground, .on_complete = [](IoResult) {}});
   // Two contiguous requests, then a gap, then another pair.
   for (BlockNum start : {1000, 1004, 2000, 2004}) {
     disk.submit({.start = start, .nblocks = 4, .write = true,
-                 .priority = IoPriority::kForeground, .on_complete = [] {}});
+                 .priority = IoPriority::kForeground, .on_complete = [](IoResult) {}});
   }
   sim.run();
   // head request + two merged groups.
@@ -185,7 +190,7 @@ TEST(Disk, UtilizationBetweenZeroAndOne) {
   Simulator sim;
   Disk disk(sim, small_disk());
   disk.submit({.start = 1000, .nblocks = 64, .write = true,
-               .priority = IoPriority::kForeground, .on_complete = [] {}});
+               .priority = IoPriority::kForeground, .on_complete = [](IoResult) {}});
   sim.run();
   EXPECT_GT(disk.utilization(), 0.0);
   EXPECT_LE(disk.utilization(), 1.0);
@@ -196,7 +201,7 @@ TEST(Disk, QueueDepthTracked) {
   Disk disk(sim, small_disk());
   for (int i = 0; i < 5; ++i) {
     disk.submit({.start = i * 500, .nblocks = 1, .write = false,
-                 .priority = IoPriority::kForeground, .on_complete = [] {}});
+                 .priority = IoPriority::kForeground, .on_complete = [](IoResult) {}});
   }
   EXPECT_GE(disk.stats().max_queue_depth, 4u);
   sim.run();

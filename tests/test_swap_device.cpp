@@ -103,8 +103,10 @@ TEST(SwapDevice, ReadWriteRoundTripThroughDisk) {
   auto run = f.swap.alloc_run(16);
   ASSERT_TRUE(run.has_value());
   bool wrote = false, read = false;
-  f.swap.write(*run, IoPriority::kForeground, [&] { wrote = true; });
-  f.swap.read(*run, IoPriority::kForeground, [&] { read = true; });
+  f.swap.write(*run, IoPriority::kForeground,
+               [&](IoResult result) { wrote = result.ok; });
+  f.swap.read(*run, IoPriority::kForeground,
+              [&](IoResult result) { read = result.ok; });
   f.sim.run();
   EXPECT_TRUE(wrote);
   EXPECT_TRUE(read);
