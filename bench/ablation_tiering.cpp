@@ -1,0 +1,200 @@
+// Tiering ablation: does a compressed in-RAM swap tier (zswap-style) in
+// front of the disk cut gang-switch overhead? Sweeps the fig7 serial
+// memory-pressure configurations with the tier off vs pool budgets of 10%
+// and 25% of usable RAM, for the original kernel and the full so/ao/ai/bg
+// policy. The pool budget is carved out of usable memory, so every win the
+// tier shows is net of the RAM it consumes — and that carve also grows the
+// per-switch paging deficit, so the tier only pays off when compression is
+// strong enough that the pool absorbs more traffic than the carve creates.
+// Each app gets the compressibility its data plausibly has: IS sorts
+// zero-heavy integer keys (kZeroFilled, ~7:1), the dense floating-point
+// apps get the bimodal mixed model (~2:1 with a quarter incompressible).
+//
+// Budgets that carve past the running job's own footprint are reported as
+// infeasible instead of simulated: below that line the reclaimer thrashes
+// the running job continuously and the run effectively never finishes.
+//
+// `--smoke` runs a small 2x IS.W pressure config instead (seconds, used by
+// CI) with the same off/10%/25% sweep.
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/figures.hpp"
+#include "harness/runner.hpp"
+#include "mem/vmm.hpp"
+#include "workloads/spec.hpp"
+
+namespace {
+
+using namespace apsim;
+
+struct Cell {
+  std::string app;
+  std::string policy;
+  double budget_frac = 0.0;  // 0 = tier off
+  bool infeasible = false;   // carve pushes the running job below its footprint
+  EvaluatedRun run;
+};
+
+TierRatioModel tier_model_for(NpbApp app) {
+  return app == NpbApp::kIS ? TierRatioModel::kZeroFilled
+                            : TierRatioModel::kMixed;
+}
+
+/// A pool carve that leaves less than one running instance's footprint (plus
+/// the reclaim watermark headroom) of usable memory puts the RUNNING job
+/// under the reclaimer permanently — the run thrashes instead of switching.
+bool carve_infeasible(const ExperimentConfig& config) {
+  if (config.tier_mb <= 0.0) return false;
+  const double headroom_mb =
+      static_cast<double>(VmmParams{}.freepages_high) * kPageBytes /
+      (1024.0 * 1024.0);
+  const double footprint_mb = npb_spec(config.app, config.cls).footprint_mb(1);
+  return config.usable_memory_mb - config.tier_mb <
+         footprint_mb + headroom_mb;
+}
+
+ExperimentConfig smoke_base() {
+  ExperimentConfig config;
+  config.app = NpbApp::kIS;
+  config.cls = NpbClass::kW;
+  config.nodes = 1;
+  config.instances = 2;
+  config.node_memory_mb = 64.0;
+  // Two 12 MB instances against 22 MB: enough overcommit that every switch
+  // pages, while a 25% carve (16.5 MB left) still holds the running job
+  // plus the freepages.high headroom.
+  config.usable_memory_mb = 22.0;
+  config.quantum = 4 * kSecond;
+  config.iterations_scale = 0.5;
+  return config;
+}
+
+std::string budget_name(double frac) {
+  if (frac == 0.0) return "off";
+  return Table::fmt(frac * 100.0, 0) + "%";
+}
+
+void print_app_panel(const std::string& app, TierRatioModel model,
+                     const std::vector<Cell>& cells) {
+  std::printf("%s (compressibility model: %s):\n", app.c_str(),
+              std::string(to_string(model)).c_str());
+  Table table({"policy", "tier", "makespan (s)", "overhead", "pool hit",
+               "comp ratio", "writeback"});
+  double overhead_off = -1.0, overhead_25 = -1.0;
+  for (const Cell& cell : cells) {
+    if (cell.app != app) continue;
+    if (cell.infeasible) {
+      table.add_row({cell.policy, budget_name(cell.budget_frac),
+                     "infeasible: carve < running footprint", "-", "-", "-",
+                     "-"});
+      continue;
+    }
+    const RunOutcome& gang = cell.run.gang;
+    const std::uint64_t swapins = gang.tier_pool_hits + gang.tier_pool_misses;
+    const bool tiered = cell.budget_frac > 0.0;
+    if (cell.policy != "orig") {
+      if (cell.budget_frac == 0.0) overhead_off = cell.run.overhead;
+      if (cell.budget_frac == 0.25) overhead_25 = cell.run.overhead;
+    }
+    table.add_row(
+        {cell.policy, budget_name(cell.budget_frac),
+         gang.makespan > 0 ? Table::fmt(to_seconds(gang.makespan), 1)
+                           : "did not finish",
+         Table::pct(cell.run.overhead, 1),
+         tiered && swapins > 0
+             ? Table::pct(static_cast<double>(gang.tier_pool_hits) /
+                              static_cast<double>(swapins),
+                          1)
+             : "-",
+         tiered ? Table::fmt(gang.tier_compression_ratio(), 2) : "-",
+         tiered ? std::to_string(gang.tier_writeback_pages) : "-"});
+  }
+  std::printf("%s", table.to_string().c_str());
+  if (overhead_off > 0.0 && overhead_25 >= 0.0) {
+    std::printf("full-policy switch overhead, 25%% tier vs disk-only: "
+                "%s -> %s\n",
+                Table::pct(overhead_off, 1).c_str(),
+                Table::pct(overhead_25, 1).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string_view(argv[1]) == "--smoke";
+  const double budgets[] = {0.0, 0.10, 0.25};
+  const struct {
+    const char* name;
+    PolicySet set;
+  } policies[] = {{"orig", PolicySet::original()},
+                  {"so/ao/ai/bg", PolicySet::all()}};
+
+  std::vector<NpbApp> apps;
+  if (smoke) {
+    std::printf("Tiering ablation (smoke): 2x IS.W gang, 22 MB usable, "
+                "q=4s, tier off/10%%/25%% of usable RAM\n\n");
+    apps = {NpbApp::kIS};
+  } else {
+    std::printf("Tiering ablation: fig7 serial memory-pressure sweep, "
+                "tier off/10%%/25%% of usable RAM\n"
+                "(pool budget is wired out of usable memory; per-app "
+                "compressibility: IS zero-heavy, others mixed)\n\n");
+    apps = {NpbApp::kLU, NpbApp::kSP, NpbApp::kCG, NpbApp::kIS, NpbApp::kMG};
+  }
+
+  std::vector<Cell> cells;
+  std::vector<ExperimentConfig> configs;  // only the feasible ones run
+  std::vector<std::size_t> config_cell;
+  for (NpbApp app : apps) {
+    for (const auto& policy : policies) {
+      for (double frac : budgets) {
+        ExperimentConfig config =
+            smoke ? smoke_base()
+                  : figure_base(app, 1, fig7_usable_mb(app), policy.set);
+        if (smoke) config.policy = policy.set;
+        config.tier_mb = frac * config.usable_memory_mb;
+        config.tier_ratio_model = tier_model_for(app);
+        config.label = std::string(to_string(app)) + "/" + policy.name +
+                       "/tier=" + budget_name(frac);
+        Cell cell;
+        cell.app = to_string(app);
+        cell.policy = policy.name;
+        cell.budget_frac = frac;
+        cell.infeasible = carve_infeasible(config);
+        cells.push_back(cell);
+        if (!cells.back().infeasible) {
+          configs.push_back(config);
+          config_cell.push_back(cells.size() - 1);
+        }
+      }
+    }
+  }
+
+  const auto evaluated = parallel_map<EvaluatedRun>(
+      configs, [](const ExperimentConfig& c) { return evaluate(c); },
+      smoke ? 2 : 0);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    cells[config_cell[i]].run = evaluated[i];
+  }
+
+  for (NpbApp app : apps) {
+    print_app_panel(std::string(to_string(app)), tier_model_for(app), cells);
+  }
+
+  std::printf("tier counters (gang runs):\n");
+  std::vector<RunOutcome> outcomes;
+  for (const Cell& cell : cells) {
+    if (cell.infeasible) continue;
+    RunOutcome outcome = cell.run.gang;
+    outcome.label = cell.app + " " + cell.policy + " tier=" +
+                    budget_name(cell.budget_frac);
+    outcomes.push_back(std::move(outcome));
+  }
+  std::printf("%s", tier_summary_table(outcomes).to_string().c_str());
+  return 0;
+}

@@ -17,6 +17,9 @@ Cluster::Cluster(int num_nodes, const NodeParams& node_params,
     for (int i = 0; i < num_nodes; ++i) {
       nodes_[static_cast<std::size_t>(i)]->disk().set_fault_injector(
           injector_.get(), i);
+      if (TierManager* tier = nodes_[static_cast<std::size_t>(i)]->tier()) {
+        tier->set_fault_injector(injector_.get(), i);
+      }
     }
     injector_->schedule_crashes([this](int n) {
       if (n >= 0 && n < size()) fail_node(n);

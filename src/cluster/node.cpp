@@ -8,10 +8,19 @@ Node::Node(Simulator& sim, const NodeParams& params, int index)
       swap_(disk_, 0,
             params.swap_slots > 0 ? params.swap_slots
                                   : params.disk.num_blocks),
+      tier_(params.tier.pool_mb > 0.0
+                ? std::make_unique<TierManager>(sim, swap_, params.tier)
+                : nullptr),
       vmm_(sim, swap_, params.vmm),
       cpu_(sim, vmm_, params.cpu) {
   if (params.wired_mb > 0.0) {
     vmm_.wire_down(mb_to_pages(params.wired_mb));
+  }
+  if (tier_) {
+    // The pool's RAM comes out of the node's frames: enabling the tier is
+    // an honest trade of usable memory for cheap switch-time paging.
+    vmm_.wire_down(mb_to_pages(params.tier.pool_mb));
+    vmm_.set_tier(tier_.get());
   }
 }
 

@@ -8,6 +8,7 @@
 #include "mem/vmm.hpp"
 #include "proc/cpu.hpp"
 #include "sim/simulator.hpp"
+#include "tier/tier_manager.hpp"
 
 /// \file node.hpp
 /// One compute node of the modelled cluster: CPU executor, VMM, and a local
@@ -26,6 +27,12 @@ struct NodeParams {
   /// Megabytes wired down at boot (the paper's mlock() trick for stressing
   /// memory). Applied after watermark sanity checks.
   double wired_mb = 0.0;
+
+  /// Compressed swap tier. pool_mb == 0 (the default) means no TierManager
+  /// is constructed at all, and the node behaves bit-identically to the
+  /// pre-tier tree. When enabled, the pool's budget is wired down out of
+  /// the node's frames on top of wired_mb.
+  TierParams tier;
 };
 
 class Node {
@@ -40,6 +47,9 @@ class Node {
   [[nodiscard]] SwapDevice& swap() { return swap_; }
   [[nodiscard]] Vmm& vmm() { return vmm_; }
   [[nodiscard]] Cpu& cpu() { return cpu_; }
+  /// The compressed swap tier, or nullptr when disabled.
+  [[nodiscard]] TierManager* tier() { return tier_.get(); }
+  [[nodiscard]] const TierManager* tier() const { return tier_.get(); }
 
   /// Crash the node: the disk fails permanently, every attached process is
   /// killed, and their address spaces are released. Idempotent.
@@ -50,6 +60,9 @@ class Node {
   int index_;
   Disk disk_;
   SwapDevice swap_;
+  /// Constructed before (destroyed after) the Vmm that routes through it,
+  /// and destroyed before the SwapDevice whose release hook it holds.
+  std::unique_ptr<TierManager> tier_;
   Vmm vmm_;
   Cpu cpu_;
   bool failed_ = false;

@@ -68,6 +68,7 @@ void SwapDevice::free_slot(SwapSlot slot) {
   auto ref = used_[static_cast<std::size_t>(slot)];
   assert(ref && "double free of swap slot");
   if (ref) {
+    if (release_hook_) release_hook_(slot);
     used_[static_cast<std::size_t>(slot)] = false;
     ++free_count_;
   }

@@ -57,6 +57,14 @@ class SwapDevice {
   /// Release one slot. Freeing an unallocated slot is a programming error.
   void free_slot(SwapSlot slot);
 
+  /// Observer invoked for every free_slot() just before the slot is
+  /// released. The compressed tier registers here so any slot the VMM frees
+  /// — eviction aborts, process teardown, re-dirtied pages — also drops the
+  /// pool's compressed copy. Pass nullptr to unregister.
+  void set_slot_release_hook(std::function<void(SwapSlot)> hook) {
+    release_hook_ = std::move(hook);
+  }
+
   /// True if \p slot is currently allocated.
   [[nodiscard]] bool is_allocated(SwapSlot slot) const;
 
@@ -81,6 +89,7 @@ class SwapDevice {
   std::vector<bool> used_;
   std::int64_t free_count_;
   SwapSlot hint_ = 0;  // next-fit scan start
+  std::function<void(SwapSlot)> release_hook_;
 };
 
 }  // namespace apsim

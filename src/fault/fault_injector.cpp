@@ -49,6 +49,20 @@ FaultInjector::SignalOutcome FaultInjector::on_control_signal(int node) {
   return out;
 }
 
+bool FaultInjector::on_tier_store(int node) {
+  const SimTime now = sim_.now();
+  for (const auto& spec : plan_.specs) {
+    if (spec.kind != FaultKind::kTierFault || !spec.applies(node, now)) {
+      continue;
+    }
+    if (rng_.bernoulli(spec.probability)) {
+      ++stats_.tier_stores_rejected;
+      return true;
+    }
+  }
+  return false;
+}
+
 void FaultInjector::schedule_crashes(std::function<void(int)> crash) {
   for (const auto& spec : plan_.specs) {
     if (spec.kind != FaultKind::kNodeCrash || spec.node < 0) continue;

@@ -46,12 +46,17 @@ class FaultInjector {
   /// with the node index at the spec's time. Call exactly once.
   void schedule_crashes(std::function<void(int)> crash);
 
+  /// True when a compressed-tier store on \p node should be rejected right
+  /// now (the page falls back to the disk path).
+  [[nodiscard]] bool on_tier_store(int node);
+
   struct Stats {
     std::uint64_t disk_errors_injected = 0;
     std::uint64_t disk_requests_slowed = 0;
     std::uint64_t signals_dropped = 0;
     std::uint64_t signals_delayed = 0;
     std::uint64_t node_crashes = 0;
+    std::uint64_t tier_stores_rejected = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 

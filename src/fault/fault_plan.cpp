@@ -16,6 +16,7 @@ std::string_view to_string(FaultKind kind) {
     case FaultKind::kSignalDelay: return "signal_delay";
     case FaultKind::kSignalDrop: return "signal_drop";
     case FaultKind::kNodeCrash: return "node_crash";
+    case FaultKind::kTierFault: return "tier_fault";
   }
   return "?";
 }
@@ -26,7 +27,7 @@ namespace {
   for (FaultKind kind :
        {FaultKind::kDiskTransient, FaultKind::kDiskPersistent,
         FaultKind::kDiskSlow, FaultKind::kSignalDelay, FaultKind::kSignalDrop,
-        FaultKind::kNodeCrash}) {
+        FaultKind::kNodeCrash, FaultKind::kTierFault}) {
     if (token == to_string(kind)) return kind;
   }
   throw std::invalid_argument("fault: unknown kind '" + std::string(token) +

@@ -24,6 +24,9 @@ enum class FaultKind : std::uint8_t {
   kSignalDelay,     ///< gang control messages gain extra_delay inside the window
   kSignalDrop,      ///< gang control messages are lost with `probability` inside the window
   kNodeCrash,       ///< the whole node dies at `start`
+  kTierFault,       ///< compressed-tier stores fail with `probability` inside the
+                    ///< window (pages fall back to disk; resident pool data
+                    ///< stays readable)
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind kind);

@@ -60,6 +60,35 @@ void ExperimentConfig::validate() const {
          " MB is smaller than the wired-down memory (" +
          std::to_string(node_memory_mb - usable_memory_mb) + " MB)");
   }
+  if (tier_mb < 0.0) {
+    fail("tier_mb must be >= 0, got " + std::to_string(tier_mb));
+  }
+  if (tier_mb > 0.0 &&
+      mb_to_pages(usable_memory_mb) - mb_to_pages(tier_mb) <=
+          vmm_defaults.freepages_high) {
+    fail("tier pool of " + std::to_string(tier_mb) +
+         " MB leaves no usable frames above the freepages.high watermark");
+  }
+  if (io_retry_limit < 0) {
+    fail("io_retry_limit must be >= 0, got " + std::to_string(io_retry_limit));
+  }
+  if (io_retry_base <= 0) {
+    fail("io_retry_base must be positive, got " +
+         std::to_string(io_retry_base) + " ns");
+  }
+  if (io_retry_cap < io_retry_base) {
+    fail("io_retry_cap must be >= io_retry_base, got cap " +
+         std::to_string(io_retry_cap) + " ns < base " +
+         std::to_string(io_retry_base) + " ns");
+  }
+  if (stalled_fault_retry_limit < 1) {
+    fail("stalled_fault_retry_limit must be >= 1, got " +
+         std::to_string(stalled_fault_retry_limit));
+  }
+  if (write_failure_streak_limit < 1) {
+    fail("write_failure_streak_limit must be >= 1, got " +
+         std::to_string(write_failure_streak_limit));
+  }
 }
 
 std::string ExperimentConfig::describe() const {
@@ -85,7 +114,15 @@ NodeParams ExperimentConfig::make_node_params() const {
   node.vmm.total_frames = mb_to_pages(node_memory_mb);
   node.vmm.page_cluster = page_cluster;
   node.vmm.page_aging = page_aging;
+  node.vmm.io_retry_limit = io_retry_limit;
+  node.vmm.io_retry_base = io_retry_base;
+  node.vmm.io_retry_cap = io_retry_cap;
+  node.vmm.stalled_fault_retry_limit = stalled_fault_retry_limit;
+  node.vmm.write_failure_streak_limit = write_failure_streak_limit;
   node.wired_mb = node_memory_mb - usable_memory_mb;
+  node.tier.pool_mb = tier_mb;
+  node.tier.ratio_model = tier_ratio_model;
+  node.tier.writeback = tier_writeback;
   if (swap_mb > 0.0) {
     node.swap_slots = mb_to_pages(swap_mb);
   } else {

@@ -69,6 +69,24 @@ struct ExperimentConfig {
   /// exercises the out-of-swap failure path.
   double swap_mb = 0.0;
 
+  /// Compressed swap tier (zswap-style) in front of the disk swap device.
+  /// tier_mb is the pool's RAM budget, carved out of the node's usable
+  /// memory; 0 disables the tier entirely (bit-identical to a build without
+  /// it). The ratio model describes how compressible the workload's pages
+  /// are; tier_writeback enables the background drain of LRU-cold pool
+  /// entries to disk.
+  double tier_mb = 0.0;
+  TierRatioModel tier_ratio_model = TierRatioModel::kMixed;
+  bool tier_writeback = true;
+
+  /// Vmm swap-in retry/backoff tuning (VmmParams equivalents; see vmm.hpp
+  /// for semantics). Defaults match the kernel model's shipped values.
+  int io_retry_limit = 4;
+  SimDuration io_retry_base = 5 * kMillisecond;
+  SimDuration io_retry_cap = 80 * kMillisecond;
+  int stalled_fault_retry_limit = 200;
+  int write_failure_streak_limit = 3;
+
   /// Check the configuration for nonsense (negative quantum, bg_start_frac
   /// outside [0, 1], zero usable memory, swap smaller than wired memory,
   /// ...). Throws std::invalid_argument with a specific message.

@@ -118,6 +118,15 @@ void collect(const Built& built, const ExperimentConfig& config,
     out.io_retries += vstats.io_retries;
     out.pages_unrecoverable +=
         vstats.pages_unrecoverable + vstats.out_of_swap_faults;
+    if (const TierManager* tier = node.tier()) {
+      const auto& tstats = tier->stats();
+      out.tier_pool_hits += tstats.pool_hits;
+      out.tier_pool_misses += tstats.pool_misses;
+      out.tier_writeback_pages += tstats.writeback_pages;
+      const auto& pstats = tier->pool().stats();
+      out.tier_pages_stored += pstats.pages_stored;
+      out.tier_bytes_stored += pstats.bytes_stored;
+    }
   }
   if (config.capture_traces) {
     for (int n = 0; n < built.cluster->size(); ++n) {

@@ -105,6 +105,24 @@ void apply_scenario_key(ExperimentConfig& config, std::string_view key,
         parse_double(value, key) * static_cast<double>(kMillisecond));
   } else if (key == "swap_mb") {
     config.swap_mb = parse_double(value, key);
+  } else if (key == "tier_mb") {
+    config.tier_mb = parse_double(value, key);
+  } else if (key == "tier_ratio_model") {
+    config.tier_ratio_model = parse_tier_ratio_model(value);
+  } else if (key == "tier_writeback") {
+    config.tier_writeback = parse_bool(value, key);
+  } else if (key == "io_retry_limit") {
+    config.io_retry_limit = static_cast<int>(parse_int(value, key));
+  } else if (key == "io_retry_base_ms") {
+    config.io_retry_base = static_cast<SimDuration>(
+        parse_double(value, key) * static_cast<double>(kMillisecond));
+  } else if (key == "io_retry_cap_ms") {
+    config.io_retry_cap = static_cast<SimDuration>(
+        parse_double(value, key) * static_cast<double>(kMillisecond));
+  } else if (key == "stalled_retry_limit") {
+    config.stalled_fault_retry_limit = static_cast<int>(parse_int(value, key));
+  } else if (key == "write_failure_streak") {
+    config.write_failure_streak_limit = static_cast<int>(parse_int(value, key));
   } else {
     throw std::invalid_argument("scenario: unknown key '" + std::string(key) +
                                 "'");

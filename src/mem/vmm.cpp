@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "tier/tier_manager.hpp"
+
 namespace apsim {
 
 Vmm::Vmm(Simulator& sim, SwapDevice& swap, VmmParams params)
@@ -13,6 +15,22 @@ Vmm::Vmm(Simulator& sim, SwapDevice& swap, VmmParams params)
   assert(params_.freepages_min <= params_.freepages_low);
   assert(params_.freepages_low <= params_.freepages_high);
   assert(params_.page_cluster >= 1);
+}
+
+void Vmm::swap_read(SlotRun run, IoPriority priority, IoCallback on_complete) {
+  if (tier_ != nullptr) {
+    tier_->read(run, priority, std::move(on_complete));
+  } else {
+    swap_.read(run, priority, std::move(on_complete));
+  }
+}
+
+void Vmm::swap_write(SlotRun run, IoPriority priority, IoCallback on_complete) {
+  if (tier_ != nullptr) {
+    tier_->write(run, priority, std::move(on_complete));
+  } else {
+    swap_.write(run, priority, std::move(on_complete));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -293,7 +311,7 @@ void Vmm::issue_major_read(Pid pid, VPage lo, std::int64_t count, VPage vpage,
   }
 
   const SlotRun run{pt.at(lo).slot, count};
-  swap_.read(
+  swap_read(
       run, IoPriority::kForeground,
       [this, pid, lo, count, vpage, write, resume = std::move(resume), attempt,
        abandon](IoResult result) mutable {
@@ -581,8 +599,8 @@ std::int64_t Vmm::evict_batch(std::span<const Victim> victims,
       remaining -= run->count;
       evictions_in_flight_ += run->count;
 
-      swap_.write(*run, priority,
-                  [this, pid, run_begin, count = run->count](IoResult result) {
+      swap_write(*run, priority,
+                 [this, pid, run_begin, count = run->count](IoResult result) {
                     auto& as2 = space(pid);
                     auto& pt2 = as2.page_table();
                     if (!result.ok) {
@@ -728,8 +746,8 @@ void Vmm::prefetch_pump(const std::shared_ptr<PrefetchJob>& job) {
     ++job->reads_in_flight;
 
     const VPage batch_begin = v;
-    swap_.read(SlotRun{s0, len}, IoPriority::kForeground,
-               [this, job, batch_begin, len](IoResult result) {
+    swap_read(SlotRun{s0, len}, IoPriority::kForeground,
+              [this, job, batch_begin, len](IoResult result) {
                  auto& as2 = space(job->pid);
                  auto& pt2 = as2.page_table();
                  if (!result.ok) {
@@ -868,8 +886,8 @@ void Vmm::writeback_dirty(Pid pid, std::int64_t max_pages, IoPriority priority,
       remaining -= run->count;
       started += run->count;
 
-      swap_.write(*run, priority, [this, pid, run_begin,
-                                   count = run->count](IoResult result) {
+      swap_write(*run, priority, [this, pid, run_begin,
+                                  count = run->count](IoResult result) {
         auto& as2 = space(pid);
         auto& pt2 = as2.page_table();
         if (!result.ok) ++stats_.io_write_failures;

@@ -29,6 +29,8 @@
 
 namespace apsim {
 
+class TierManager;
+
 struct VmmParams {
   /// Physical frames on the node (before wiring).
   std::int64_t total_frames = mb_to_pages(1024.0);
@@ -224,6 +226,11 @@ class Vmm {
     failure_handler_ = std::move(handler);
   }
 
+  /// Interpose the compressed swap tier on every swap read/write this VMM
+  /// issues (nullptr = talk to the SwapDevice directly, the pre-tier path).
+  void set_tier(TierManager* tier) { tier_ = tier; }
+  [[nodiscard]] TierManager* tier() { return tier_; }
+
   // ---- introspection ----
 
   [[nodiscard]] Simulator& sim() { return sim_; }
@@ -314,12 +321,18 @@ class Vmm {
   void account_pagein(std::int64_t pages, AddressSpace& as);
   void account_pageout(std::int64_t pages, AddressSpace& as);
 
+  /// Swap I/O entry points: route via the tier when one is attached,
+  /// straight to the device otherwise.
+  void swap_read(SlotRun run, IoPriority priority, IoCallback on_complete);
+  void swap_write(SlotRun run, IoPriority priority, IoCallback on_complete);
+
   static SimTime clock_thunk(const void* ctx) {
     return static_cast<const Simulator*>(ctx)->now();
   }
 
   Simulator& sim_;
   SwapDevice& swap_;
+  TierManager* tier_ = nullptr;
   VmmParams params_;
   FrameTable frames_;
   Logger log_;

@@ -28,7 +28,9 @@ void write_outcomes_csv(std::ostream& os,
   CsvWriter csv(os);
   csv.row({"label", "policy", "makespan_s", "job", "completion_s",
            "major_faults", "minor_faults", "pages_in", "pages_out",
-           "false_evictions", "cpu_s", "fault_wait_s", "comm_wait_s"});
+           "false_evictions", "cpu_s", "fault_wait_s", "comm_wait_s",
+           "tier_pool_hits", "tier_pool_misses", "tier_comp_ratio",
+           "tier_writeback_pages"});
   for (const auto& outcome : outcomes) {
     for (const auto& job : outcome.jobs) {
       csv.row({outcome.label, outcome.policy,
@@ -41,7 +43,13 @@ void write_outcomes_csv(std::ostream& os,
                std::to_string(job.false_evictions),
                std::to_string(to_seconds(job.cpu_time)),
                std::to_string(to_seconds(job.fault_wait)),
-               std::to_string(to_seconds(job.comm_wait))});
+               std::to_string(to_seconds(job.comm_wait)),
+               // Tier counters are cluster-wide, repeated on each job row
+               // (like label/makespan) so the file stays one flat table.
+               std::to_string(outcome.tier_pool_hits),
+               std::to_string(outcome.tier_pool_misses),
+               std::to_string(outcome.tier_compression_ratio()),
+               std::to_string(outcome.tier_writeback_pages)});
     }
   }
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "mem/page.hpp"
+
 namespace apsim {
 
 double switching_overhead(SimTime gang_makespan, SimTime batch_makespan) {
@@ -17,6 +19,13 @@ double switching_overhead(SimTime gang_makespan, SimTime batch_makespan) {
 double paging_reduction(double overhead_policy, double overhead_original) {
   if (overhead_original <= 0.0) return 0.0;
   return 1.0 - overhead_policy / overhead_original;
+}
+
+double RunOutcome::tier_compression_ratio() const {
+  if (tier_pages_stored == 0) return 1.0;
+  return static_cast<double>(tier_bytes_stored) /
+         (static_cast<double>(tier_pages_stored) *
+          static_cast<double>(kPageBytes));
 }
 
 double mean_completion_s(const RunOutcome& outcome) {

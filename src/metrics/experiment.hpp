@@ -48,6 +48,17 @@ struct RunOutcome {
   std::uint64_t bg_pages_written = 0;
   int switches = 0;
 
+  // Compressed swap tier totals (all zero with the tier disabled).
+  std::uint64_t tier_pool_hits = 0;        ///< swap-in pages served by the pool
+  std::uint64_t tier_pool_misses = 0;      ///< swap-in pages read from disk
+  std::uint64_t tier_pages_stored = 0;     ///< pages the pool admitted
+  std::uint64_t tier_bytes_stored = 0;     ///< cumulative compressed bytes admitted
+  std::uint64_t tier_writeback_pages = 0;  ///< pool entries drained to disk
+
+  /// Mean compression ratio of admitted pages (compressed/raw, lower is
+  /// better); 1.0 when nothing was stored.
+  [[nodiscard]] double tier_compression_ratio() const;
+
   // Failure/robustness statistics (all zero on fault-free runs).
   int jobs_failed = 0;
   int nodes_failed = 0;

@@ -63,4 +63,29 @@ std::string Table::to_string() const {
   return os.str();
 }
 
+Table tier_summary_table(const std::vector<RunOutcome>& outcomes) {
+  Table table({"run", "pool hits", "pool misses", "hit rate", "comp ratio",
+               "pages stored", "writeback"});
+  for (const auto& outcome : outcomes) {
+    const std::uint64_t swapins =
+        outcome.tier_pool_hits + outcome.tier_pool_misses;
+    const bool tiered = swapins > 0 || outcome.tier_pages_stored > 0;
+    if (!tiered) {
+      table.add_row({outcome.label, "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    const double hit_rate =
+        swapins > 0 ? static_cast<double>(outcome.tier_pool_hits) /
+                          static_cast<double>(swapins)
+                    : 0.0;
+    table.add_row({outcome.label, std::to_string(outcome.tier_pool_hits),
+                   std::to_string(outcome.tier_pool_misses),
+                   Table::pct(hit_rate, 1),
+                   Table::fmt(outcome.tier_compression_ratio(), 2),
+                   std::to_string(outcome.tier_pages_stored),
+                   std::to_string(outcome.tier_writeback_pages)});
+  }
+  return table;
+}
+
 }  // namespace apsim

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "metrics/experiment.hpp"
+
 /// \file table.hpp
 /// Column-aligned text tables for the benchmark harness output (one table
 /// per figure panel, mirroring the paper's graphs as rows).
@@ -32,5 +34,11 @@ class Table {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Compressed-tier counters of each outcome as one table row: pool hit
+/// rate, mean compression ratio, pages admitted/written back. Outcomes that
+/// never touched the tier render as "-" so disk-only baselines stay legible
+/// next to tiered runs.
+[[nodiscard]] Table tier_summary_table(const std::vector<RunOutcome>& outcomes);
 
 }  // namespace apsim

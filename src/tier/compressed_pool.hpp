@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <string_view>
+
+#include "disk/swap_device.hpp"
+#include "sim/time.hpp"
+
+/// \file compressed_pool.hpp
+/// Simulated zswap-style compressed RAM tier. The pool holds compressed
+/// copies of swap-slot contents against a fixed byte budget carved out of
+/// the node's physical frames. Per-page compressibility comes from a
+/// deterministic hash of (seed, slot) mapped through a workload-dependent
+/// ratio model, so runs are bit-reproducible without consuming any shared
+/// RNG stream per operation. The pool is pure state — the TierManager owns
+/// all timing (compress/decompress costs, writeback I/O).
+
+namespace apsim {
+
+/// How compressible the workload's pages are. Chosen per scenario
+/// (`tier_ratio_model`); the distributions are loosely calibrated to the
+/// zswap literature: dense numeric data compresses ~2-3x, zero-dominated
+/// pages nearly vanish, entropy-dense data defeats the compressor.
+enum class TierRatioModel : std::uint8_t {
+  kMixed,           ///< bimodal: most pages ~2-4x, a tail incompressible
+  kText,            ///< uniformly ~2-4x (structured/numeric data)
+  kZeroFilled,      ///< mostly near-empty pages (sparse matrices)
+  kIncompressible,  ///< entropy-dense; the pool admits almost nothing
+};
+
+[[nodiscard]] std::string_view to_string(TierRatioModel model);
+
+/// Parse a scenario-file value ("mixed", "text", "zero", "incompressible").
+/// Throws std::invalid_argument on unknown names.
+[[nodiscard]] TierRatioModel parse_tier_ratio_model(std::string_view text);
+
+struct CompressedPoolParams {
+  /// RAM budget for compressed data, bytes. Must be > 0.
+  std::int64_t budget_bytes = 0;
+
+  TierRatioModel model = TierRatioModel::kMixed;
+
+  /// Pages compressing worse than this ratio are rejected (zswap's
+  /// "incompressible page" path) and go straight to disk.
+  double max_admit_ratio = 0.9;
+
+  /// Seed for the deterministic per-slot compressibility hash.
+  std::uint64_t seed = 1;
+};
+
+class CompressedPool {
+ public:
+  explicit CompressedPool(CompressedPoolParams params);
+
+  CompressedPool(const CompressedPool&) = delete;
+  CompressedPool& operator=(const CompressedPool&) = delete;
+
+  /// Deterministic compression ratio the model assigns to \p slot's
+  /// contents, in (0, 1].
+  [[nodiscard]] double ratio_of(SwapSlot slot) const;
+
+  /// Compressed size of \p slot under the model, bytes.
+  [[nodiscard]] std::int64_t compressed_bytes_of(SwapSlot slot) const;
+
+  /// Try to admit \p slot. Returns the compressed size charged against the
+  /// budget, or std::nullopt when the page is rejected (ratio above the
+  /// admit threshold, or insufficient budget). Re-storing a resident slot
+  /// replaces the old entry.
+  std::optional<std::int64_t> store(SwapSlot slot);
+
+  [[nodiscard]] bool contains(SwapSlot slot) const {
+    return entries_.contains(slot);
+  }
+
+  /// Mark \p slot most-recently-used (pool load hit). No-op if absent.
+  void touch(SwapSlot slot);
+
+  /// Drop \p slot's entry, releasing its budget (slot freed, or written
+  /// back to disk). Safe to call for absent slots; returns true if dropped.
+  bool drop(SwapSlot slot);
+
+  /// Pop up to \p max_slots of the coldest entries not already under
+  /// writeback and mark them as writing. The caller must finish each with
+  /// finish_writeback().
+  [[nodiscard]] std::vector<SwapSlot> begin_writeback(std::int64_t max_slots);
+
+  /// Conclude a writeback started by begin_writeback(). On success the
+  /// entry is dropped (the data now lives on disk); on failure it returns
+  /// to the cold end of the LRU for a later retry. No-op if the slot was
+  /// invalidated while the write was in flight.
+  void finish_writeback(SwapSlot slot, bool ok);
+
+  [[nodiscard]] std::int64_t bytes_used() const { return bytes_used_; }
+  [[nodiscard]] std::int64_t budget_bytes() const { return params_.budget_bytes; }
+  [[nodiscard]] std::int64_t entry_count() const {
+    return static_cast<std::int64_t>(entries_.size());
+  }
+  /// Occupancy as a fraction of the budget, in [0, ~1].
+  [[nodiscard]] double occupancy() const {
+    return static_cast<double>(bytes_used_) /
+           static_cast<double>(params_.budget_bytes);
+  }
+
+  [[nodiscard]] const CompressedPoolParams& params() const { return params_; }
+
+  struct Stats {
+    std::uint64_t pages_stored = 0;
+    std::uint64_t bytes_stored = 0;      ///< cumulative compressed bytes admitted
+    std::uint64_t rejects_ratio = 0;     ///< page compressed too poorly
+    std::uint64_t rejects_budget = 0;    ///< pool out of budget
+    std::uint64_t invalidations = 0;     ///< entries dropped via drop()
+    std::uint64_t peak_bytes = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::int64_t bytes = 0;
+    bool writing = false;            ///< writeback in flight
+    std::list<SwapSlot>::iterator lru_pos;
+  };
+
+  CompressedPoolParams params_;
+  std::map<SwapSlot, Entry> entries_;
+  /// LRU order: front = hottest, back = coldest. Entries under writeback
+  /// are removed from the list (they have no position until the write
+  /// fails and they rejoin at the cold end).
+  std::list<SwapSlot> lru_;
+  std::int64_t bytes_used_ = 0;
+  Stats stats_;
+};
+
+}  // namespace apsim

@@ -1,0 +1,217 @@
+#include "tier/tier_manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_injector.hpp"
+#include "mem/page.hpp"
+
+namespace apsim {
+
+namespace {
+
+/// Sort slots and merge adjacent ones into contiguous runs, so pool
+/// writeback and the disk remainder of a swap-out stream as few transfers
+/// as the slot layout allows.
+std::vector<SlotRun> coalesce(std::vector<SwapSlot> slots) {
+  std::sort(slots.begin(), slots.end());
+  std::vector<SlotRun> runs;
+  for (const SwapSlot slot : slots) {
+    if (!runs.empty() && runs.back().start + runs.back().count == slot) {
+      ++runs.back().count;
+    } else {
+      runs.push_back(SlotRun{slot, 1});
+    }
+  }
+  return runs;
+}
+
+}  // namespace
+
+TierManager::TierManager(Simulator& sim, SwapDevice& swap, TierParams params)
+    : sim_(sim), swap_(swap), params_(params),
+      pool_(CompressedPoolParams{
+          .budget_bytes = static_cast<std::int64_t>(params.pool_mb *
+                                                    1024.0 * 1024.0),
+          .model = params.ratio_model,
+          .max_admit_ratio = params.max_admit_ratio,
+          .seed = sim.rng()(),
+      }),
+      log_("tier", &sim, &clock_thunk) {
+  assert(params_.pool_mb > 0.0);
+  assert(params_.writeback_batch > 0);
+  assert(params_.writeback_interval > 0);
+  assert(params_.writeback_low_frac >= 0.0 &&
+         params_.writeback_low_frac <= params_.writeback_high_frac);
+  swap_.set_slot_release_hook(
+      [this](SwapSlot slot) { on_slot_released(slot); });
+}
+
+TierManager::~TierManager() { swap_.set_slot_release_hook(nullptr); }
+
+void TierManager::finish_part(const std::shared_ptr<PendingIo>& pending,
+                              IoResult result) {
+  pending->ok = pending->ok && result.ok;
+  assert(pending->remaining > 0);
+  if (--pending->remaining == 0) {
+    auto cb = std::move(pending->on_complete);
+    if (cb) cb(pending->ok ? IoResult::success() : IoResult::error());
+  }
+}
+
+bool TierManager::pool_faulted() {
+  return injector_ != nullptr && injector_->on_tier_store(node_index_);
+}
+
+void TierManager::write(SlotRun run, IoPriority priority,
+                        IoCallback on_complete) {
+  assert(run.count > 0);
+  std::int64_t pooled = 0;
+  std::vector<SwapSlot> to_disk;
+  for (std::int64_t i = 0; i < run.count; ++i) {
+    const SwapSlot slot = run.start + i;
+    if (pool_faulted()) {
+      ++stats_.stores_faulted;
+      to_disk.push_back(slot);
+      continue;
+    }
+    if (pool_.store(slot)) {
+      ++pooled;
+    } else {
+      ++stats_.stores_rejected;
+      to_disk.push_back(slot);
+    }
+  }
+
+  auto pending = std::make_shared<PendingIo>();
+  pending->on_complete = std::move(on_complete);
+  const auto disk_runs = coalesce(std::move(to_disk));
+  pending->remaining = (pooled > 0 ? 1 : 0) +
+                       static_cast<int>(disk_runs.size());
+
+  if (pooled > 0) {
+    sim_.after(params_.compress_cost * pooled,
+               [this, pending] { finish_part(pending, IoResult::success()); });
+  }
+  for (const SlotRun& dr : disk_runs) {
+    swap_.write(dr, priority, [this, pending](IoResult result) {
+      finish_part(pending, result);
+    });
+  }
+  log_.trace("write [%lld,+%lld): %lld pooled, %zu disk runs",
+             static_cast<long long>(run.start),
+             static_cast<long long>(run.count),
+             static_cast<long long>(pooled), disk_runs.size());
+  maybe_start_writeback();
+}
+
+void TierManager::read(SlotRun run, IoPriority priority,
+                       IoCallback on_complete) {
+  assert(run.count > 0);
+  // Split the run into maximal pool-resident and disk-resident segments.
+  // Pool segments cost only the decompressor; disk segments become block
+  // reads. A slot under writeback still reads from the pool — the entry
+  // stays until the write lands.
+  std::int64_t pool_pages = 0;
+  std::vector<SlotRun> disk_segs;
+  for (std::int64_t i = 0; i < run.count; ++i) {
+    const SwapSlot slot = run.start + i;
+    if (pool_.contains(slot)) {
+      pool_.touch(slot);
+      ++pool_pages;
+    } else if (!disk_segs.empty() &&
+               disk_segs.back().start + disk_segs.back().count == slot) {
+      ++disk_segs.back().count;
+    } else {
+      disk_segs.push_back(SlotRun{slot, 1});
+    }
+  }
+  stats_.pool_hits += static_cast<std::uint64_t>(pool_pages);
+  for (const SlotRun& seg : disk_segs) {
+    stats_.pool_misses += static_cast<std::uint64_t>(seg.count);
+  }
+
+  auto pending = std::make_shared<PendingIo>();
+  pending->on_complete = std::move(on_complete);
+  pending->remaining = (pool_pages > 0 ? 1 : 0) +
+                       static_cast<int>(disk_segs.size());
+
+  if (pool_pages > 0) {
+    sim_.after(params_.decompress_cost * pool_pages,
+               [this, pending] { finish_part(pending, IoResult::success()); });
+  }
+  for (const SlotRun& seg : disk_segs) {
+    swap_.read(seg, priority, [this, pending](IoResult result) {
+      finish_part(pending, result);
+    });
+  }
+}
+
+void TierManager::on_slot_released(SwapSlot slot) { pool_.drop(slot); }
+
+void TierManager::maybe_start_writeback() {
+  if (!params_.writeback || writeback_ticking_) return;
+  if (pool_.occupancy() < params_.writeback_high_frac) return;
+  if (swap_.disk().failed()) return;
+  writeback_ticking_ = true;
+  sim_.after(params_.writeback_interval, [this] { writeback_tick(); });
+}
+
+void TierManager::writeback_tick() {
+  // Stop conditions keep the event queue quiescent: no re-arm when the
+  // drain target is met, the disk is gone, or a whole batch failed (a
+  // future store above the high watermark re-arms the daemon).
+  if (swap_.disk().failed() ||
+      pool_.occupancy() <= params_.writeback_low_frac) {
+    writeback_ticking_ = false;
+    return;
+  }
+  const auto batch = pool_.begin_writeback(params_.writeback_batch);
+  if (batch.empty()) {
+    writeback_ticking_ = false;
+    return;
+  }
+  const auto runs = coalesce(batch);
+  // One shared completion for the whole batch decides whether to re-arm.
+  struct BatchState {
+    std::size_t remaining = 0;
+    std::int64_t failed_pages = 0;
+    std::int64_t total_pages = 0;
+  };
+  auto state = std::make_shared<BatchState>();
+  state->remaining = runs.size();
+  for (const SlotRun& r : runs) state->total_pages += r.count;
+  writebacks_in_flight_ += state->total_pages;
+
+  for (const SlotRun& r : runs) {
+    swap_.write(r, IoPriority::kBackground,
+                [this, r, state](IoResult result) {
+      for (std::int64_t i = 0; i < r.count; ++i) {
+        pool_.finish_writeback(r.start + i, result.ok);
+      }
+      writebacks_in_flight_ -= r.count;
+      if (result.ok) {
+        stats_.writeback_pages += static_cast<std::uint64_t>(r.count);
+      } else {
+        stats_.writeback_failures += static_cast<std::uint64_t>(r.count);
+        state->failed_pages += r.count;
+      }
+      if (--state->remaining > 0) return;
+      // Batch done: keep draining unless nothing landed or the target is met.
+      if (swap_.disk().failed() ||
+          state->failed_pages == state->total_pages ||
+          pool_.occupancy() <= params_.writeback_low_frac) {
+        writeback_ticking_ = false;
+        return;
+      }
+      sim_.after(params_.writeback_interval, [this] { writeback_tick(); });
+    });
+  }
+  log_.trace("writeback tick: %lld pages in %zu runs, occupancy %.2f",
+             static_cast<long long>(state->total_pages), runs.size(),
+             pool_.occupancy());
+}
+
+}  // namespace apsim

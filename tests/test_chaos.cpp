@@ -13,6 +13,7 @@
 #include "cluster/cluster.hpp"
 #include "fault/fault_injector.hpp"
 #include "gang/gang_scheduler.hpp"
+#include "tier/tier_manager.hpp"
 #include "workloads/generator.hpp"
 
 namespace apsim {
@@ -40,17 +41,25 @@ struct ChaosOutcome {
   std::uint64_t io_errors = 0;
   std::uint64_t io_retries = 0;
   std::uint64_t retransmits = 0;
+  std::uint64_t tier_pool_hits = 0;
+  std::uint64_t tier_stores_faulted = 0;
+  std::uint64_t tier_writeback_pages = 0;
   int jobs_failed = 0;
   int nodes_failed = 0;
 
   friend bool operator==(const ChaosOutcome&, const ChaosOutcome&) = default;
 };
 
-ChaosOutcome run_chaos(std::uint64_t seed) {
-  const FaultPlan plan = FaultPlan::random(seed, kNodes, kFaultHorizon);
+/// \p job_iterations controls how long each job runs: at the default 300
+/// (1.8 s of compute vs a 2 s quantum) jobs mostly complete within their
+/// first quantum, so memory pressure comes from faults stretching them;
+/// larger values make every job span many quanta so all three address
+/// spaces compete for frames and paging is guaranteed.
+ChaosOutcome run_chaos(std::uint64_t seed, const NodeParams& node_params,
+                       const FaultPlan& plan, std::int64_t job_iterations) {
   SCOPED_TRACE("seed " + std::to_string(seed) + ": " + plan.to_string());
 
-  Cluster cluster(kNodes, chaos_node_params(), NetParams{}, seed, plan);
+  Cluster cluster(kNodes, node_params, NetParams{}, seed, plan);
   GangParams params;
   params.quantum = 2 * kSecond;
   if (plan.disturbs_control_plane()) {
@@ -77,9 +86,9 @@ ChaosOutcome run_chaos(std::uint64_t seed) {
       job.add_process(n, *procs.back());
     }
   };
-  add_job("wide-a", {0, 1}, 300, 300);
-  add_job("wide-b", {0, 1}, 300, 300);
-  add_job("solo", {0}, 300, 300);
+  add_job("wide-a", {0, 1}, 300, job_iterations);
+  add_job("wide-b", {0, 1}, 300, job_iterations);
+  add_job("solo", {0}, 300, job_iterations);
 
   scheduler.start();
   ChaosOutcome out;
@@ -112,6 +121,11 @@ ChaosOutcome run_chaos(std::uint64_t seed) {
     unrecoverable += vstats.pages_unrecoverable + vstats.out_of_swap_faults;
     out.io_errors += cluster.node(n).disk().stats().io_errors;
     out.io_retries += vstats.io_retries;
+    if (const TierManager* tier = cluster.node(n).tier()) {
+      out.tier_pool_hits += tier->stats().pool_hits;
+      out.tier_stores_faulted += tier->stats().stores_faulted;
+      out.tier_writeback_pages += tier->stats().writeback_pages;
+    }
   }
   if (out.jobs_failed > 0) {
     EXPECT_TRUE(out.nodes_failed > 0 || unrecoverable > 0)
@@ -142,6 +156,12 @@ ChaosOutcome run_chaos(std::uint64_t seed) {
     auto& vmm = cluster.node(n).vmm();
     EXPECT_EQ(vmm.free_frames(), vmm.frames().usable_frames()) << "node " << n;
     EXPECT_EQ(cluster.node(n).swap().used_slots(), 0) << "node " << n;
+    if (const TierManager* tier = cluster.node(n).tier()) {
+      // Every swap slot was returned, so the release hook must have drained
+      // the compressed pool with them.
+      EXPECT_EQ(tier->pool().entry_count(), 0) << "node " << n;
+      EXPECT_EQ(tier->pool().bytes_used(), 0) << "node " << n;
+    }
     for (Pid pid : vmm.pids()) {
       EXPECT_FALSE(vmm.space(pid).alive()) << "node " << n << " pid " << pid;
       EXPECT_EQ(vmm.space(pid).resident_pages(), 0)
@@ -165,6 +185,30 @@ ChaosOutcome run_chaos(std::uint64_t seed) {
   return out;
 }
 
+ChaosOutcome run_chaos(std::uint64_t seed) {
+  return run_chaos(seed, chaos_node_params(),
+                   FaultPlan::random(seed, kNodes, kFaultHorizon), 300);
+}
+
+NodeParams tiered_chaos_node_params() {
+  NodeParams n = chaos_node_params();
+  // 0.5 MB pool = 128 of the 512 frames wired down for compressed storage,
+  // which also tightens memory pressure on the jobs.
+  n.tier.pool_mb = 0.5;
+  n.tier.ratio_model = TierRatioModel::kMixed;
+  return n;
+}
+
+/// Tier chaos plan: half of all pool admissions fail for the first minute,
+/// on top of a burst of transient disk errors — so faulted stores, disk
+/// fallbacks, retries and writeback all run concurrently.
+FaultPlan tier_chaos_plan() {
+  FaultPlan plan;
+  plan.add(FaultSpec::parse("tier_fault start_s=0 end_s=60 p=0.5"));
+  plan.add(FaultSpec::parse("disk_transient start_s=5 end_s=40 p=0.05"));
+  return plan;
+}
+
 TEST(Chaos, RandomFaultPlansAlwaysQuiesceWithInvariantsIntact) {
   int with_faults_exercised = 0;
   for (std::uint64_t seed = 1; seed <= 20; ++seed) {
@@ -183,6 +227,34 @@ TEST(Chaos, SameSeedReproducesTheRunBitForBit) {
   for (std::uint64_t seed : {3u, 7u, 11u, 17u}) {
     const ChaosOutcome first = run_chaos(seed);
     const ChaosOutcome second = run_chaos(seed);
+    EXPECT_EQ(first, second) << "seed " << seed;
+  }
+}
+
+TEST(Chaos, TierFaultsQuiesceWithPoolDrained) {
+  // Same quiesce/terminal/no-leak properties as the random plans, but with
+  // the compressed tier in the paging path and its admissions being failed
+  // half the time. run_chaos itself asserts the pool ends empty on every
+  // surviving node.
+  std::uint64_t hits = 0, faulted = 0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const ChaosOutcome outcome =
+        run_chaos(seed, tiered_chaos_node_params(), tier_chaos_plan(), 1500);
+    hits += outcome.tier_pool_hits;
+    faulted += outcome.tier_stores_faulted;
+  }
+  // The property is vacuous unless the tier actually served swap-ins and the
+  // injector actually rejected stores.
+  EXPECT_GT(hits, 0u);
+  EXPECT_GT(faulted, 0u);
+}
+
+TEST(Chaos, TieredRunsWithFaultsReplayBitForBit) {
+  for (std::uint64_t seed : {2u, 9u}) {
+    const ChaosOutcome first =
+        run_chaos(seed, tiered_chaos_node_params(), tier_chaos_plan(), 1500);
+    const ChaosOutcome second =
+        run_chaos(seed, tiered_chaos_node_params(), tier_chaos_plan(), 1500);
     EXPECT_EQ(first, second) << "seed " << seed;
   }
 }

@@ -44,6 +44,10 @@ TEST(Csv, OutcomesExportOneLinePerJob) {
   job.completion = 100 * kSecond;
   outcome.jobs.push_back(job);
 
+  outcome.tier_pool_hits = 7;
+  outcome.tier_pool_misses = 3;
+  outcome.tier_writeback_pages = 2;
+
   std::ostringstream os;
   write_outcomes_csv(os, {outcome});
   const std::string text = os.str();
@@ -53,6 +57,9 @@ TEST(Csv, OutcomesExportOneLinePerJob) {
   EXPECT_NE(text.find("LU#0"), std::string::npos);
   EXPECT_NE(text.find("LU#1"), std::string::npos);
   EXPECT_NE(text.find("so/ao"), std::string::npos);
+  // Compressed-tier counters ride along as run-level columns.
+  EXPECT_NE(text.find("tier_pool_hits"), std::string::npos);
+  EXPECT_NE(text.find("tier_writeback_pages"), std::string::npos);
 }
 
 }  // namespace

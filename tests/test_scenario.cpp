@@ -49,6 +49,14 @@ capture_traces = yes
 batch = false
 label = everything
 horizon_s = 1000
+tier_mb = 32
+tier_ratio_model = text
+tier_writeback = false
+io_retry_limit = 6
+io_retry_base_ms = 10
+io_retry_cap_ms = 160
+stalled_retry_limit = 50
+write_failure_streak = 5
 )");
   ASSERT_EQ(configs.size(), 1u);
   const auto& c = configs[0];
@@ -71,6 +79,19 @@ horizon_s = 1000
   EXPECT_FALSE(c.batch_mode);
   EXPECT_EQ(c.label, "everything");
   EXPECT_EQ(c.horizon, 1000 * kSecond);
+  EXPECT_DOUBLE_EQ(c.tier_mb, 32.0);
+  EXPECT_EQ(c.tier_ratio_model, TierRatioModel::kText);
+  EXPECT_FALSE(c.tier_writeback);
+  EXPECT_EQ(c.io_retry_limit, 6);
+  EXPECT_EQ(c.io_retry_base, 10 * kMillisecond);
+  EXPECT_EQ(c.io_retry_cap, 160 * kMillisecond);
+  EXPECT_EQ(c.stalled_fault_retry_limit, 50);
+  EXPECT_EQ(c.write_failure_streak_limit, 5);
+}
+
+TEST(Scenario, RejectsUnknownTierRatioModel) {
+  EXPECT_THROW((void)parse_scenario("[run]\ntier_ratio_model = brotli\n"),
+               std::invalid_argument);
 }
 
 TEST(Scenario, CommentsAndBlanksIgnored) {

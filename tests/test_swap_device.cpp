@@ -1,10 +1,15 @@
 // Unit tests for the swap-area slot allocator: contiguity preferences,
-// fragmentation behaviour, exhaustion, and I/O submission.
+// fragmentation behaviour, exhaustion, I/O submission, and the slot release
+// hook the compressed tier uses to keep pool entries in sync with slot
+// ownership.
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "disk/swap_device.hpp"
 #include "sim/simulator.hpp"
+#include "tier/tier_manager.hpp"
 
 namespace apsim {
 namespace {
@@ -120,6 +125,91 @@ TEST(SwapDevice, BaseOffsetMapsToDiskBlocks) {
   SwapDevice swap(disk, 100, 1024);
   EXPECT_EQ(swap.block_of(0), 100);
   EXPECT_EQ(swap.block_of(1023), 1123);
+}
+
+TEST(SwapDevice, ReleaseHookSeesEverySlotBeforeItIsFreed) {
+  SwapFixture f;
+  auto run = f.swap.alloc_run(8);
+  ASSERT_TRUE(run.has_value());
+  std::vector<SwapSlot> released;
+  f.swap.set_slot_release_hook([&](SwapSlot slot) {
+    // The hook fires while the slot is still allocated, so the observer can
+    // look up per-slot state keyed on it.
+    EXPECT_TRUE(f.swap.is_allocated(slot));
+    released.push_back(slot);
+  });
+  for (std::int64_t i = 0; i < run->count; ++i) {
+    f.swap.free_slot(run->start + i);
+  }
+  ASSERT_EQ(released.size(), 8u);
+  for (std::int64_t i = 0; i < run->count; ++i) {
+    EXPECT_EQ(released[static_cast<std::size_t>(i)], run->start + i);
+    EXPECT_FALSE(f.swap.is_allocated(run->start + i));
+  }
+}
+
+TEST(SwapDevice, ReleaseHookUnregistersWithNullptr) {
+  SwapFixture f;
+  int calls = 0;
+  f.swap.set_slot_release_hook([&](SwapSlot) { ++calls; });
+  auto a = f.swap.alloc_one();
+  ASSERT_TRUE(a.has_value());
+  f.swap.free_slot(*a);
+  EXPECT_EQ(calls, 1);
+  f.swap.set_slot_release_hook(nullptr);
+  auto b = f.swap.alloc_one();
+  ASSERT_TRUE(b.has_value());
+  f.swap.free_slot(*b);  // must not crash, must not count
+  EXPECT_EQ(calls, 1);
+}
+
+// Slot lifecycle under tier writeback: a slot written through the tier, then
+// drained to disk by the background pass, then freed, must be reusable — and
+// re-writing the recycled slot must land in the pool again with consistent
+// accounting (no stale entries, no leaked budget).
+TEST(SwapDevice, SlotsRecycleCleanlyUnderTierWriteback) {
+  SwapFixture f;
+  TierParams params;
+  params.pool_mb = 0.0625;  // 64 KB: small enough that 64 pages overflow it
+  params.ratio_model = TierRatioModel::kText;
+  params.writeback = true;
+  params.writeback_batch = 16;
+  TierManager tier(f.sim, f.swap, params);
+
+  auto run = f.swap.alloc_run(64);
+  ASSERT_TRUE(run.has_value());
+  ASSERT_EQ(run->count, 64);
+  bool wrote = false;
+  tier.write(*run, IoPriority::kForeground,
+             [&](IoResult result) { wrote = result.ok; });
+  f.sim.run();  // lets the writeback daemon drain below the low watermark
+  EXPECT_TRUE(wrote);
+  EXPECT_GT(tier.stats().writeback_pages, 0u);
+
+  // Free the whole run: pool copies must vanish with the slots.
+  for (std::int64_t i = 0; i < run->count; ++i) {
+    f.swap.free_slot(run->start + i);
+  }
+  EXPECT_EQ(f.swap.used_slots(), 0);
+  EXPECT_EQ(tier.pool().entry_count(), 0);
+  EXPECT_EQ(tier.pool().bytes_used(), 0);
+
+  // Recycle: the next-fit allocator will hand out fresh slots; writing them
+  // through the tier must pool them again with the same deterministic sizes.
+  auto again = f.swap.alloc_run(16);
+  ASSERT_TRUE(again.has_value());
+  std::int64_t expected_bytes = 0;
+  for (std::int64_t i = 0; i < again->count; ++i) {
+    expected_bytes += tier.pool().compressed_bytes_of(again->start + i);
+  }
+  bool rewrote = false;
+  tier.write(*again, IoPriority::kForeground,
+             [&](IoResult result) { rewrote = result.ok; });
+  f.sim.run();
+  EXPECT_TRUE(rewrote);
+  // 16 KB of text-model pages fits the 64 KB budget: everything pooled.
+  EXPECT_EQ(tier.pool().entry_count(), again->count);
+  EXPECT_EQ(tier.pool().bytes_used(), expected_bytes);
 }
 
 TEST(SwapDeviceDeath, DoubleFreeAsserts) {
