@@ -1,0 +1,208 @@
+// Figure 5 companion: what actually happens inside one gang switch, per
+// policy set. Runs a two-job single-node configuration with the switch-phase
+// tracer enabled, then prints for each policy set (orig, so, so/ao,
+// so/ao/ai/bg) an annotated timeline of a representative mid-run switch —
+// stop_bgwrite / sigstop / page_out / page_in / sigcont with their start
+// offsets and durations — followed by the per-phase latency summary table
+// over the whole run. The timeline makes the paper's mechanism visible: the
+// adaptive policies move paging out of the incoming job's demand-fault path
+// and into the bracketed page_out/page_in phases.
+//
+// Usage: fig5_switch_timeline [--smoke] [json_prefix]
+//   --smoke       small IS/LU.W configuration (seconds; used by CI)
+//   json_prefix   also write Chrome trace_event JSON per policy to
+//                 <prefix><policy>.json (open in chrome://tracing/Perfetto)
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "metrics/table.hpp"
+#include "metrics/tracer.hpp"
+
+namespace {
+
+using namespace apsim;
+
+ExperimentConfig base_config(bool smoke) {
+  ExperimentConfig config;
+  config.app = NpbApp::kLU;
+  config.nodes = 1;
+  config.instances = 2;
+  if (smoke) {
+    config.cls = NpbClass::kW;
+    config.node_memory_mb = 64.0;
+    config.usable_memory_mb = 22.0;
+    config.quantum = 4 * kSecond;
+    config.iterations_scale = 0.2;
+  } else {
+    config.cls = NpbClass::kB;
+    config.usable_memory_mb = 230.0;
+    config.quantum = 3 * kMinute;
+  }
+  return config;
+}
+
+/// One line of the reconstructed timeline.
+struct Phase {
+  SimTime begin = 0;
+  SimTime end = -1;  ///< -1: still open at the switch span's end
+  std::string name;
+};
+
+/// Pull the phases of one representative switch out of the event stream:
+/// the median "switch" span on node 0's scheduler track, plus every span
+/// that starts inside it on the same track.
+std::vector<Phase> dissect_switch(const Tracer& tracer, SimTime* t0,
+                                  SimTime* t1) {
+  const auto& events = tracer.events();
+  // Collect the [begin, end] windows of all completed "switch" spans.
+  std::map<std::uint64_t, std::size_t> open;
+  std::vector<std::pair<SimTime, SimTime>> switches;
+  for (const TraceEvent& ev : events) {
+    if (ev.track != trace_track(0, kTrackSched)) continue;
+    if (tracer.string(ev.cat) != "switch" ||
+        tracer.string(ev.name) != "switch") {
+      continue;
+    }
+    if (ev.kind == TraceEventKind::kAsyncBegin) {
+      open[ev.id] = switches.size();
+      switches.emplace_back(ev.ts, -1);
+    } else if (ev.kind == TraceEventKind::kAsyncEnd) {
+      auto it = open.find(ev.id);
+      if (it != open.end()) switches[it->second].second = ev.ts;
+    }
+  }
+  std::vector<Phase> phases;
+  // Prefer a mid-run switch: the first ones page little (cold start) and
+  // the last may be truncated by job completion.
+  for (std::size_t pick = switches.size() / 2; pick < switches.size();
+       ++pick) {
+    if (switches[pick].second < 0) continue;
+    *t0 = switches[pick].first;
+    *t1 = switches[pick].second;
+    std::map<std::uint64_t, std::size_t> open_async;
+    std::vector<std::size_t> sync_stack;
+    for (const TraceEvent& ev : events) {
+      if (ev.track != trace_track(0, kTrackSched)) continue;
+      if (ev.ts < *t0 || ev.ts > *t1) continue;
+      const std::string_view name = tracer.string(ev.name);
+      if (name == "switch") continue;  // the container itself
+      switch (ev.kind) {
+        case TraceEventKind::kBegin:
+          sync_stack.push_back(phases.size());
+          phases.push_back({ev.ts, -1, std::string(name)});
+          break;
+        case TraceEventKind::kEnd:
+          if (!sync_stack.empty()) {
+            phases[sync_stack.back()].end = ev.ts;
+            sync_stack.pop_back();
+          }
+          break;
+        case TraceEventKind::kAsyncBegin:
+          open_async[ev.id] = phases.size();
+          phases.push_back({ev.ts, -1, std::string(name)});
+          break;
+        case TraceEventKind::kAsyncEnd: {
+          auto it = open_async.find(ev.id);
+          if (it != open_async.end()) phases[it->second].end = ev.ts;
+          break;
+        }
+        case TraceEventKind::kInstant:
+          phases.push_back({ev.ts, ev.ts, std::string(name) + " (instant)"});
+          break;
+        case TraceEventKind::kCounter:
+          break;
+      }
+    }
+    if (!phases.empty()) break;
+    phases.clear();
+  }
+  return phases;
+}
+
+void print_timeline(const RunOutcome& out) {
+  SimTime t0 = 0;
+  SimTime t1 = 0;
+  const std::vector<Phase> phases = dissect_switch(*out.trace, &t0, &t1);
+  if (phases.empty()) {
+    std::printf("  (no completed switch found in the trace)\n\n");
+    return;
+  }
+  std::printf("  representative switch at t=%.3fs, total %.3fms:\n",
+              to_seconds(t0), to_seconds(t1 - t0) * 1e3);
+  for (const Phase& phase : phases) {
+    const double off_ms = to_seconds(phase.begin - t0) * 1e3;
+    if (phase.end >= 0) {
+      std::printf("    +%9.3fms  %-14s %10.3fms\n", off_ms,
+                  phase.name.c_str(), to_seconds(phase.end - phase.begin) * 1e3);
+    } else {
+      std::printf("    +%9.3fms  %-14s (open past the switch span)\n", off_ms,
+                  phase.name.c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_prefix;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      smoke = true;
+    } else {
+      json_prefix = argv[i];
+    }
+  }
+
+  const struct {
+    const char* name;
+    PolicySet set;
+  } policies[] = {{"orig", PolicySet::original()},
+                  {"so", PolicySet::parse("so")},
+                  {"so/ao", PolicySet::parse("so/ao")},
+                  {"so/ao/ai/bg", PolicySet::all()}};
+
+  const ExperimentConfig base = base_config(smoke);
+  std::printf("Switch-phase timelines: 2x %s.%s on one node, %.0f MB usable, "
+              "q=%.0fs%s\n\n",
+              std::string(to_string(base.app)).c_str(),
+              std::string(to_string(base.cls)).c_str(), base.usable_memory_mb,
+              to_seconds(base.quantum), smoke ? " (smoke)" : "");
+
+  for (const auto& policy : policies) {
+    ExperimentConfig config = base;
+    config.policy = policy.set;
+    if (json_prefix.empty()) {
+      config.trace_json.assign(1, '-');  // collect in memory, write no file
+    } else {
+      std::string path = json_prefix;
+      for (const char* c = policy.name; *c != '\0'; ++c) {
+        path += *c == '/' ? '-' : *c;
+      }
+      path += ".json";
+      config.trace_json = std::move(path);
+    }
+    const RunOutcome out = run_gang(config);
+    std::printf("policy %s: makespan %.1fs, %d switches, %llu pages out / "
+                "%llu in\n",
+                policy.name, to_seconds(out.makespan), out.switches,
+                static_cast<unsigned long long>(out.pages_swapped_out),
+                static_cast<unsigned long long>(out.pages_swapped_in));
+    if (out.trace == nullptr) {
+      std::printf("  (tracing unavailable)\n\n");
+      continue;
+    }
+    print_timeline(out);
+    std::printf("%s\n", switch_phase_table(out).to_string().c_str());
+    if (!json_prefix.empty()) {
+      std::printf("wrote %s\n\n", config.trace_json.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,10 +1,13 @@
 // Trace visualizer: run one gang-scheduled configuration and render the
-// Figure-6-style paging-activity trace of node 0 as ASCII charts, plus a
-// CSV dump for external plotting.
+// Figure-6-style paging-activity trace of node 0 as ASCII charts, plus the
+// switch-phase latency summary from the span tracer, plus a CSV dump for
+// external plotting.
 //
 // Usage:
-//   trace_visualizer [policy] [minutes] [csv_path]
-// Defaults: so/ao/ai/bg, 30 minutes, no CSV.
+//   trace_visualizer [policy] [minutes] [csv_path] [trace_json]
+// Defaults: so/ao/ai/bg, 30 minutes, no CSV, no Chrome trace file. Pass a
+// trace_json path to also write Chrome trace_event JSON of the run (open in
+// chrome://tracing or https://ui.perfetto.dev).
 
 #include <cstdio>
 #include <cstdlib>
@@ -13,7 +16,9 @@
 
 #include "harness/figures.hpp"
 #include "harness/runner.hpp"
+#include "metrics/table.hpp"
 #include "metrics/trace.hpp"
+#include "metrics/tracer.hpp"
 
 int main(int argc, char** argv) {
   using namespace apsim;
@@ -21,6 +26,7 @@ int main(int argc, char** argv) {
   std::string policy = argc > 1 ? argv[1] : "so/ao/ai/bg";
   const long minutes = argc > 2 ? std::atol(argv[2]) : 30;
   const char* csv_path = argc > 3 ? argv[3] : nullptr;
+  const char* json_path = argc > 4 ? argv[4] : nullptr;
 
   ExperimentConfig config;
   config.app = NpbApp::kLU;
@@ -30,6 +36,8 @@ int main(int argc, char** argv) {
   config.usable_memory_mb = 230.0;
   config.quantum = 3 * kMinute;
   config.capture_traces = true;
+  // Always collect switch-phase spans; only write the Chrome JSON on request.
+  config.trace_json = json_path != nullptr ? json_path : "-";
   config.horizon = minutes * kMinute;
   try {
     config.policy = PolicySet::parse(policy);
@@ -59,6 +67,12 @@ int main(int argc, char** argv) {
               100.0 * burst_concentration(trace.pages_in, 30),
               100.0 * burst_concentration(trace.pages_out, 30));
 
+  if (!outcome.switch_phases.empty()) {
+    std::printf("\nswitch-phase latencies (%d switches):\n%s",
+                outcome.switches,
+                switch_phase_table(outcome).to_string().c_str());
+  }
+
   if (csv_path != nullptr) {
     std::ofstream csv(csv_path);
     if (!csv) {
@@ -67,6 +81,9 @@ int main(int argc, char** argv) {
     }
     write_trace_csv(csv, trace);
     std::printf("wrote %s\n", csv_path);
+  }
+  if (json_path != nullptr) {
+    std::printf("wrote %s\n", json_path);
   }
   return 0;
 }

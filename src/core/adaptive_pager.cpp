@@ -130,6 +130,15 @@ bool AdaptivePager::check_degraded() {
 void AdaptivePager::adaptive_page_out(Pid out, Pid in,
                                       std::int64_t ws_pages_hint) {
   ++stats_.switches;
+  // Async: the phase may outlive this call (it ends when the aggressive
+  // free-frame request is satisfied). Without an aggressive wait the span
+  // closes on scope exit, i.e. zero width at the switch instant.
+  TraceSpan page_out_span;
+  if (tracer_ != nullptr) {
+    page_out_span = tracer_->async_span(
+        trace_track_, "switch", "page_out",
+        {{"out", static_cast<double>(out)}, {"in", static_cast<double>(in)}});
+  }
   if (selective_ != nullptr) selective_->set_victim_process(out);
 
   if (params_.policy.aggressive_out && !check_degraded()) {
@@ -154,9 +163,16 @@ void AdaptivePager::adaptive_page_out(Pid out, Pid in,
           std::min({wanted, achievable, vmm.frames().usable_frames()});
       if (target > vmm.free_frames()) {
         ++stats_.aggressive_requests;
+        std::function<void()> on_satisfied = [] {};
+        if (page_out_span.active()) {
+          // std::function needs copyable captures; park the move-only span
+          // in a shared_ptr. Untraced runs keep the captureless lambda.
+          auto sp = std::make_shared<TraceSpan>(std::move(page_out_span));
+          on_satisfied = [sp] { sp->end(); };
+        }
         Vmm* vmm_ptr = &vmm;  // NOLINT: outlives the waiter (owns the queue)
         vmm.request_free_frames(
-            target, [] {}, /*best_effort=*/true,
+            target, std::move(on_satisfied), /*best_effort=*/true,
             /*give_up=*/[vmm_ptr, out] {
               return vmm_ptr->space(out).resident_pages() == 0;
             });
@@ -166,6 +182,16 @@ void AdaptivePager::adaptive_page_out(Pid out, Pid in,
 }
 
 void AdaptivePager::adaptive_page_in(Pid in, std::function<void()> done) {
+  if (tracer_ != nullptr) {
+    // Wrap before any early-out so every switch shows a page_in phase; it
+    // ends when the replay drains (or immediately when there is none).
+    auto sp = std::make_shared<TraceSpan>(tracer_->async_span(
+        trace_track_, "switch", "page_in", {{"in", static_cast<double>(in)}}));
+    done = [sp, done = std::move(done)] {
+      sp->end();
+      if (done) done();
+    };
+  }
   if (!params_.policy.adaptive_in || check_degraded()) {
     if (done) node_.vmm().sim().after(0, std::move(done));
     return;
@@ -179,6 +205,11 @@ void AdaptivePager::adaptive_page_in(Pid in, std::function<void()> done) {
   std::int64_t total = 0;
   for (const auto& run : runs) total += run.count;
   stats_.pages_replayed += static_cast<std::uint64_t>(total);
+  if (tracer_ != nullptr) {
+    tracer_->instant(trace_track_, "pager", "replay_issue",
+                     {{"pages", static_cast<double>(total)},
+                      {"runs", static_cast<double>(runs.size())}});
+  }
   // If the replay aborts on an I/O error the VMM counts a prefetch abort;
   // seeing one means the disk is unreliable, so give up on replays for good.
   const std::uint64_t aborts_before = node_.vmm().stats().prefetch_aborts;
@@ -218,6 +249,10 @@ void AdaptivePager::schedule_bg_tick() {
         bg_pid_, params_.bg_batch, IoPriority::kBackground,
         [this](std::int64_t written) {
           stats_.bg_pages_written += static_cast<std::uint64_t>(written);
+          if (tracer_ != nullptr && written > 0) {
+            tracer_->instant(trace_track_, "pager", "bgwrite",
+                             {{"pages", static_cast<double>(written)}});
+          }
         });
     schedule_bg_tick();
   });

@@ -11,6 +11,7 @@
 #include "core/policy.hpp"
 #include "core/ws_estimator.hpp"
 #include "mem/reclaim.hpp"
+#include "metrics/tracer.hpp"
 
 /// \file adaptive_pager.hpp
 /// The paper's contribution: per-node adaptive paging driven by gang-switch
@@ -114,6 +115,15 @@ class AdaptivePager {
   /// back to plain demand paging. One-way; fault-free runs never set this.
   [[nodiscard]] bool degraded() const { return degraded_; }
 
+  /// Attach the run's tracer (nullptr = untraced). Emits the switch-phase
+  /// async spans "page_out" (until the aggressive free-frame request is
+  /// satisfied) and "page_in" (until the replay drains), plus replay-issue
+  /// and bg-write instants, on \p track.
+  void set_tracer(Tracer* tracer, int track) {
+    tracer_ = tracer;
+    trace_track_ = track;
+  }
+
   /// Recorder contents for \p pid (for tests and diagnostics).
   [[nodiscard]] const PageRecorder& recorder(Pid pid) const;
 
@@ -146,6 +156,8 @@ class AdaptivePager {
   Pid bg_pid_ = kNoPid;
   EventHandle bg_event_;
   bool degraded_ = false;
+  Tracer* tracer_ = nullptr;
+  int trace_track_ = 0;
 
   Stats stats_;
 };

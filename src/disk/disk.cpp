@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <memory>
 
 namespace apsim {
 
@@ -99,10 +100,27 @@ void Disk::start_next() {
     stats_.blocks_read += static_cast<std::uint64_t>(nblocks);
   }
 
-  sim_.after(service, [this, start, nblocks, inject_error,
+  // Spans outlive this call, and std::function needs copyable captures, so a
+  // traced service carries its span in a shared_ptr; untraced runs carry a
+  // null pointer and allocate nothing.
+  std::shared_ptr<TraceSpan> service_span;
+  if (tracer_ != nullptr) {
+    tracer_->counter(trace_track_, "disk", "queue_depth",
+                     static_cast<double>(queue_depth()));
+    service_span = std::make_shared<TraceSpan>(tracer_->span(
+        trace_track_, "disk", first.write ? "service_write" : "service_read",
+        {{"blocks", static_cast<double>(nblocks)},
+         {"start", static_cast<double>(start)},
+         {"queued", static_cast<double>(queue_depth())}}));
+  }
+
+  sim_.after(service, [this, start, nblocks, inject_error, service_span,
                        completions = std::move(completions)]() mutable {
     head_ = start + nblocks;
     busy_ = false;
+    // End before running completions: one of them may submit and start the
+    // next service, whose begin must come after this span's end.
+    if (service_span) service_span->end();
     // The device may have failed while the transfer was in flight.
     const IoResult result{!(inject_error || failed_)};
     if (!result.ok) stats_.io_errors += completions.size();

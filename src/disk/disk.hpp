@@ -7,6 +7,7 @@
 
 #include "disk/disk_model.hpp"
 #include "fault/fault_injector.hpp"
+#include "metrics/tracer.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 
@@ -61,6 +62,14 @@ class Disk {
     node_index_ = node;
   }
 
+  /// Attach the run's tracer (nullptr = untraced; the default costs nothing).
+  /// Each physical service becomes a span on \p track with a queue-depth
+  /// counter sampled at service start.
+  void set_tracer(Tracer* tracer, int track) {
+    tracer_ = tracer;
+    trace_track_ = track;
+  }
+
   /// Permanently fail the device (node crash): queued requests complete with
   /// errors, in-flight transfers error on landing, and every future submit
   /// errors immediately. Idempotent.
@@ -104,6 +113,8 @@ class Disk {
   bool failed_ = false;
   FaultInjector* injector_ = nullptr;
   int node_index_ = 0;
+  Tracer* tracer_ = nullptr;
+  int trace_track_ = 0;
   Stats stats_;
 };
 

@@ -162,8 +162,26 @@ void GangScheduler::activate_slot(int to_slot) {
       running_job_[ni] = in_job;
       Process* out_proc = out_job ? out_job->process_on(node) : nullptr;
       const bool out_live = out_proc != nullptr && !out_proc->dead();
-      pager->stop_bgwrite();
+      const int st = trace_track(node, kTrackSched);
+      // The enclosing switch span is async: it ends only when the adaptive
+      // page-in replay drains, long after this callback returns. The signal
+      // phases below are synchronous markers nested inside it.
+      std::shared_ptr<TraceSpan> switch_span;
+      if (tracer_ != nullptr) {
+        switch_span = std::make_shared<TraceSpan>(tracer_->async_span(
+            st, "switch", "switch",
+            {{"gen", static_cast<double>(gen)},
+             {"out", out_job ? static_cast<double>(out_job->id()) : -1.0},
+             {"in", in_job ? static_cast<double>(in_job->id()) : -1.0}}));
+      }
+      {
+        TraceSpan s;
+        if (tracer_ != nullptr) s = tracer_->span(st, "switch", "stop_bgwrite");
+        pager->stop_bgwrite();
+      }
       if (out_live) {
+        TraceSpan s;
+        if (tracer_ != nullptr) s = tracer_->span(st, "switch", "sigstop");
         pager->on_quantum_end(out_proc->pid());
         cpu.stop_process(*out_proc);
       }
@@ -172,7 +190,14 @@ void GangScheduler::activate_slot(int to_slot) {
           pager->adaptive_page_out(out_proc->pid(), in_proc->pid(), ws_hint);
         }
         pager->on_quantum_start(in_proc->pid());
-        pager->adaptive_page_in(in_proc->pid());
+        if (switch_span) {
+          pager->adaptive_page_in(in_proc->pid(),
+                                  [switch_span] { switch_span->end(); });
+        } else {
+          pager->adaptive_page_in(in_proc->pid());
+        }
+        TraceSpan s;
+        if (tracer_ != nullptr) s = tracer_->span(st, "switch", "sigcont");
         cpu.cont_process(*in_proc);
       }
     };
@@ -220,6 +245,11 @@ void GangScheduler::check_watchdog(std::uint64_t gen) {
     }
     ++switch_retries_[ni];
     ++stats_.signal_retransmits;
+    if (tracer_ != nullptr) {
+      tracer_->instant(trace_track(node, kTrackSched), "switch", "retransmit",
+                       {{"gen", static_cast<double>(gen)},
+                        {"retry", static_cast<double>(switch_retries_[ni])}});
+    }
     send_signal(node, switch_action_[ni]);
     pending = true;
   }

@@ -103,6 +103,14 @@ class GangScheduler {
     return !node_dead_[static_cast<std::size_t>(node)];
   }
 
+  /// Attach the run's tracer (nullptr = untraced). Each delivered switch
+  /// action emits, on the owning node's scheduler track, an async "switch"
+  /// span (ending when the adaptive page-in replay drains) containing the
+  /// Figure 5 phases stop_bgwrite/sigstop/sigcont as sync spans; watchdog
+  /// retransmissions become instant events. page_out/page_in come from the
+  /// pagers — wire them separately.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
   /// Failure-path statistics (all zero on undisturbed runs).
   struct Stats {
     std::uint64_t signal_retransmits = 0;  ///< watchdog-resent switch signals
@@ -158,6 +166,7 @@ class GangScheduler {
   std::vector<int> switch_retries_;
   std::vector<bool> node_dead_;
   EventHandle watchdog_event_;
+  Tracer* tracer_ = nullptr;
   Stats stats_;
 };
 

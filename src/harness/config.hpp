@@ -45,6 +45,15 @@ struct ExperimentConfig {
   double iterations_scale = 1.0;
   bool capture_traces = false;
 
+  /// When non-empty, the run constructs a switch-phase Tracer, instruments
+  /// the whole switch path, writes Chrome trace_event JSON to this path
+  /// (open in chrome://tracing or Perfetto) and fills
+  /// RunOutcome::switch_phases. Empty (the default) constructs no tracer at
+  /// all: output is bit-identical to a tracer-free build. The magic value
+  /// "-" collects spans and phase stats without writing a file (for tests
+  /// and benches that consume RunOutcome::trace in memory).
+  std::string trace_json;
+
   /// Run the jobs back to back instead of gang-scheduled (the baseline);
   /// `policy` is ignored in this mode.
   bool batch_mode = false;

@@ -1,17 +1,24 @@
 #include "harness/runner.hpp"
 
 #include <cassert>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <stdexcept>
 
 #include "cluster/cluster.hpp"
 #include "gang/gang_scheduler.hpp"
+#include "metrics/tracer.hpp"
 #include "net/mpi.hpp"
 #include "workloads/npb.hpp"
 
 namespace apsim {
 
 namespace {
+
+SimTime trace_clock(const void* ctx) {
+  return static_cast<const Simulator*>(ctx)->now();
+}
 
 /// Everything a run owns: the cluster, its processes and communicators.
 struct Built {
@@ -140,6 +147,48 @@ void collect(const Built& built, const ExperimentConfig& config,
   }
 }
 
+/// Construct the run's switch-phase tracer and attach it to every component
+/// on the switch path. Returns nullptr (and touches nothing) when
+/// config.trace_json is empty, keeping untraced runs bit-identical.
+[[nodiscard]] std::shared_ptr<Tracer> wire_tracer(
+    Built& built, GangScheduler& scheduler, const ExperimentConfig& config) {
+  if (config.trace_json.empty()) return nullptr;
+  auto tracer = std::make_shared<Tracer>(&built.cluster->sim(), trace_clock);
+  scheduler.set_tracer(tracer.get());
+  for (int n = 0; n < built.cluster->size(); ++n) {
+    auto& node = built.cluster->node(n);
+    const std::string prefix = "node" + std::to_string(n) + " ";
+    scheduler.pager(n).set_tracer(tracer.get(), trace_track(n, kTrackSched));
+    node.vmm().set_tracer(tracer.get(), trace_track(n, kTrackVmm));
+    node.disk().set_tracer(tracer.get(), trace_track(n, kTrackDisk));
+    tracer->set_track_name(trace_track(n, kTrackSched), prefix + "switch");
+    tracer->set_track_name(trace_track(n, kTrackVmm), prefix + "vmm");
+    tracer->set_track_name(trace_track(n, kTrackDisk), prefix + "disk");
+    if (TierManager* tier = node.tier()) {
+      tier->set_tracer(tracer.get(), trace_track(n, kTrackTier));
+      tracer->set_track_name(trace_track(n, kTrackTier), prefix + "tier");
+    }
+  }
+  return tracer;
+}
+
+/// Export the tracer into the outcome: phase statistics always, Chrome JSON
+/// unless the configured path is the in-memory magic value "-".
+void finish_trace(std::shared_ptr<Tracer> tracer,
+                  const ExperimentConfig& config, RunOutcome& out) {
+  if (!tracer) return;
+  out.switch_phases = tracer->phase_stats();
+  if (config.trace_json != "-") {
+    std::ofstream os(config.trace_json);
+    if (!os) {
+      throw std::runtime_error("run_gang: cannot open trace_json path '" +
+                               config.trace_json + "'");
+    }
+    tracer->write_chrome_json(os);
+  }
+  out.trace = std::move(tracer);
+}
+
 }  // namespace
 
 RunOutcome run_gang(const ExperimentConfig& config) {
@@ -161,6 +210,7 @@ RunOutcome run_gang(const ExperimentConfig& config) {
   }
   GangScheduler scheduler(*built.cluster, params);
   build_jobs(built, config, scheduler);
+  std::shared_ptr<Tracer> tracer = wire_tracer(built, scheduler, config);
   scheduler.start();
 
   const bool finished = built.cluster->sim().run_until(
@@ -179,6 +229,7 @@ RunOutcome run_gang(const ExperimentConfig& config) {
   }
   out.nodes_failed = scheduler.stats().nodes_failed;
   out.signal_retransmits = scheduler.stats().signal_retransmits;
+  finish_trace(std::move(tracer), config, out);
   return out;
 }
 

@@ -89,6 +89,10 @@ void apply_scenario_key(ExperimentConfig& config, std::string_view key,
     config.iterations_scale = parse_double(value, key);
   } else if (key == "capture_traces") {
     config.capture_traces = parse_bool(value, key);
+  } else if (key == "trace_json") {
+    // Switch-phase tracer output path ("-" = collect in memory only); see
+    // ExperimentConfig::trace_json.
+    config.trace_json = std::string(value);
   } else if (key == "batch") {
     config.batch_mode = parse_bool(value, key);
   } else if (key == "label") {

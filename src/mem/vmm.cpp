@@ -222,6 +222,11 @@ void Vmm::finish_minor_fault(Pid pid, VPage vpage, bool write,
   ++as.resident_;
   ++as.dirty_resident_;
   ++as.stats_.minor_faults;
+  if (tracer_ != nullptr) {
+    tracer_->instant(trace_track_, "vmm", "minor_fault",
+                     {{"pid", static_cast<double>(pid)},
+                      {"vpage", static_cast<double>(vpage)}});
+  }
   if (frames_.free_frames() < params_.freepages_low) kick_reclaim();
   sim_.after(params_.minor_fault_cost, std::move(resume));
 }
@@ -272,6 +277,12 @@ void Vmm::start_major_fault(Pid pid, VPage vpage, bool write,
   }
 
   const std::int64_t count = hi - lo + 1;
+  if (tracer_ != nullptr) {
+    tracer_->instant(trace_track_, "vmm", "major_fault",
+                     {{"pid", static_cast<double>(pid)},
+                      {"vpage", static_cast<double>(vpage)},
+                      {"cluster", static_cast<double>(count)}});
+  }
   if (frames_.free_frames() < params_.freepages_low) kick_reclaim();
 
   issue_major_read(pid, lo, count, vpage, write, std::move(resume),
@@ -325,6 +336,11 @@ void Vmm::issue_major_read(Pid pid, VPage lo, std::int64_t count, VPage vpage,
             // backoff. The frames stay reserved (io_busy), so concurrent
             // faults keep piggybacking on this read.
             ++stats_.io_retries;
+            if (tracer_ != nullptr) {
+              tracer_->instant(trace_track_, "vmm", "io_retry",
+                               {{"attempt", static_cast<double>(attempt + 1)},
+                                {"pages", static_cast<double>(count)}});
+            }
             const SimDuration backoff =
                 std::min(params_.io_retry_cap,
                          params_.io_retry_base << std::min(attempt, 30));
@@ -382,6 +398,13 @@ void Vmm::drop_io_waiters(Pid pid, VPage vpage) {
 }
 
 void Vmm::declare_unrecoverable(Pid pid, VPage vpage, PageFailure failure) {
+  if (tracer_ != nullptr) {
+    tracer_->instant(trace_track_, "vmm", "unrecoverable",
+                     {{"pid", static_cast<double>(pid)},
+                      {"vpage", static_cast<double>(vpage)},
+                      {"out_of_swap",
+                       failure == PageFailure::kOutOfSwap ? 1.0 : 0.0}});
+  }
   if (failure == PageFailure::kOutOfSwap) {
     ++stats_.out_of_swap_faults;
     log_.error("fault for pid %d page %lld cannot be served: reclaim stalled "
@@ -424,8 +447,17 @@ void Vmm::request_free_frames(std::int64_t target_free,
     sim_.after(0, std::move(done));
     return;
   }
-  waiters_.push_back(
-      Waiter{target_free, std::move(done), best_effort, std::move(give_up)});
+  waiters_.push_back(Waiter{target_free, std::move(done), best_effort,
+                            std::move(give_up), TraceSpan{}});
+  if (tracer_ != nullptr) {
+    // Async span ending when the waiter is released (its destructor runs):
+    // the visible width is exactly how long the request blocked.
+    waiters_.back().span = tracer_->async_span(
+        trace_track_, "vmm", "request_free_frames",
+        {{"target", static_cast<double>(target_free)},
+         {"free", static_cast<double>(frames_.free_frames())},
+         {"best_effort", best_effort ? 1.0 : 0.0}});
+  }
   kick_reclaim();
 }
 
@@ -671,6 +703,12 @@ std::int64_t Vmm::evict_batch(std::span<const Victim> victims,
     i = j;
   }
 
+  if (tracer_ != nullptr) {
+    tracer_->instant(trace_track_, "vmm", "reclaim_batch",
+                     {{"victims", static_cast<double>(victims.size())},
+                      {"freed_now", static_cast<double>(freed_now)},
+                      {"writes", static_cast<double>(writes.size())}});
+  }
   if (freed_now > 0) kick_reclaim();
   return freed_now;
 }

@@ -12,6 +12,7 @@
 #include "mem/frame_table.hpp"
 #include "mem/page_table.hpp"
 #include "mem/reclaim.hpp"
+#include "metrics/tracer.hpp"
 #include "sim/log.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -231,6 +232,14 @@ class Vmm {
   void set_tier(TierManager* tier) { tier_ = tier; }
   [[nodiscard]] TierManager* tier() { return tier_; }
 
+  /// Attach the run's tracer (nullptr = untraced). Fault kinds, reclaim
+  /// batches and retry-ladder attempts become instants on \p track;
+  /// request_free_frames waiters become async spans ending at release.
+  void set_tracer(Tracer* tracer, int track) {
+    tracer_ = tracer;
+    trace_track_ = track;
+  }
+
   // ---- introspection ----
 
   [[nodiscard]] Simulator& sim() { return sim_; }
@@ -273,6 +282,7 @@ class Vmm {
     std::function<void()> done;
     bool best_effort = false;
     std::function<bool()> give_up;  ///< release (satisfied-enough) when true
+    TraceSpan span;  ///< ends when the waiter is released (destroyed)
   };
 
   // Fault machinery.
@@ -333,6 +343,8 @@ class Vmm {
   Simulator& sim_;
   SwapDevice& swap_;
   TierManager* tier_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  int trace_track_ = 0;
   VmmParams params_;
   FrameTable frames_;
   Logger log_;

@@ -54,4 +54,19 @@ void write_outcomes_csv(std::ostream& os,
   }
 }
 
+void write_switch_phases_csv(std::ostream& os,
+                             const std::vector<RunOutcome>& outcomes) {
+  CsvWriter csv(os);
+  csv.row({"label", "policy", "category", "phase", "count", "total_s",
+           "mean_s", "min_s", "max_s", "p95_s"});
+  for (const auto& outcome : outcomes) {
+    for (const auto& phase : outcome.switch_phases) {
+      csv.row({outcome.label, outcome.policy, phase.category, phase.name,
+               std::to_string(phase.count), std::to_string(phase.total_s),
+               std::to_string(phase.mean_s), std::to_string(phase.min_s),
+               std::to_string(phase.max_s), std::to_string(phase.p95_s)});
+    }
+  }
+}
+
 }  // namespace apsim

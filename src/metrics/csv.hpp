@@ -21,7 +21,12 @@ class CsvWriter {
   /// Write one row; fields are quoted as needed.
   void row(const std::vector<std::string>& fields);
 
-  /// Escape a single field (exposed for tests).
+  /// Escape a single field per RFC 4180 (exposed for tests): a field
+  /// containing a comma, double quote, LF or CR is wrapped in double quotes
+  /// with every embedded quote doubled; anything else passes through
+  /// verbatim. Bare CR is quoted too (not just CRLF) — Excel and csv.reader
+  /// both treat a lone CR as a record break. Round-trip property: a
+  /// standard-conforming reader recovers the original field exactly.
   [[nodiscard]] static std::string escape(const std::string& field);
 
  private:
@@ -32,5 +37,11 @@ class CsvWriter {
 /// completion and paging counters.
 void write_outcomes_csv(std::ostream& os,
                         const std::vector<RunOutcome>& outcomes);
+
+/// One line per (outcome, switch phase): label, policy, span category/name,
+/// count and latency summary in seconds. Outcomes without switch_phases
+/// (untraced runs) contribute no rows.
+void write_switch_phases_csv(std::ostream& os,
+                             const std::vector<RunOutcome>& outcomes);
 
 }  // namespace apsim

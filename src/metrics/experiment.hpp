@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "metrics/trace.hpp"
+#include "metrics/tracer.hpp"
 #include "sim/time.hpp"
 
 /// \file experiment.hpp
@@ -37,6 +39,15 @@ struct RunOutcome {
   SimTime makespan = -1;
   std::vector<JobOutcome> jobs;
   std::vector<PagingTrace> traces;  ///< per node (captured on request)
+
+  /// Per-phase latency statistics of the traced switch path (empty unless
+  /// ExperimentConfig::trace_json was set). One entry per (category, name)
+  /// span pair, in first-seen order.
+  std::vector<SwitchPhaseStat> switch_phases;
+
+  /// The run's tracer, holding the raw span/instant events (null unless
+  /// ExperimentConfig::trace_json was set). Shared so outcomes stay copyable.
+  std::shared_ptr<Tracer> trace;
 
   // Cluster-wide totals.
   std::uint64_t pages_swapped_in = 0;

@@ -88,4 +88,19 @@ Table tier_summary_table(const std::vector<RunOutcome>& outcomes) {
   return table;
 }
 
+Table switch_phase_table(const RunOutcome& outcome) {
+  Table table({"phase", "count", "total", "mean ms", "min ms", "max ms",
+               "p95 ms"});
+  for (const auto& phase : outcome.switch_phases) {
+    table.add_row({phase.category + "/" + phase.name,
+                   std::to_string(phase.count),
+                   Table::seconds(phase.total_s, 3),
+                   Table::fmt(phase.mean_s * 1e3, 3),
+                   Table::fmt(phase.min_s * 1e3, 3),
+                   Table::fmt(phase.max_s * 1e3, 3),
+                   Table::fmt(phase.p95_s * 1e3, 3)});
+  }
+  return table;
+}
+
 }  // namespace apsim

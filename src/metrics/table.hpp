@@ -41,4 +41,9 @@ class Table {
 /// next to tiered runs.
 [[nodiscard]] Table tier_summary_table(const std::vector<RunOutcome>& outcomes);
 
+/// Switch-phase latency summary of one traced run (RunOutcome::switch_phases):
+/// one row per span (category, name) with count, total seconds and
+/// mean/min/max/p95 in milliseconds. Empty table for untraced runs.
+[[nodiscard]] Table switch_phase_table(const RunOutcome& outcome);
+
 }  // namespace apsim

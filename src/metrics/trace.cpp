@@ -28,20 +28,52 @@ std::string render_ascii_series(const TimeSeries& series,
                           : series.origin() + static_cast<SimTime>(
                                                   buckets.size()) *
                                                   series.bucket_width();
-  const SimTime begin = std::max(options.t_begin, series.origin());
+  // The x axis is [t_begin, t_end) verbatim; a window starting before the
+  // series origin renders leading empty cells instead of silently shifting
+  // the axis to the first sample.
+  const SimTime begin = options.t_begin;
   if (end <= begin || options.columns == 0 || options.rows == 0) return "";
 
-  // Re-bin [begin, end) into `columns` cells.
+  // Re-bin [begin, end) into `columns` cells, attributing each bucket's
+  // volume to the cells it overlaps in proportion to the overlap. (Mapping
+  // whole buckets by their start time — the old behaviour — dropped the
+  // in-window part of a bucket straddling t_begin, kept the out-of-window
+  // tail of one straddling t_end, and produced spike/gap artifacts whenever
+  // bucket and cell boundaries disagreed.)
   std::vector<double> cells(options.columns, 0.0);
-  const double span = static_cast<double>(end - begin);
+  const SimTime window = end - begin;
+  const auto columns = static_cast<SimTime>(options.columns);
+  // Cell containing time t, exact in integer arithmetic (t in [begin, end)).
+  const auto cell_of = [&](SimTime t) {
+    return static_cast<std::size_t>((t - begin) * columns / window);
+  };
   for (std::size_t i = 0; i < buckets.size(); ++i) {
-    const SimTime t = series.origin() +
-                      static_cast<SimTime>(i) * series.bucket_width();
-    if (t < begin || t >= end) continue;
-    const auto cell = static_cast<std::size_t>(
-        static_cast<double>(t - begin) / span *
-        static_cast<double>(options.columns));
-    cells[std::min(cell, options.columns - 1)] += buckets[i];
+    if (buckets[i] == 0.0) continue;
+    const SimTime b0 = series.origin() +
+                       static_cast<SimTime>(i) * series.bucket_width();
+    const SimTime b1 = b0 + series.bucket_width();
+    const SimTime lo = std::max(b0, begin);
+    const SimTime hi = std::min(b1, end);
+    if (hi <= lo) continue;  // bucket entirely outside the window
+    const std::size_t c_lo = cell_of(lo);
+    const std::size_t c_hi = cell_of(hi - 1);
+    if (c_lo == c_hi) {
+      // Fully inside one cell: add exactly (keeps aligned charts, where
+      // every bucket nests in a cell, bit-identical to the start-time map).
+      cells[c_lo] += buckets[i];
+      continue;
+    }
+    const double density =
+        buckets[i] / static_cast<double>(series.bucket_width());
+    const double cell_w = static_cast<double>(window) /
+                          static_cast<double>(options.columns);
+    for (std::size_t c = c_lo; c <= c_hi; ++c) {
+      const double cb = static_cast<double>(c) * cell_w;
+      const double ce = static_cast<double>(c + 1) * cell_w;
+      const double o_lo = std::max(cb, static_cast<double>(lo - begin));
+      const double o_hi = std::min(ce, static_cast<double>(hi - begin));
+      if (o_hi > o_lo) cells[c] += density * (o_hi - o_lo);
+    }
   }
   const double peak = *std::max_element(cells.begin(), cells.end());
   std::string out;

@@ -31,7 +31,15 @@ struct AsciiChartOptions {
   SimTime t_end = -1;          ///< -1: end of data
 };
 
-/// Render one series as a bar chart (one char column per re-binned bucket).
+/// Render one series as a bar chart (one char column per re-binned cell).
+///
+/// Contract: the x axis covers exactly [t_begin, t_end) — including any
+/// leading part before the series origin, which renders empty. Each source
+/// bucket's volume is attributed to the chart cells it overlaps in
+/// proportion to the overlap, so buckets straddling the window edges
+/// contribute only their in-window share and windows with t_begin > 0 chart
+/// the same shape as the full view. Returns "" when the window is empty or
+/// columns/rows is 0; an all-zero window renders one line of '.'.
 [[nodiscard]] std::string render_ascii_series(const TimeSeries& series,
                                               const AsciiChartOptions& options);
 
@@ -42,6 +50,12 @@ struct AsciiChartOptions {
 /// Burst-compaction summary over a window: what fraction of total paging
 /// volume lands within the busiest `peak_buckets` buckets. The paper's
 /// adaptive mechanisms raise this sharply (compaction of Figure 1).
+///
+/// Edge cases (audited, relied on by callers): an empty series or one with
+/// non-positive total returns 0.0; peak_buckets == 0 returns 0.0 (no
+/// buckets can hold any volume); peak_buckets >= buckets().size() clamps to
+/// the whole series and returns 1.0 whenever the total is positive. The
+/// result is always in [0, 1] for series built from non-negative samples.
 [[nodiscard]] double burst_concentration(const TimeSeries& series,
                                          std::size_t peak_buckets);
 

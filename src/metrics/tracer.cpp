@@ -1,0 +1,232 @@
+#include "metrics/tracer.hpp"
+
+#include <cassert>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace apsim {
+
+namespace {
+
+/// Format a numeric argument value: integers exactly, everything else with
+/// enough digits to be useful. Output is locale-independent and deterministic.
+std::string format_number(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else if (std::isfinite(v)) {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  } else {
+    return "0";  // NaN/inf are invalid JSON; clamp rather than corrupt
+  }
+  return buf;
+}
+
+/// Microsecond timestamp with nanosecond fraction, as Chrome expects.
+std::string format_ts(SimTime ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03d", ns / 1000,
+                static_cast<int>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void TraceSpan::end() {
+  if (tracer_ == nullptr) return;
+  tracer_->end_span(*this);
+  tracer_ = nullptr;
+}
+
+std::uint32_t Tracer::intern(std::string_view s) {
+  auto it = intern_index_.find(s);
+  if (it != intern_index_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  intern_index_.emplace(strings_.back(), id);
+  return id;
+}
+
+bool Tracer::record(TraceEventKind kind, SimTime ts, int track,
+                    std::uint32_t cat, std::uint32_t name, std::uint64_t id,
+                    std::initializer_list<TraceArg> args, bool force) {
+  if (!force && events_.size() >= max_events_) {
+    ++dropped_;
+    return false;
+  }
+  TraceEvent ev;
+  ev.ts = ts;
+  ev.id = id;
+  ev.cat = cat;
+  ev.name = name;
+  ev.track = track;
+  ev.kind = kind;
+  for (const TraceArg& arg : args) {
+    if (ev.num_args >= ev.args.size()) break;
+    ev.args[ev.num_args++] = {intern(arg.key), arg.value};
+  }
+  events_.push_back(ev);
+  return true;
+}
+
+TraceSpan Tracer::span(int track, std::string_view category,
+                       std::string_view name,
+                       std::initializer_list<TraceArg> args) {
+  const std::uint32_t cat_id = intern(category);
+  const std::uint32_t name_id = intern(name);
+  const SimTime ts = now();
+  const bool stored = record(TraceEventKind::kBegin, ts, track, cat_id,
+                             name_id, 0, args, /*force=*/false);
+  return TraceSpan(this, track, cat_id, name_id, ts, 0, stored);
+}
+
+TraceSpan Tracer::async_span(int track, std::string_view category,
+                             std::string_view name,
+                             std::initializer_list<TraceArg> args) {
+  const std::uint32_t cat_id = intern(category);
+  const std::uint32_t name_id = intern(name);
+  const SimTime ts = now();
+  const std::uint64_t id = next_async_id_++;
+  const bool stored = record(TraceEventKind::kAsyncBegin, ts, track, cat_id,
+                             name_id, id, args, /*force=*/false);
+  return TraceSpan(this, track, cat_id, name_id, ts, id, stored);
+}
+
+void Tracer::instant(int track, std::string_view category,
+                     std::string_view name,
+                     std::initializer_list<TraceArg> args) {
+  record(TraceEventKind::kInstant, now(), track, intern(category),
+         intern(name), 0, args, /*force=*/false);
+}
+
+void Tracer::counter(int track, std::string_view category,
+                     std::string_view name, double value) {
+  record(TraceEventKind::kCounter, now(), track, intern(category),
+         intern(name), 0, {{"value", value}}, /*force=*/false);
+}
+
+void Tracer::set_track_name(int track, std::string name) {
+  track_names_[track] = std::move(name);
+}
+
+void Tracer::end_span(const TraceSpan& span) {
+  const SimTime ts = now();
+  if (span.recorded_) {
+    // Always close a begin that made it into the buffer, even past the cap,
+    // so the exported JSON stays balanced; the overshoot is bounded by the
+    // number of spans open when the cap was hit.
+    record(span.async_id_ ? TraceEventKind::kAsyncEnd : TraceEventKind::kEnd,
+           ts, span.track_, span.cat_, span.name_, span.async_id_, {},
+           /*force=*/true);
+  }
+  const double secs = to_seconds(ts - span.begin_);
+  PhaseAccumulator& acc = phase(span.cat_, span.name_);
+  acc.stat.add(secs);
+  acc.log_hist.add(std::log10(std::max(secs, 1e-9)));
+}
+
+Tracer::PhaseAccumulator& Tracer::phase(std::uint32_t cat,
+                                        std::uint32_t name) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(cat) << 32) | name;
+  auto it = phase_index_.find(key);
+  if (it != phase_index_.end()) return phases_[it->second];
+  phase_index_.emplace(key, phases_.size());
+  phases_.emplace_back();
+  phases_.back().cat = cat;
+  phases_.back().name = name;
+  return phases_.back();
+}
+
+std::vector<SwitchPhaseStat> Tracer::phase_stats() const {
+  std::vector<SwitchPhaseStat> out;
+  out.reserve(phases_.size());
+  for (const PhaseAccumulator& acc : phases_) {
+    SwitchPhaseStat stat;
+    stat.category = strings_[acc.cat];
+    stat.name = strings_[acc.name];
+    stat.count = acc.stat.count();
+    stat.total_s = acc.stat.sum();
+    stat.mean_s = acc.stat.mean();
+    stat.min_s = acc.stat.min();
+    stat.max_s = acc.stat.max();
+    stat.p95_s = acc.stat.count()
+                     ? std::pow(10.0, acc.log_hist.quantile(0.95))
+                     : 0.0;
+    out.push_back(std::move(stat));
+  }
+  return out;
+}
+
+void Tracer::write_chrome_json(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [track, name] : track_names_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << track
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << json_escape(name) << "\"}}";
+  }
+  for (const TraceEvent& ev : events_) {
+    if (!first) os << ',';
+    first = false;
+    const char* ph = "i";
+    switch (ev.kind) {
+      case TraceEventKind::kBegin: ph = "B"; break;
+      case TraceEventKind::kEnd: ph = "E"; break;
+      case TraceEventKind::kAsyncBegin: ph = "b"; break;
+      case TraceEventKind::kAsyncEnd: ph = "e"; break;
+      case TraceEventKind::kInstant: ph = "i"; break;
+      case TraceEventKind::kCounter: ph = "C"; break;
+    }
+    os << "{\"ph\":\"" << ph << "\",\"pid\":0,\"tid\":" << ev.track
+       << ",\"ts\":" << format_ts(ev.ts) << ",\"cat\":\""
+       << json_escape(strings_[ev.cat]) << "\",\"name\":\""
+       << json_escape(strings_[ev.name]) << '"';
+    if (ev.kind == TraceEventKind::kAsyncBegin ||
+        ev.kind == TraceEventKind::kAsyncEnd) {
+      os << ",\"id\":\"0x" << std::hex << ev.id << std::dec << '"';
+    }
+    if (ev.kind == TraceEventKind::kInstant) os << ",\"s\":\"t\"";
+    if (ev.num_args > 0 || ev.kind == TraceEventKind::kCounter) {
+      os << ",\"args\":{";
+      for (std::uint8_t i = 0; i < ev.num_args; ++i) {
+        if (i) os << ',';
+        os << '"' << json_escape(strings_[ev.args[i].first])
+           << "\":" << format_number(ev.args[i].second);
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "]}\n";
+}
+
+}  // namespace apsim

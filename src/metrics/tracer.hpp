@@ -1,0 +1,242 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+/// \file tracer.hpp
+/// Deterministic span/event tracer for the job-switch path. A `Tracer` is an
+/// optional per-run collaborator: components hold a `Tracer*` that defaults to
+/// nullptr, so a run without tracing performs no tracer work at all and is
+/// bit-identical to a build without the subsystem. The tracer only *records* —
+/// it never schedules simulation events, draws RNG, or otherwise feeds back
+/// into model decisions, so even a traced run is semantically identical to an
+/// untraced one.
+///
+/// Events are SimTime-stamped via the same clock-thunk idiom as `Logger` and
+/// appended in callback execution order, which the simulator makes
+/// deterministic. Two exporters read them back:
+///
+///  * `write_chrome_json` emits Chrome `trace_event` JSON (open the file in
+///    chrome://tracing or https://ui.perfetto.dev). Tracks map to
+///    pid 0 / tid `track`; see `trace_track()` for the per-node layout.
+///  * `phase_stats` folds every completed span into a per-(category, name)
+///    latency summary (`RunningStat` + log-scale `Histogram` for p95), the
+///    backing data for `RunOutcome::switch_phases`, the phase CSV and
+///    `switch_phase_table`.
+
+namespace apsim {
+
+class Tracer;
+
+/// Numeric key/value attached to a span or instant. Values are numbers only
+/// so the JSON exporter never has to escape user-controlled argument text.
+struct TraceArg {
+  const char* key;
+  double value;
+};
+
+enum class TraceEventKind : std::uint8_t {
+  kBegin,       ///< Chrome "B" — synchronous span open (must nest per track)
+  kEnd,         ///< Chrome "E"
+  kAsyncBegin,  ///< Chrome "b" — async span open (may overlap; paired by id)
+  kAsyncEnd,    ///< Chrome "e"
+  kInstant,     ///< Chrome "i"
+  kCounter,     ///< Chrome "C"
+};
+
+/// One recorded event. Category/name/argument keys are interned; resolve them
+/// with `Tracer::string()`.
+struct TraceEvent {
+  SimTime ts = 0;
+  std::uint64_t id = 0;  ///< async pair id; 0 for non-async events
+  std::uint32_t cat = 0;
+  std::uint32_t name = 0;
+  std::int32_t track = 0;
+  TraceEventKind kind = TraceEventKind::kInstant;
+  std::uint8_t num_args = 0;
+  std::array<std::pair<std::uint32_t, double>, 4> args{};  ///< interned key, value
+};
+
+/// Per-(category, name) latency summary over completed spans, in seconds.
+/// `p95_s` is interpolated from a log10-scale histogram spanning 100 ns–100 s,
+/// so microsecond decompress spans and multi-second page-out spans are both
+/// resolved.
+struct SwitchPhaseStat {
+  std::string category;
+  std::string name;
+  std::uint64_t count = 0;
+  double total_s = 0.0;
+  double mean_s = 0.0;
+  double min_s = 0.0;
+  double max_s = 0.0;
+  double p95_s = 0.0;
+};
+
+/// RAII handle for an open span. Move-only; `end()` is idempotent and the
+/// destructor ends the span if still open. A default-constructed (or moved-
+/// from) TraceSpan is inert, so call sites may hold one unconditionally.
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  TraceSpan(TraceSpan&& other) noexcept { move_from(other); }
+  TraceSpan& operator=(TraceSpan&& other) noexcept {
+    if (this != &other) {
+      end();
+      move_from(other);
+    }
+    return *this;
+  }
+  ~TraceSpan() { end(); }
+
+  /// Close the span at the tracer's current time. Safe to call repeatedly.
+  void end();
+
+  [[nodiscard]] bool active() const { return tracer_ != nullptr; }
+
+ private:
+  friend class Tracer;
+  TraceSpan(Tracer* tracer, std::int32_t track, std::uint32_t cat,
+            std::uint32_t name, SimTime begin, std::uint64_t async_id,
+            bool recorded)
+      : tracer_(tracer), begin_(begin), async_id_(async_id), track_(track),
+        cat_(cat), name_(name), recorded_(recorded) {}
+
+  void move_from(TraceSpan& other) {
+    tracer_ = other.tracer_;
+    begin_ = other.begin_;
+    async_id_ = other.async_id_;
+    track_ = other.track_;
+    cat_ = other.cat_;
+    name_ = other.name_;
+    recorded_ = other.recorded_;
+    other.tracer_ = nullptr;
+  }
+
+  Tracer* tracer_ = nullptr;
+  SimTime begin_ = 0;
+  std::uint64_t async_id_ = 0;  ///< 0 => synchronous B/E pair
+  std::int32_t track_ = 0;
+  std::uint32_t cat_ = 0;
+  std::uint32_t name_ = 0;
+  bool recorded_ = false;  ///< begin event made it into the buffer
+};
+
+class Tracer {
+ public:
+  using Clock = SimTime (*)(const void*);
+
+  static constexpr std::size_t kDefaultMaxEvents = 1u << 20;
+
+  /// \p clock_ctx / \p clock supply the current sim time (same contract as
+  /// `Logger`). \p max_events bounds the event buffer: once full, new spans
+  /// and instants are counted in `dropped()` instead of stored (ends of
+  /// already-stored spans are always kept, so exported JSON stays balanced).
+  /// Phase statistics keep accumulating past the cap.
+  Tracer(const void* clock_ctx, Clock clock,
+         std::size_t max_events = kDefaultMaxEvents)
+      : clock_ctx_(clock_ctx), clock_(clock), max_events_(max_events) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  [[nodiscard]] SimTime now() const { return clock_ ? clock_(clock_ctx_) : 0; }
+
+  /// Open a synchronous span ("B"). Sync spans on the same track must close
+  /// in LIFO order (Chrome's nesting rule); use async_span() for anything
+  /// that can overlap another span on its track.
+  [[nodiscard]] TraceSpan span(int track, std::string_view category,
+                               std::string_view name,
+                               std::initializer_list<TraceArg> args = {});
+
+  /// Open an async span ("b"/"e" with a fresh id); may overlap freely.
+  [[nodiscard]] TraceSpan async_span(int track, std::string_view category,
+                                     std::string_view name,
+                                     std::initializer_list<TraceArg> args = {});
+
+  /// Point event ("i").
+  void instant(int track, std::string_view category, std::string_view name,
+               std::initializer_list<TraceArg> args = {});
+
+  /// Counter sample ("C"); plotted as a stepped series named \p name.
+  void counter(int track, std::string_view category, std::string_view name,
+               double value);
+
+  /// Label a track in the exported JSON ("thread_name" metadata).
+  void set_track_name(int track, std::string name);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// Resolve an interned category/name/argument-key id.
+  [[nodiscard]] std::string_view string(std::uint32_t id) const {
+    return strings_[id];
+  }
+
+  /// Latency summary per (category, name), in first-seen order (deterministic
+  /// because interning order is).
+  [[nodiscard]] std::vector<SwitchPhaseStat> phase_stats() const;
+
+  /// Emit the whole buffer as Chrome trace_event JSON.
+  void write_chrome_json(std::ostream& os) const;
+
+ private:
+  friend class TraceSpan;
+
+  struct PhaseAccumulator {
+    std::uint32_t cat = 0;
+    std::uint32_t name = 0;
+    RunningStat stat;
+    Histogram log_hist{-7.0, 2.0, 90};  // log10(seconds), 0.1-decade buckets
+  };
+
+  [[nodiscard]] std::uint32_t intern(std::string_view s);
+  /// Append an event if capacity allows (or \p force); returns stored?.
+  bool record(TraceEventKind kind, SimTime ts, int track, std::uint32_t cat,
+              std::uint32_t name, std::uint64_t id,
+              std::initializer_list<TraceArg> args, bool force);
+  void end_span(const TraceSpan& span);
+  PhaseAccumulator& phase(std::uint32_t cat, std::uint32_t name);
+
+  const void* clock_ctx_;
+  Clock clock_;
+  std::size_t max_events_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t next_async_id_ = 1;
+  std::vector<std::string> strings_;
+  std::map<std::string, std::uint32_t, std::less<>> intern_index_;
+  std::vector<PhaseAccumulator> phases_;
+  std::map<std::uint64_t, std::size_t> phase_index_;  // (cat<<32|name) -> idx
+  std::map<int, std::string> track_names_;
+};
+
+/// Per-node track layout: each subsystem gets its own tid so that its
+/// synchronous spans nest correctly regardless of what the others are doing.
+/// The scheduler and pager share a track — their sync spans all live inside
+/// one switch-action callback and nest by construction.
+inline constexpr int kTrackSched = 0;
+inline constexpr int kTrackVmm = 1;
+inline constexpr int kTrackTier = 2;
+inline constexpr int kTrackDisk = 3;
+inline constexpr int kTracksPerNode = 4;
+
+[[nodiscard]] constexpr int trace_track(int node, int subsystem) {
+  return node * kTracksPerNode + subsystem;
+}
+
+/// Escape a string for embedding in a JSON string literal (quotes, control
+/// characters, backslashes). Exposed for tests and other exporters.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace apsim

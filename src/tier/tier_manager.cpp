@@ -104,6 +104,12 @@ void TierManager::write(SlotRun run, IoPriority priority,
              static_cast<long long>(run.start),
              static_cast<long long>(run.count),
              static_cast<long long>(pooled), disk_runs.size());
+  if (tracer_ != nullptr) {
+    tracer_->instant(trace_track_, "tier", "store",
+                     {{"pooled", static_cast<double>(pooled)},
+                      {"to_disk", static_cast<double>(run.count - pooled)},
+                      {"occupancy", pool_.occupancy()}});
+  }
   maybe_start_writeback();
 }
 
@@ -137,6 +143,13 @@ void TierManager::read(SlotRun run, IoPriority priority,
   pending->on_complete = std::move(on_complete);
   pending->remaining = (pool_pages > 0 ? 1 : 0) +
                        static_cast<int>(disk_segs.size());
+
+  if (tracer_ != nullptr) {
+    tracer_->instant(trace_track_, "tier", "load",
+                     {{"pool_pages", static_cast<double>(pool_pages)},
+                      {"disk_pages", static_cast<double>(run.count - pool_pages)},
+                      {"disk_segs", static_cast<double>(disk_segs.size())}});
+  }
 
   if (pool_pages > 0) {
     sim_.after(params_.decompress_cost * pool_pages,
@@ -212,6 +225,12 @@ void TierManager::writeback_tick() {
   log_.trace("writeback tick: %lld pages in %zu runs, occupancy %.2f",
              static_cast<long long>(state->total_pages), runs.size(),
              pool_.occupancy());
+  if (tracer_ != nullptr) {
+    tracer_->instant(trace_track_, "tier", "writeback",
+                     {{"pages", static_cast<double>(state->total_pages)},
+                      {"runs", static_cast<double>(runs.size())},
+                      {"occupancy", pool_.occupancy()}});
+  }
 }
 
 }  // namespace apsim

@@ -5,6 +5,7 @@
 
 #include "disk/disk.hpp"
 #include "disk/swap_device.hpp"
+#include "metrics/tracer.hpp"
 #include "sim/log.hpp"
 #include "sim/simulator.hpp"
 #include "tier/compressed_pool.hpp"
@@ -77,6 +78,13 @@ class TierManager {
     node_index_ = node;
   }
 
+  /// Attach the run's tracer (nullptr = untraced). Admissions, loads and
+  /// writeback batches become instant events on \p track.
+  void set_tracer(Tracer* tracer, int track) {
+    tracer_ = tracer;
+    trace_track_ = track;
+  }
+
   /// Swap-out a slot run. Pages the pool admits complete after the
   /// compress cost; the rest is written to disk. \p on_complete fires once
   /// with the aggregate result when every part has landed.
@@ -129,6 +137,8 @@ class TierManager {
   Logger log_;
   FaultInjector* injector_ = nullptr;
   int node_index_ = 0;
+  Tracer* tracer_ = nullptr;
+  int trace_track_ = 0;
   bool writeback_ticking_ = false;
   std::int64_t writebacks_in_flight_ = 0;
   Stats stats_;

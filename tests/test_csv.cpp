@@ -23,6 +23,101 @@ TEST(Csv, EscapesCommasQuotesNewlines) {
   EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
 }
 
+/// Minimal RFC 4180 reader for round-trip checking: splits one CSV document
+/// into rows of unescaped fields. Rows are terminated by a '\n' outside
+/// quotes (the writer's convention); quoted fields may contain anything.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      row.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      row.push_back(std::move(field));
+      field.clear();
+      rows.push_back(std::move(row));
+      row.clear();
+    } else {
+      field += c;
+    }
+  }
+  return rows;
+}
+
+TEST(Csv, RoundTripsHostileFields) {
+  const std::vector<std::string> nasty = {
+      "plain",
+      "",
+      "a,b,c",
+      "\"fully quoted\"",
+      "ends with quote\"",
+      "\"starts with quote",
+      "embedded \"\" doubled",
+      "two\nlines",
+      "carriage\rreturn",
+      "crlf\r\npair",
+      "mix,\"of\r\nevery\",thing\n",
+      "   padded   ",
+      "\"",
+      "\"\"",
+  };
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row(nasty);
+  csv.row(nasty);  // two records: the row terminator must survive too
+  const auto rows = parse_csv(os.str());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], nasty);
+  EXPECT_EQ(rows[1], nasty);
+}
+
+TEST(Csv, EscapeQuotesBareCarriageReturn) {
+  // A lone CR (no LF) must be quoted: readers treat it as a record break.
+  EXPECT_EQ(CsvWriter::escape("a\rb"), "\"a\rb\"");
+  EXPECT_EQ(CsvWriter::escape("trailing\r"), "\"trailing\r\"");
+}
+
+TEST(Csv, SwitchPhasesExport) {
+  RunOutcome outcome;
+  outcome.label = "LU.W, traced";
+  outcome.policy = "so/ao/ai/bg";
+  SwitchPhaseStat phase;
+  phase.category = "switch";
+  phase.name = "page_in";
+  phase.count = 3;
+  phase.total_s = 1.5;
+  phase.mean_s = 0.5;
+  outcome.switch_phases.push_back(phase);
+
+  std::ostringstream os;
+  write_switch_phases_csv(os, {outcome, RunOutcome{}});
+  const auto rows = parse_csv(os.str());
+  // Header + one row; the untraced outcome contributes nothing.
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "label");
+  EXPECT_EQ(rows[1][0], "LU.W, traced");
+  EXPECT_EQ(rows[1][2], "switch");
+  EXPECT_EQ(rows[1][3], "page_in");
+  EXPECT_EQ(rows[1][4], "3");
+}
+
 TEST(Csv, EmptyRow) {
   std::ostringstream os;
   CsvWriter csv(os);

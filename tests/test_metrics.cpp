@@ -98,6 +98,68 @@ TEST(Trace, AsciiChartEmptySeries) {
   EXPECT_EQ(chart, "..........\n");
 }
 
+TEST(Trace, AsciiChartUniformSeriesHasNoRebinGaps) {
+  // 10 one-second buckets re-binned into 20 cells: each bucket overlaps two
+  // cells and must split evenly. The old start-time mapping piled each
+  // bucket onto one cell, rendering a comb of spikes and gaps.
+  TimeSeries series(kSecond);
+  for (int i = 0; i < 10; ++i) series.add(i * kSecond, 10.0);
+  AsciiChartOptions options;
+  options.columns = 20;
+  options.rows = 2;
+  options.t_end = 10 * kSecond;
+  const std::string chart = render_ascii_series(series, options);
+  EXPECT_EQ(chart.find(' '), std::string::npos);
+  EXPECT_EQ(chart.find('_'), std::string::npos);
+  EXPECT_EQ(std::count(chart.begin(), chart.end(), '#'), 2 * 20);
+}
+
+TEST(Trace, AsciiChartWindowStartOffsetKeepsProportions) {
+  // Window [30 s, 40 s) at 0.5 s cells: the burst bucket [35 s, 36 s) must
+  // split across cells 10 and 11 (the old code dropped all its volume on
+  // cell 10 and left 11 empty).
+  TimeSeries series(kSecond);
+  series.add(35 * kSecond, 100.0);
+  AsciiChartOptions options;
+  options.columns = 20;
+  options.rows = 1;
+  options.t_begin = 30 * kSecond;
+  options.t_end = 40 * kSecond;
+  const std::string chart = render_ascii_series(series, options);
+  ASSERT_EQ(chart, std::string("          ##        \n"));
+}
+
+TEST(Trace, AsciiChartBucketStraddlingWindowStartStillRenders) {
+  // A 10 s bucket [10 s, 20 s) viewed through the window [15 s, 25 s): its
+  // in-window half must show up. The old begin-time filter discarded the
+  // whole bucket because it starts before the window.
+  TimeSeries series(10 * kSecond);
+  series.add(10 * kSecond, 100.0);
+  AsciiChartOptions options;
+  options.columns = 10;
+  options.rows = 1;
+  options.t_begin = 15 * kSecond;
+  options.t_end = 25 * kSecond;
+  const std::string chart = render_ascii_series(series, options);
+  // Cells 0-4 cover [15 s, 20 s): half the bucket, spread evenly.
+  EXPECT_EQ(chart, "#####     \n");
+}
+
+TEST(Trace, AsciiChartHonorsWindowBeforeSeriesOrigin) {
+  // A series whose first bucket starts at 10 s, charted over [0 s, 20 s):
+  // the burst belongs in the middle of the axis, not at the left edge.
+  TimeSeries series(kSecond, /*origin=*/10 * kSecond);
+  series.add(10 * kSecond, 100.0);
+  AsciiChartOptions options;
+  options.columns = 20;
+  options.rows = 1;
+  options.t_begin = 0;
+  options.t_end = 20 * kSecond;
+  const std::string chart = render_ascii_series(series, options);
+  ASSERT_EQ(chart.size(), 21u);
+  EXPECT_EQ(chart.find('#'), 10u);
+}
+
 TEST(Trace, BurstConcentrationSeparatesShapes) {
   // Compact: everything in 2 buckets. Spread: uniform over 100.
   TimeSeries compact(kSecond);
@@ -108,6 +170,46 @@ TEST(Trace, BurstConcentrationSeparatesShapes) {
   EXPECT_DOUBLE_EQ(burst_concentration(compact, 5), 1.0);
   EXPECT_NEAR(burst_concentration(spread, 5), 0.05, 1e-9);
   EXPECT_DOUBLE_EQ(burst_concentration(TimeSeries(kSecond), 5), 0.0);
+}
+
+TEST(Trace, BurstConcentrationEdgeCases) {
+  TimeSeries series(kSecond);
+  series.add(0, 10.0);
+  series.add(kSecond, 30.0);
+  series.add(2 * kSecond, 60.0);
+  // Zero peak buckets hold zero volume.
+  EXPECT_DOUBLE_EQ(burst_concentration(series, 0), 0.0);
+  // More peak buckets than exist clamps to the whole (positive) series.
+  EXPECT_DOUBLE_EQ(burst_concentration(series, 100), 1.0);
+  // Empty series stays 0 for any request.
+  EXPECT_DOUBLE_EQ(burst_concentration(TimeSeries(kSecond), 0), 0.0);
+  EXPECT_DOUBLE_EQ(burst_concentration(TimeSeries(kSecond), 100), 0.0);
+  // Ordinary case for reference: the top bucket holds 60%.
+  EXPECT_DOUBLE_EQ(burst_concentration(series, 1), 0.6);
+}
+
+TEST(Table, SwitchPhaseTableRendersPhases) {
+  RunOutcome outcome;
+  SwitchPhaseStat phase;
+  phase.category = "switch";
+  phase.name = "page_out";
+  phase.count = 4;
+  phase.total_s = 2.0;
+  phase.mean_s = 0.5;
+  phase.min_s = 0.1;
+  phase.max_s = 1.2;
+  phase.p95_s = 1.1;
+  outcome.switch_phases.push_back(phase);
+  phase.name = "sigstop";
+  outcome.switch_phases.push_back(phase);
+  const Table table = switch_phase_table(outcome);
+  EXPECT_EQ(table.rows(), 2u);
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("switch/page_out"), std::string::npos);
+  EXPECT_NE(text.find("switch/sigstop"), std::string::npos);
+  EXPECT_NE(text.find("500.000"), std::string::npos);  // mean ms
+  // Untraced outcomes produce an empty (but printable) table.
+  EXPECT_EQ(switch_phase_table(RunOutcome{}).rows(), 0u);
 }
 
 }  // namespace
