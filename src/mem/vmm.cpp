@@ -187,7 +187,7 @@ void Vmm::retry_fault_later(Pid pid, VPage vpage, bool write,
       declare_unrecoverable(pid, vpage, PageFailure::kOutOfSwap);
       return;  // resume dropped: the process stays blocked (handler kills it)
     }
-  } else {
+  } else if (!stalled_retry_counts_.empty()) {
     stalled_retry_counts_.erase({pid, vpage});
   }
   ++stats_.alloc_retries;
@@ -383,7 +383,9 @@ void Vmm::issue_major_read(Pid pid, VPage lo, std::int64_t count, VPage vpage,
           p.age = params_.age_initial;
           p.last_ref = sim_.now();
           ++as2.resident_;
-          stalled_retry_counts_.erase({pid, v});
+          if (!stalled_retry_counts_.empty()) {
+            stalled_retry_counts_.erase({pid, v});
+          }
           fire_io_waiters(pid, v);
         }
         if (!as2.alive_) return;
@@ -394,7 +396,12 @@ void Vmm::issue_major_read(Pid pid, VPage lo, std::int64_t count, VPage vpage,
 }
 
 void Vmm::drop_io_waiters(Pid pid, VPage vpage) {
-  io_waiters_.erase({pid, vpage});
+  if (io_waiters_.empty()) return;
+  auto it = io_waiters_.find({pid, vpage});
+  if (it == io_waiters_.end()) return;
+  auto waiters = std::move(it->second);
+  io_waiters_.erase(it);
+  recycle_waiter_list(std::move(waiters));
 }
 
 void Vmm::declare_unrecoverable(Pid pid, VPage vpage, PageFailure failure) {
@@ -421,15 +428,30 @@ void Vmm::declare_unrecoverable(Pid pid, VPage vpage, PageFailure failure) {
 }
 
 void Vmm::add_io_waiter(Pid pid, VPage vpage, std::function<void()> resume) {
-  io_waiters_[{pid, vpage}].push_back(std::move(resume));
+  auto& list = io_waiters_[{pid, vpage}];
+  if (list.capacity() == 0 && !spare_waiter_lists_.empty()) {
+    // Reuse the capacity of a previously fired waiter list instead of
+    // growing a fresh vector for every piggybacked fault.
+    list = std::move(spare_waiter_lists_.back());
+    spare_waiter_lists_.pop_back();
+  }
+  list.push_back(std::move(resume));
+}
+
+void Vmm::recycle_waiter_list(std::vector<std::function<void()>>&& list) {
+  if (spare_waiter_lists_.size() >= kMaxSpareWaiterLists) return;
+  list.clear();
+  spare_waiter_lists_.push_back(std::move(list));
 }
 
 void Vmm::fire_io_waiters(Pid pid, VPage vpage) {
+  if (io_waiters_.empty()) return;  // the common page-in: nobody piggybacked
   auto it = io_waiters_.find({pid, vpage});
   if (it == io_waiters_.end()) return;
   auto waiters = std::move(it->second);
   io_waiters_.erase(it);
   for (auto& fn : waiters) sim_.after(0, std::move(fn));
+  recycle_waiter_list(std::move(waiters));
 }
 
 // ---------------------------------------------------------------------------
@@ -471,17 +493,22 @@ void Vmm::kick_reclaim() {
 }
 
 void Vmm::check_waiters() {
+  // In-place compaction, preserving order: reclaim runs this every step, so
+  // it must not allocate a scratch vector per invocation. Released waiters
+  // are overwritten (or destroyed by the resize), which ends their trace
+  // spans exactly as the old copy-out did.
   const std::int64_t free = frames_.free_frames();
-  std::vector<Waiter> pending;
-  pending.reserve(waiters_.size());
-  for (auto& w : waiters_) {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < waiters_.size(); ++i) {
+    Waiter& w = waiters_[i];
     if (free >= w.target || (w.give_up && w.give_up())) {
       sim_.after(0, std::move(w.done));
     } else {
-      pending.push_back(std::move(w));
+      if (kept != i) waiters_[kept] = std::move(w);
+      ++kept;
     }
   }
-  waiters_ = std::move(pending);
+  waiters_.resize(kept);
 }
 
 void Vmm::reclaim_step() {
@@ -566,8 +593,11 @@ std::int64_t Vmm::evict_batch(std::span<const Victim> victims,
 
   // Pass 1: clean pages with a valid swap copy are dropped instantly; dirty
   // pages are reserved (io_busy) so duplicate victim entries are harmless
-  // and collected for a batched write-out in pass 2.
-  std::vector<Victim> writes;
+  // and collected for a batched write-out in pass 2. The scratch buffer is a
+  // member so steady-state reclaim reuses its capacity instead of
+  // allocating per step.
+  std::vector<Victim>& writes = write_scratch_;
+  writes.clear();
   writes.reserve(victims.size());
   for (const Victim& victim : victims) {
     auto& as = space(victim.pid);

@@ -301,9 +301,11 @@ class Vmm {
   void add_io_waiter(Pid pid, VPage vpage, std::function<void()> resume);
   void fire_io_waiters(Pid pid, VPage vpage);
   [[nodiscard]] bool has_io_waiters(Pid pid, VPage vpage) const {
-    return io_waiters_.contains({pid, vpage});
+    return !io_waiters_.empty() && io_waiters_.contains({pid, vpage});
   }
   void drop_io_waiters(Pid pid, VPage vpage);
+  /// Return a fired waiter list's capacity to the spare pool for reuse.
+  void recycle_waiter_list(std::vector<std::function<void()>>&& list);
   /// Abandon the fault on (pid, vpage) and notify the failure handler.
   void declare_unrecoverable(Pid pid, VPage vpage, PageFailure failure);
 
@@ -370,6 +372,14 @@ class Vmm {
   FailureHandler failure_handler_;
 
   std::map<std::pair<Pid, VPage>, std::vector<std::function<void()>>> io_waiters_;
+  /// Capacity recycling for fired/dropped io-waiter lists (allocation diet:
+  /// piggybacked faults are common under gang switches, and each list would
+  /// otherwise re-grow from zero).
+  static constexpr std::size_t kMaxSpareWaiterLists = 16;
+  std::vector<std::vector<std::function<void()>>> spare_waiter_lists_;
+  /// Reusable pass-2 buffer for evict_batch (allocation diet: reclaim runs
+  /// every step of a fault storm and must not allocate per invocation).
+  std::vector<Victim> write_scratch_;
 
   EvictObserver evict_observer_;
 

@@ -1,10 +1,13 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <initializer_list>
 #include <iosfwd>
+#include <iterator>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -64,6 +67,97 @@ struct TraceEvent {
   TraceEventKind kind = TraceEventKind::kInstant;
   std::uint8_t num_args = 0;
   std::array<std::pair<std::uint32_t, double>, 4> args{};  ///< interned key, value
+};
+
+/// Chunked arena for the recorded event stream. A traced run appends
+/// hundreds of thousands of events; a plain std::vector would re-allocate
+/// and copy the whole (multi-megabyte) stream at every capacity doubling.
+/// The arena allocates fixed-size chunks instead — appends never move
+/// existing events, so the append cost is flat and event addresses are
+/// stable for the lifetime of the tracer.
+class TraceEventBuffer {
+ public:
+  static constexpr std::size_t kChunkBits = 12;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] const TraceEvent& operator[](std::size_t i) const {
+    return (*chunks_[i >> kChunkBits])[i & (kChunkSize - 1)];
+  }
+
+  void push_back(const TraceEvent& ev) {
+    if (size_ == chunks_.size() * kChunkSize) {
+      chunks_.push_back(std::make_unique<Chunk>());
+    }
+    (*chunks_[size_ >> kChunkBits])[size_ & (kChunkSize - 1)] = ev;
+    ++size_;
+  }
+
+  /// Random-access const iterator (index-based; chunks give stable storage).
+  class const_iterator {
+   public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = TraceEvent;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const TraceEvent*;
+    using reference = const TraceEvent&;
+
+    const_iterator() = default;
+    const_iterator(const TraceEventBuffer* buf, std::size_t index)
+        : buf_(buf), index_(index) {}
+
+    reference operator*() const { return (*buf_)[index_]; }
+    pointer operator->() const { return &(*buf_)[index_]; }
+    reference operator[](difference_type n) const {
+      return (*buf_)[index_ + static_cast<std::size_t>(n)];
+    }
+    const_iterator& operator++() { ++index_; return *this; }
+    const_iterator operator++(int) { auto t = *this; ++index_; return t; }
+    const_iterator& operator--() { --index_; return *this; }
+    const_iterator operator--(int) { auto t = *this; --index_; return t; }
+    const_iterator& operator+=(difference_type n) {
+      index_ += static_cast<std::size_t>(n);
+      return *this;
+    }
+    const_iterator& operator-=(difference_type n) {
+      index_ -= static_cast<std::size_t>(n);
+      return *this;
+    }
+    friend const_iterator operator+(const_iterator it, difference_type n) {
+      return it += n;
+    }
+    friend const_iterator operator+(difference_type n, const_iterator it) {
+      return it += n;
+    }
+    friend const_iterator operator-(const_iterator it, difference_type n) {
+      return it -= n;
+    }
+    friend difference_type operator-(const const_iterator& a,
+                                     const const_iterator& b) {
+      return static_cast<difference_type>(a.index_) -
+             static_cast<difference_type>(b.index_);
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.index_ == b.index_;
+    }
+    friend auto operator<=>(const const_iterator& a, const const_iterator& b) {
+      return a.index_ <=> b.index_;
+    }
+
+   private:
+    const TraceEventBuffer* buf_ = nullptr;
+    std::size_t index_ = 0;
+  };
+
+  [[nodiscard]] const_iterator begin() const { return {this, 0}; }
+  [[nodiscard]] const_iterator end() const { return {this, size_}; }
+
+ private:
+  using Chunk = std::array<TraceEvent, kChunkSize>;
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::size_t size_ = 0;
 };
 
 /// Per-(category, name) latency summary over completed spans, in seconds.
@@ -175,7 +269,7 @@ class Tracer {
   /// Label a track in the exported JSON ("thread_name" metadata).
   void set_track_name(int track, std::string name);
 
-  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] const TraceEventBuffer& events() const { return events_; }
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
 
   /// Resolve an interned category/name/argument-key id.
@@ -211,7 +305,7 @@ class Tracer {
   const void* clock_ctx_;
   Clock clock_;
   std::size_t max_events_;
-  std::vector<TraceEvent> events_;
+  TraceEventBuffer events_;
   std::uint64_t dropped_ = 0;
   std::uint64_t next_async_id_ = 1;
   std::vector<std::string> strings_;

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+/// \file callback.hpp
+/// Small-buffer-optimized callable for the simulator's event hot path.
+/// `std::function` heap-allocates for any capture larger than two pointers,
+/// which on the fault path means one malloc/free pair per scheduled event.
+/// `InlineCallback` stores callables up to kInlineSize bytes in place, so the
+/// common scheduling path (captures of a component pointer plus a few ids and
+/// a nested continuation) performs no allocation at all; oversized callables
+/// fall back to a single heap cell.
+
+namespace apsim {
+
+namespace detail {
+
+/// Callable types that have a natural empty state worth preserving: wrapping
+/// an empty std::function (or a null function pointer) yields an empty
+/// InlineCallback instead of a callable that would throw when invoked.
+template <typename T>
+inline constexpr bool is_null_checkable_v = false;
+template <typename R, typename... A>
+inline constexpr bool is_null_checkable_v<std::function<R(A...)>> = true;
+template <typename R, typename... A>
+inline constexpr bool is_null_checkable_v<R (*)(A...)> = true;
+
+}  // namespace detail
+
+/// Move-only `void()` callable with inline storage. Invoking an empty
+/// InlineCallback is undefined (asserted in debug builds), matching the
+/// EventQueue precondition that scheduled callbacks are non-empty.
+class InlineCallback {
+ public:
+  /// Sized so the Vmm fault path's largest common capture set (component
+  /// pointer, pid/page ids, a nested std::function continuation, retry
+  /// counters) stays inline.
+  static constexpr std::size_t kInlineSize = 96;
+
+  InlineCallback() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, InlineCallback> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (detail::is_null_checkable_v<Fn>) {
+      if (!f) return;  // empty in, empty out
+    }
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      call_ = [](void* buf) { (*std::launder(reinterpret_cast<Fn*>(buf)))(); };
+      manage_ = [](Op op, void* self, void* other) {
+        Fn* fn = std::launder(reinterpret_cast<Fn*>(self));
+        if (op == Op::kMoveTo) {
+          ::new (other) Fn(std::move(*fn));
+        }
+        fn->~Fn();
+      };
+    } else {
+      Fn* heap = new Fn(std::forward<F>(f));
+      std::memcpy(buf_, &heap, sizeof heap);
+      call_ = [](void* buf) {
+        Fn* fn;
+        std::memcpy(&fn, buf, sizeof fn);
+        (*fn)();
+      };
+      manage_ = [](Op op, void* self, void* other) {
+        if (op == Op::kMoveTo) {
+          std::memcpy(other, self, sizeof(void*));  // transfer ownership
+        } else {
+          Fn* fn;
+          std::memcpy(&fn, self, sizeof fn);
+          delete fn;
+        }
+      };
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { move_from(other); }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  /// Destroy the held callable (no-op when empty).
+  void reset() {
+    if (call_ != nullptr) {
+      manage_(Op::kDestroy, buf_, nullptr);
+      call_ = nullptr;
+      manage_ = nullptr;
+    }
+  }
+
+  void operator()() {
+    assert(call_ != nullptr && "invoking an empty InlineCallback");
+    call_(buf_);
+  }
+
+  [[nodiscard]] explicit operator bool() const { return call_ != nullptr; }
+
+ private:
+  enum class Op : std::uint8_t { kMoveTo, kDestroy };
+
+  void move_from(InlineCallback& other) noexcept {
+    if (other.call_ != nullptr) {
+      other.manage_(Op::kMoveTo, other.buf_, buf_);
+      call_ = other.call_;
+      manage_ = other.manage_;
+      other.call_ = nullptr;
+      other.manage_ = nullptr;
+    }
+  }
+
+  void (*call_)(void*) = nullptr;
+  void (*manage_)(Op, void*, void*) = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+};
+
+}  // namespace apsim

@@ -2,60 +2,104 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 
 namespace apsim {
 
 EventHandle EventQueue::schedule(SimTime when, Callback fn) {
   assert(fn && "cannot schedule an empty callback");
-  Entry entry;
-  entry.time = when;
-  entry.seq = seq_++;
-  entry.fn = std::move(fn);
-  entry.cancelled = std::make_shared<bool>(false);
-  EventHandle handle{std::weak_ptr<bool>(entry.cancelled)};
-  heap_.push_back(std::move(entry));
+  const std::uint32_t index = pool_->acquire();
+  detail::EventSlot& slot = pool_->slot(index);
+  slot.fn = std::move(fn);
+  slot.armed = true;
+  heap_.push_back(HeapEntry{when, seq_++, index});
   std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   ++live_;
-  return handle;
+  return EventHandle{pool_, index, slot.generation};
 }
 
 void EventQueue::cancel(const EventHandle& handle) {
-  if (auto flag = handle.flag_.lock(); flag && !*flag) {
-    *flag = true;
-    assert(live_ > 0);
-    --live_;
+  if (handle.pool_.lock() != pool_) return;  // default handle / foreign queue
+  detail::EventSlot& slot = pool_->slot(handle.slot_);
+  if (slot.generation != handle.generation_ || !slot.armed || slot.cancelled) {
+    return;  // already fired, already cancelled, or slot reused since
   }
+  slot.cancelled = true;
+  slot.fn.reset();  // drop captured state eagerly
+  assert(live_ > 0);
+  --live_;
 }
 
-void EventQueue::drop_cancelled_top() const {
-  auto& heap = heap_;
-  while (!heap.empty() && *heap.front().cancelled) {
-    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
-    heap.pop_back();
+void EventQueue::prune() const {
+  while (batch_pending() && pool_->slot(batch_[batch_head_].slot).cancelled) {
+    pool_->release(batch_[batch_head_].slot);
+    ++batch_head_;
   }
-}
-
-bool EventQueue::empty() const {
-  drop_cancelled_top();
-  return heap_.empty();
+  if (!batch_pending() && !batch_.empty()) {
+    batch_.clear();
+    batch_head_ = 0;
+  }
+  while (!heap_.empty() && pool_->slot(heap_.front().slot).cancelled) {
+    const std::uint32_t index = heap_.front().slot;
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
+    pool_->release(index);
+  }
 }
 
 SimTime EventQueue::next_time() const {
-  drop_cancelled_top();
-  assert(!heap_.empty());
+  prune();
+  assert(batch_pending() || !heap_.empty());
+  if (batch_pending() &&
+      (heap_.empty() || batch_[batch_head_].time <= heap_.front().time)) {
+    // Batch entries predate (in seq) every same-time heap entry, so the
+    // batch wins ties.
+    return batch_[batch_head_].time;
+  }
   return heap_.front().time;
 }
 
 EventQueue::Popped EventQueue::pop() {
-  drop_cancelled_top();
-  assert(!heap_.empty());
-  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  Entry entry = std::move(heap_.back());
-  heap_.pop_back();
-  assert(live_ > 0);
+  prune();
+  assert(live_ > 0 && (batch_pending() || !heap_.empty()));
+
+  if (!batch_pending() && !heap_.empty()) {
+    // Start a fresh batch: drain the entire same-time run at the top of the
+    // heap once; subsequent pops at this instant are O(1) from the flat
+    // buffer. pop_heap yields the run in ascending seq order, so the batch
+    // is already FIFO.
+    const SimTime top_time = heap_.front().time;
+    do {
+      batch_.push_back(heap_.front());
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+      heap_.pop_back();
+    } while (!heap_.empty() && heap_.front().time == top_time);
+  } else if (batch_pending() && !heap_.empty() &&
+             heap_.front().time < batch_[batch_head_].time) {
+    // Only possible for standalone queues (the Simulator never schedules
+    // into the past): an event earlier than the drained batch showed up.
+    // Serve it directly without touching the batch.
+    const HeapEntry entry = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
+    detail::EventSlot& slot = pool_->slot(entry.slot);
+    Popped popped{entry.time, std::move(slot.fn)};
+    pool_->release(entry.slot);
+    --live_;
+    return popped;
+  }
+
+  const HeapEntry entry = batch_[batch_head_++];
+  detail::EventSlot& slot = pool_->slot(entry.slot);
+  assert(slot.armed && !slot.cancelled);
+  Popped popped{entry.time, std::move(slot.fn)};
+  pool_->release(entry.slot);
   --live_;
-  *entry.cancelled = true;  // handle now reports !pending()
-  return Popped{entry.time, std::move(entry.fn)};
+  if (!batch_pending()) {
+    batch_.clear();
+    batch_head_ = 0;
+  }
+  return popped;
 }
 
 }  // namespace apsim

@@ -1,10 +1,11 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 /// \file event_queue.hpp
@@ -12,10 +13,91 @@
 /// The monotonically increasing sequence number makes ordering of same-time
 /// events deterministic (FIFO in scheduling order), which in turn makes every
 /// simulation run bit-reproducible.
+///
+/// Hot-path design (the simulator dispatches millions of events per run):
+///  * Callbacks live in a slab-allocated slot pool; the heap itself holds
+///    24-byte (time, seq, slot) entries, so sift operations move small PODs
+///    instead of type-erased callables.
+///  * Slots are recycled through a free list and carry a generation counter;
+///    an EventHandle is (slot, generation), so cancellation needs no
+///    per-event shared_ptr control block and a stale handle to a recycled
+///    slot can never cancel its new occupant.
+///  * Callbacks are `InlineCallback`s (small-buffer optimized), so the
+///    common schedule() performs no heap allocation at all.
+///  * pop() drains the whole same-time run at the top of the heap into a
+///    flat batch buffer once, then serves the run FIFO in O(1) per event —
+///    gang switches, signal broadcasts and waiter releases schedule many
+///    events at one instant.
 
 namespace apsim {
 
-/// Opaque handle to a scheduled event; used only for cancellation.
+namespace detail {
+
+/// One pooled event: the callback plus the slot's bookkeeping. `generation`
+/// increments every time the slot is released, invalidating old handles.
+struct EventSlot {
+  InlineCallback fn;
+  std::uint32_t generation = 1;
+  std::uint32_t next_free = 0;  ///< free-list link, index + 1 (0 = end)
+  bool armed = false;           ///< slot holds a scheduled, unpopped event
+  bool cancelled = false;       ///< tombstone: dropped lazily at the heap top
+};
+
+/// Slab-allocated slot pool. Slabs are never moved or freed while the queue
+/// lives, so slots have stable addresses; the pool is shared (via
+/// shared_ptr) with EventHandles so `pending()` stays safe after the owning
+/// queue is destroyed.
+class EventPool {
+ public:
+  static constexpr std::uint32_t kSlabBits = 8;
+  static constexpr std::uint32_t kSlabSize = 1u << kSlabBits;  // slots/slab
+
+  [[nodiscard]] EventSlot& slot(std::uint32_t index) {
+    return slabs_[index >> kSlabBits]->slots[index & (kSlabSize - 1)];
+  }
+  [[nodiscard]] const EventSlot& slot(std::uint32_t index) const {
+    return slabs_[index >> kSlabBits]->slots[index & (kSlabSize - 1)];
+  }
+
+  /// Pop a free slot (or grow by one slab). The returned slot is disarmed.
+  [[nodiscard]] std::uint32_t acquire() {
+    if (free_head_ != 0) {
+      const std::uint32_t index = free_head_ - 1;
+      free_head_ = slot(index).next_free;
+      return index;
+    }
+    if (allocated_ == slabs_.size() * kSlabSize) {
+      slabs_.push_back(std::make_unique<Slab>());
+    }
+    return allocated_++;
+  }
+
+  /// Return a slot to the free list: drops the callback, bumps the
+  /// generation (outstanding handles stop matching), clears the flags.
+  void release(std::uint32_t index) {
+    EventSlot& s = slot(index);
+    s.fn.reset();
+    s.armed = false;
+    s.cancelled = false;
+    ++s.generation;
+    s.next_free = free_head_;
+    free_head_ = index + 1;
+  }
+
+ private:
+  struct Slab {
+    std::array<EventSlot, kSlabSize> slots;
+  };
+  std::vector<std::unique_ptr<Slab>> slabs_;
+  std::uint32_t free_head_ = 0;  ///< index + 1 (0 = empty)
+  std::uint32_t allocated_ = 0;
+};
+
+}  // namespace detail
+
+/// Opaque handle to a scheduled event; used only for cancellation. Copyable;
+/// remains safe (reports !pending()) after the event fires, is cancelled,
+/// its slot is reused, or the whole queue is destroyed.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -23,32 +105,47 @@ class EventHandle {
   /// True if the handle refers to an event that has neither fired nor been
   /// cancelled.
   [[nodiscard]] bool pending() const {
-    auto p = flag_.lock();
-    return p != nullptr && !*p;
+    auto pool = pool_.lock();
+    if (pool == nullptr) return false;
+    const detail::EventSlot& s = pool->slot(slot_);
+    return s.generation == generation_ && s.armed && !s.cancelled;
   }
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::weak_ptr<bool> flag) : flag_(std::move(flag)) {}
-  std::weak_ptr<bool> flag_;  // points at the event's cancelled flag
+  EventHandle(std::weak_ptr<detail::EventPool> pool, std::uint32_t slot,
+              std::uint32_t generation)
+      : pool_(std::move(pool)), slot_(slot), generation_(generation) {}
+
+  std::weak_ptr<detail::EventPool> pool_;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;  ///< 0 never matches a live slot
 };
 
 /// Min-heap of timed callbacks. Not thread-safe by design: each Simulator is
 /// single-threaded; concurrency in experiments is one Simulator per thread.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
+
+  EventQueue() : pool_(std::make_shared<detail::EventPool>()) {}
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+  EventQueue(EventQueue&&) = default;
+  EventQueue& operator=(EventQueue&&) = default;
+  ~EventQueue() = default;
 
   /// Schedule \p fn at absolute time \p when (must be >= the last popped
   /// time; enforced by the Simulator, not here).
   EventHandle schedule(SimTime when, Callback fn);
 
   /// Cancel a previously scheduled event. Cancelling an already-fired or
-  /// already-cancelled event is a harmless no-op. Cancelled events are
-  /// dropped lazily when they reach the top of the heap.
+  /// already-cancelled event is a harmless no-op. The callback is destroyed
+  /// eagerly; the heap entry is dropped lazily when it reaches the top.
   void cancel(const EventHandle& handle);
 
-  [[nodiscard]] bool empty() const;
+  [[nodiscard]] bool empty() const { return live_ == 0; }
 
   /// Time of the earliest pending event. Precondition: !empty().
   [[nodiscard]] SimTime next_time() const;
@@ -68,22 +165,28 @@ class EventQueue {
   [[nodiscard]] std::uint64_t total_scheduled() const { return seq_; }
 
  private:
-  struct Entry {
+  struct HeapEntry {
     SimTime time = 0;
     std::uint64_t seq = 0;
-    Callback fn;
-    std::shared_ptr<bool> cancelled;  // shared with EventHandle
+    std::uint32_t slot = 0;
 
-    friend bool operator>(const Entry& a, const Entry& b) {
+    friend bool operator>(const HeapEntry& a, const HeapEntry& b) {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
 
-  void drop_cancelled_top() const;
+  /// Shed cancelled tombstones from the batch head and the heap top.
+  void prune() const;
+  [[nodiscard]] bool batch_pending() const {
+    return batch_head_ < batch_.size();
+  }
 
-  // Mutable so that empty()/next_time() can shed cancelled tombstones.
-  mutable std::vector<Entry> heap_;
+  std::shared_ptr<detail::EventPool> pool_;
+  // Mutable so that next_time()/prune() can shed cancelled tombstones.
+  mutable std::vector<HeapEntry> heap_;
+  mutable std::vector<HeapEntry> batch_;  ///< drained same-time run (FIFO)
+  mutable std::size_t batch_head_ = 0;
   std::uint64_t seq_ = 0;
   std::size_t live_ = 0;
 };

@@ -104,6 +104,123 @@ TEST(EventQueue, CancelledHeadSkippedByNextTime) {
   EXPECT_EQ(queue.next_time(), 2);
 }
 
+TEST(EventQueue, CancelAfterPopIsANoOp) {
+  EventQueue queue;
+  int runs = 0;
+  auto handle = queue.schedule(10, [&] { ++runs; });
+  auto popped = queue.pop();
+  popped.fn();
+  EXPECT_EQ(runs, 1);
+  EXPECT_FALSE(handle.pending());
+  queue.cancel(handle);  // must not disturb the (empty) queue
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+
+  // And must not cancel an unrelated event that reused the slot.
+  bool survivor_ran = false;
+  (void)queue.schedule(20, [&] { survivor_ran = true; });
+  queue.cancel(handle);
+  ASSERT_FALSE(queue.empty());
+  queue.pop().fn();
+  EXPECT_TRUE(survivor_ran);
+}
+
+TEST(EventQueue, CancelTwiceDecrementsSizeOnce) {
+  EventQueue queue;
+  auto doomed = queue.schedule(10, [] {});
+  (void)queue.schedule(20, [] {});
+  queue.cancel(doomed);
+  EXPECT_EQ(queue.size(), 1u);
+  queue.cancel(doomed);  // second cancel: no double-decrement, no UB
+  queue.cancel(doomed);
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.next_time(), 20);
+}
+
+TEST(EventQueue, PendingOnDestroyedQueueIsFalse) {
+  EventHandle handle;
+  {
+    EventQueue queue;
+    handle = queue.schedule(10, [] {});
+    EXPECT_TRUE(handle.pending());
+  }
+  // The pool died with the queue; the handle must answer without touching
+  // freed memory (ASan-verified in the sanitizer CI job).
+  EXPECT_FALSE(handle.pending());
+}
+
+TEST(EventQueue, StaleHandleCannotCancelRecycledSlot) {
+  EventQueue queue;
+  // Fill and drain so the slot pool has recycled entries, keeping handles to
+  // every generation along the way.
+  std::vector<EventHandle> stale;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      stale.push_back(queue.schedule(round * 100 + i, [] {}));
+    }
+    while (!queue.empty()) (void)queue.pop();
+  }
+  for (const auto& handle : stale) EXPECT_FALSE(handle.pending());
+
+  // New events land on recycled slots with bumped generations: none of the
+  // stale handles may cancel (or report pending for) the new occupants.
+  int ran = 0;
+  for (int i = 0; i < 10; ++i) {
+    (void)queue.schedule(i, [&] { ++ran; });
+  }
+  for (const auto& handle : stale) {
+    EXPECT_FALSE(handle.pending());
+    queue.cancel(handle);
+  }
+  EXPECT_EQ(queue.size(), 10u);
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(ran, 10);
+}
+
+TEST(EventQueue, HandleFromOneQueueCannotCancelAnother) {
+  EventQueue a;
+  EventQueue b;
+  auto ha = a.schedule(1, [] {});
+  (void)b.schedule(1, [] {});
+  b.cancel(ha);  // foreign handle: no-op on b
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_TRUE(ha.pending());
+  a.cancel(ha);
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(EventQueue, CancelFrontDuringSameTimeBatch) {
+  // Cancel an event at the batch head's instant after the batch has been
+  // drained internally: the tombstone must be shed, not dispatched.
+  EventQueue queue;
+  std::vector<int> order;
+  EventHandle second;
+  for (int i = 0; i < 4; ++i) {
+    auto h = queue.schedule(5, [&order, i] { order.push_back(i); });
+    if (i == 2) second = h;
+  }
+  queue.pop().fn();  // drains the same-time run into the batch buffer
+  queue.cancel(second);
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 3}));
+}
+
+TEST(EventQueue, SlotReuseKeepsFifoWithinInstant) {
+  // Heavy recycle traffic must not perturb same-time FIFO order (seq is
+  // global, slots are reused).
+  EventQueue queue;
+  std::vector<int> order;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 16; ++i) {
+      (void)queue.schedule(7, [&order, i] { order.push_back(i); });
+    }
+    order.clear();
+    while (!queue.empty()) queue.pop().fn();
+    ASSERT_EQ(order.size(), 16u);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
 TEST(EventQueue, ManyEventsStressOrdering) {
   EventQueue queue;
   // Pseudo-random times, checking global sortedness of pop sequence.

@@ -1,0 +1,256 @@
+// Fuzz property test over the whole simulator: a seeded generator draws
+// random scenarios (job mix, policy set, quantum, tier and fault knobs) and
+// every run must uphold the substrate invariants regardless of what was
+// drawn — simulated time never runs backwards, every frame and swap slot is
+// returned, the compressed pool drains with them, and the tracer's span
+// stream stays balanced per track. The generator is deterministic in the
+// seed, so any failure reproduces from the printed seed alone.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "fault/fault_plan.hpp"
+#include "gang/gang_scheduler.hpp"
+#include "metrics/tracer.hpp"
+#include "sim/rng.hpp"
+#include "tier/tier_manager.hpp"
+#include "workloads/generator.hpp"
+
+namespace apsim {
+namespace {
+
+SimTime fuzz_clock(const void* ctx) {
+  return static_cast<const Simulator*>(ctx)->now();
+}
+
+struct FuzzScenario {
+  int nodes = 1;
+  std::int64_t frames = 512;
+  double tier_pool_mb = 0.0;  // 0 = no compressed tier
+  PolicySet policy;
+  SimDuration quantum = 2 * kSecond;
+  FaultPlan faults;
+  struct JobSpec {
+    std::int64_t pages;
+    std::int64_t iterations;
+    SimDuration compute_per_touch;
+    int width;  // number of nodes the job spans (from node 0)
+  };
+  std::vector<JobSpec> jobs;
+
+  [[nodiscard]] std::string describe() const {
+    std::string s = std::to_string(nodes) + " node(s), " +
+                    std::to_string(frames) + " frames, policy " +
+                    policy.to_string() + ", tier " +
+                    std::to_string(tier_pool_mb) + " MB, " +
+                    std::to_string(jobs.size()) + " job(s)";
+    if (!faults.empty()) s += ", faults: " + faults.to_string();
+    return s;
+  }
+};
+
+/// Draw a scenario from the seed. Every knob that exists in the simulator is
+/// exercised somewhere in the seed space: single- and two-node clusters,
+/// all 16 policy combinations, runs with and without the compressed tier,
+/// and (every third seed) a random fault plan.
+FuzzScenario draw_scenario(std::uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+  FuzzScenario s;
+  s.nodes = 1 + static_cast<int>(rng.next_below(2));
+  s.frames = 256 + static_cast<std::int64_t>(rng.next_below(3)) * 128;
+  s.policy = PolicySet{(rng.next_below(2) != 0), (rng.next_below(2) != 0),
+                       (rng.next_below(2) != 0), (rng.next_below(2) != 0)};
+  s.quantum = (1 + static_cast<SimDuration>(rng.next_below(3))) * kSecond;
+  if (rng.next_below(2) != 0) {
+    s.tier_pool_mb = 0.25 * static_cast<double>(1 + rng.next_below(2));
+  }
+  if (seed % 3 == 0) {
+    s.faults = FaultPlan::random(seed, s.nodes, 60 * kSecond);
+  }
+  const int njobs = 1 + static_cast<int>(rng.next_below(3));
+  for (int j = 0; j < njobs; ++j) {
+    FuzzScenario::JobSpec job;
+    // Footprints range from comfortably resident to ~70% of memory, so with
+    // several jobs the total overcommits and switches actually page.
+    job.pages = static_cast<std::int64_t>(100 + rng.next_below(260));
+    job.iterations = static_cast<std::int64_t>(100 + rng.next_below(300));
+    job.compute_per_touch =
+        (10 + static_cast<SimDuration>(rng.next_below(20))) * kMicrosecond;
+    job.width = 1 + static_cast<int>(rng.next_below(
+                        static_cast<std::uint64_t>(s.nodes)));
+    s.jobs.push_back(job);
+  }
+  return s;
+}
+
+/// Walk the recorded trace stream and check structural sanity: per-track
+/// nesting depth of synchronous B/E spans never goes negative and ends at
+/// zero, and every async id opened is closed exactly once. (The tracer
+/// always stores the end of a stored span even past the buffer cap, so
+/// balance must hold regardless of drops.)
+void expect_balanced_spans(const Tracer& tracer) {
+  std::map<std::int32_t, long> sync_depth;
+  std::map<std::uint64_t, long> async_open;
+  for (const TraceEvent& ev : tracer.events()) {
+    switch (ev.kind) {
+      case TraceEventKind::kBegin:
+        ++sync_depth[ev.track];
+        break;
+      case TraceEventKind::kEnd:
+        --sync_depth[ev.track];
+        ASSERT_GE(sync_depth[ev.track], 0)
+            << "track " << ev.track << " closed more spans than it opened";
+        break;
+      case TraceEventKind::kAsyncBegin:
+        ++async_open[ev.id];
+        ASSERT_EQ(async_open[ev.id], 1) << "async id " << ev.id << " reopened";
+        break;
+      case TraceEventKind::kAsyncEnd:
+        --async_open[ev.id];
+        ASSERT_EQ(async_open[ev.id], 0)
+            << "async id " << ev.id << " closed without open";
+        break;
+      case TraceEventKind::kInstant:
+      case TraceEventKind::kCounter:
+        break;
+    }
+  }
+  for (const auto& [track, depth] : sync_depth) {
+    EXPECT_EQ(depth, 0) << "track " << track << " ended with open sync spans";
+  }
+  for (const auto& [id, open] : async_open) {
+    EXPECT_EQ(open, 0) << "async id " << id << " never closed";
+  }
+}
+
+void run_fuzz_case(std::uint64_t seed) {
+  const FuzzScenario s = draw_scenario(seed);
+  SCOPED_TRACE("seed " + std::to_string(seed) + ": " + s.describe());
+
+  NodeParams node_params;
+  node_params.vmm.total_frames = s.frames;
+  node_params.vmm.freepages_min = 8;
+  node_params.vmm.freepages_low = 12;
+  node_params.vmm.freepages_high = 16;
+  node_params.disk.num_blocks = 1 << 16;
+  node_params.tier.pool_mb = s.tier_pool_mb;
+
+  Cluster cluster(s.nodes, node_params, NetParams{}, seed, s.faults);
+  GangParams params;
+  params.quantum = s.quantum;
+  params.pager.policy = s.policy;
+  if (s.faults.disturbs_control_plane()) {
+    params.switch_watchdog = 50 * kMillisecond;
+  }
+  GangScheduler scheduler(cluster, params);
+
+  // Wire a tracer onto every instrumented component, exactly as the harness
+  // does for trace_json runs, so the span-balance property covers the whole
+  // switch path (scheduler, pager, vmm, tier, disk).
+  Tracer tracer(&cluster.sim(), fuzz_clock);
+  scheduler.set_tracer(&tracer);
+  for (int n = 0; n < s.nodes; ++n) {
+    scheduler.pager(n).set_tracer(&tracer, trace_track(n, kTrackSched));
+    cluster.node(n).vmm().set_tracer(&tracer, trace_track(n, kTrackVmm));
+    cluster.node(n).disk().set_tracer(&tracer, trace_track(n, kTrackDisk));
+    if (TierManager* tier = cluster.node(n).tier()) {
+      tier->set_tracer(&tracer, trace_track(n, kTrackTier));
+    }
+  }
+
+  std::vector<std::unique_ptr<Process>> procs;
+  for (std::size_t j = 0; j < s.jobs.size(); ++j) {
+    const auto& spec = s.jobs[j];
+    Job& job = scheduler.create_job("fuzz" + std::to_string(j));
+    for (int n = 0; n < spec.width; ++n) {
+      SweepOptions options;
+      options.pages = spec.pages;
+      options.iterations = spec.iterations;
+      options.compute_per_touch = spec.compute_per_touch;
+      const Pid pid = cluster.node(n).vmm().create_process(spec.pages);
+      procs.push_back(std::make_unique<Process>(
+          "fuzz" + std::to_string(j) + ":" + std::to_string(n), pid,
+          make_sweep_program(options)));
+      cluster.node(n).cpu().attach(*procs.back());
+      job.add_process(n, *procs.back());
+    }
+  }
+  scheduler.start();
+
+  // Invariant 1: simulated time is monotone. The predicate runs after every
+  // dispatched event, so this observes each step of the clock.
+  SimTime last_now = 0;
+  bool time_ran_backwards = false;
+  const bool finished = cluster.sim().run_until(
+      [&] {
+        if (cluster.sim().now() < last_now) time_ran_backwards = true;
+        last_now = cluster.sim().now();
+        return scheduler.all_finished();
+      },
+      30 * kMinute);
+  EXPECT_FALSE(time_ran_backwards);
+  ASSERT_TRUE(finished) << "run did not terminate";
+
+  // Invariant 2: the run quiesces — nothing keeps rescheduling itself after
+  // the jobs are done (planned faults and in-flight I/O may still drain).
+  (void)cluster.sim().run_until([] { return false; },
+                                cluster.sim().now() + 5 * kMinute);
+  EXPECT_EQ(cluster.sim().pending_events(), 0u) << "event queue did not drain";
+
+  // Invariant 3: conservation on every surviving node. All frames free, all
+  // swap slots returned, and the compressed pool drained with them.
+  for (int n = 0; n < s.nodes; ++n) {
+    if (!cluster.node_alive(n)) continue;
+    auto& vmm = cluster.node(n).vmm();
+    EXPECT_EQ(vmm.free_frames(), vmm.frames().usable_frames()) << "node " << n;
+    EXPECT_EQ(cluster.node(n).swap().used_slots(), 0) << "node " << n;
+    if (const TierManager* tier = cluster.node(n).tier()) {
+      EXPECT_EQ(tier->pool().entry_count(), 0) << "node " << n;
+      EXPECT_EQ(tier->pool().bytes_used(), 0) << "node " << n;
+    }
+  }
+
+  // Invariant 4: the trace stream is structurally sound.
+  expect_balanced_spans(tracer);
+  EXPECT_GT(tracer.events().size(), 0u) << "tracer recorded nothing";
+}
+
+TEST(FuzzInvariants, FiftyRandomScenariosUpholdAllInvariants) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    run_fuzz_case(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(FuzzInvariants, GeneratorCoversTheKnobSpace) {
+  // The property above is weak if the generator never draws some knob.
+  // Check the first 50 seeds actually cover: both cluster sizes, a tiered
+  // and an untiered run, a faulted and a fault-free run, and at least 8
+  // distinct policy combinations.
+  int two_node = 0, tiered = 0, faulted = 0, multi_job = 0;
+  std::map<std::string, int> policies;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const FuzzScenario s = draw_scenario(seed);
+    two_node += s.nodes == 2;
+    tiered += s.tier_pool_mb > 0.0;
+    faulted += !s.faults.empty();
+    multi_job += s.jobs.size() > 1;
+    ++policies[s.policy.to_string()];
+  }
+  EXPECT_GT(two_node, 5);
+  EXPECT_LT(two_node, 45);
+  EXPECT_GT(tiered, 5);
+  EXPECT_LT(tiered, 45);
+  EXPECT_GT(faulted, 5);
+  EXPECT_GT(multi_job, 10);
+  EXPECT_GE(policies.size(), 8u);
+}
+
+}  // namespace
+}  // namespace apsim

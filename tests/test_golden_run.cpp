@@ -1,0 +1,138 @@
+// Golden-run regression test: the full RunOutcome counter set of a small
+// fig7-style scenario (IS.W, two instances on one overcommitted node), pinned
+// per policy. The simulator is deterministic, so these values must reproduce
+// bit for bit on every platform and after every refactor — any drift means an
+// intended behavior change (update the table in the same commit, explaining
+// why) or an unintended one (a bug). The event-queue/callback overhaul that
+// introduced this test was validated against these exact pre-overhaul values.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/config.hpp"
+#include "harness/runner.hpp"
+
+namespace apsim {
+namespace {
+
+ExperimentConfig golden_config(const std::string& policy) {
+  ExperimentConfig config;
+  config.app = NpbApp::kIS;
+  config.cls = NpbClass::kW;
+  config.nodes = 1;
+  config.instances = 2;
+  config.node_memory_mb = 64.0;
+  config.usable_memory_mb = 22.0;  // overcommitted: every switch pages
+  config.quantum = 4 * kSecond;
+  config.iterations_scale = 0.25;
+  config.policy = PolicySet::parse(policy);
+  return config;
+}
+
+struct Golden {
+  SimTime makespan;
+  std::uint64_t major_faults;
+  std::uint64_t pages_swapped_in;
+  std::uint64_t pages_swapped_out;
+  std::uint64_t false_evictions;
+  std::uint64_t pages_recorded;
+  std::uint64_t pages_replayed;
+  std::uint64_t bg_pages_written;
+  int switches;
+  SimTime job_completion[2];
+  std::uint64_t job_major_faults[2];
+};
+
+struct GoldenCase {
+  const char* policy;
+  Golden want;
+};
+
+// Values recorded from the pre-overhaul simulator (RelWithDebInfo, x86-64);
+// the deterministic substrate makes them platform-independent.
+constexpr GoldenCase kGolden[] = {
+    {"orig",
+     {36857718138, 3376, 14883, 8117, 1483, 0, 0, 0, 8,
+      {35846631324, 36857718138}, {1893, 1483}}},
+    {"so",
+     {23620194353, 1827, 4072, 3672, 0, 0, 0, 0, 4,
+      {19952620393, 23620194353}, {930, 897}}},
+    {"ao",
+     {27951936247, 1940, 8058, 6526, 797, 0, 0, 0, 5,
+      {27951936247, 23636754872}, {1122, 818}}},
+    {"ai",
+     {22972400451, 978, 9875, 6265, 976, 4227, 4227, 0, 4,
+      {19962815966, 22972400451}, {316, 662}}},
+    {"bg",
+     {12663175491, 375, 4792, 4795, 221, 0, 0, 1024, 2,
+      {10735283383, 12663175491}, {222, 153}}},
+    {"so/ao/ai/bg",
+     {10444548366, 0, 3268, 3332, 0, 3268, 3268, 1024, 2,
+      {9237326596, 10444548366}, {0, 0}}},
+};
+
+TEST(GoldenRun, Fig7SmallCountersPinnedPerPolicy) {
+  for (const GoldenCase& golden : kGolden) {
+    SCOPED_TRACE(std::string("policy ") + golden.policy);
+    const RunOutcome out = run_gang(golden_config(golden.policy));
+
+    EXPECT_EQ(out.makespan, golden.want.makespan);
+    EXPECT_EQ(out.major_faults, golden.want.major_faults);
+    EXPECT_EQ(out.pages_swapped_in, golden.want.pages_swapped_in);
+    EXPECT_EQ(out.pages_swapped_out, golden.want.pages_swapped_out);
+    EXPECT_EQ(out.false_evictions, golden.want.false_evictions);
+    EXPECT_EQ(out.pages_recorded, golden.want.pages_recorded);
+    EXPECT_EQ(out.pages_replayed, golden.want.pages_replayed);
+    EXPECT_EQ(out.bg_pages_written, golden.want.bg_pages_written);
+    EXPECT_EQ(out.switches, golden.want.switches);
+
+    ASSERT_EQ(out.jobs.size(), 2u);
+    for (int j = 0; j < 2; ++j) {
+      EXPECT_EQ(out.jobs[static_cast<std::size_t>(j)].completion,
+                golden.want.job_completion[j])
+          << "job " << j;
+      EXPECT_EQ(out.jobs[static_cast<std::size_t>(j)].major_faults,
+                golden.want.job_major_faults[j])
+          << "job " << j;
+      EXPECT_FALSE(out.jobs[static_cast<std::size_t>(j)].failed);
+    }
+
+    // This scenario runs without tier or faults, so every counter of those
+    // subsystems is pinned to zero — nonzero means a subsystem leaked into a
+    // configuration that did not ask for it.
+    EXPECT_EQ(out.tier_pool_hits, 0u);
+    EXPECT_EQ(out.tier_pool_misses, 0u);
+    EXPECT_EQ(out.tier_pages_stored, 0u);
+    EXPECT_EQ(out.tier_bytes_stored, 0u);
+    EXPECT_EQ(out.tier_writeback_pages, 0u);
+    EXPECT_EQ(out.jobs_failed, 0);
+    EXPECT_EQ(out.nodes_failed, 0);
+    EXPECT_EQ(out.io_errors, 0u);
+    EXPECT_EQ(out.io_retries, 0u);
+    EXPECT_EQ(out.pages_unrecoverable, 0u);
+    EXPECT_EQ(out.signal_retransmits, 0u);
+  }
+}
+
+TEST(GoldenRun, TracingDoesNotPerturbTheCounters) {
+  // A traced run must be semantically identical to an untraced one: the
+  // tracer records but never feeds back. Re-run one golden case with the
+  // in-memory tracer and expect the exact same pinned numbers.
+  ExperimentConfig config = golden_config("so/ao/ai/bg");
+  config.trace_json = "-";
+  const RunOutcome out = run_gang(config);
+  const Golden& want = kGolden[5].want;
+  EXPECT_EQ(out.makespan, want.makespan);
+  EXPECT_EQ(out.major_faults, want.major_faults);
+  EXPECT_EQ(out.pages_swapped_in, want.pages_swapped_in);
+  EXPECT_EQ(out.pages_swapped_out, want.pages_swapped_out);
+  EXPECT_EQ(out.switches, want.switches);
+  ASSERT_NE(out.trace, nullptr);
+  EXPECT_GT(out.trace->events().size(), 0u);
+}
+
+}  // namespace
+}  // namespace apsim
