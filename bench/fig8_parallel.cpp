@@ -1,12 +1,25 @@
 // Regenerates Figure 8: parallel NPB benchmarks on 2 and 4 machines —
 // completion time, job-switching overhead, and paging-overhead reduction.
+//
+// `--scalar` runs the sweep on the scalar per-touch access loop instead of
+// the batched touch engine (perf baseline; the tables are bit-identical).
 
+#include <cstring>
 #include <iostream>
 
 #include "harness/figures.hpp"
 
-int main() {
-  const auto figure = apsim::run_fig8();
+int main(int argc, char** argv) {
+  bool scalar = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scalar") == 0) {
+      scalar = true;
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--scalar]\n";
+      return 2;
+    }
+  }
+  const auto figure = apsim::run_fig8(0, scalar);
   apsim::print_figure(std::cout, figure);
   return 0;
 }

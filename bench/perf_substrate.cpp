@@ -13,10 +13,17 @@
 //
 //   jq '.results[] | {name, speedup}' BENCH_perf.json
 //
+// An end-to-end macro section times small fig7-style and fig8-style gang
+// runs with the batched touch engine against the scalar per-touch loop
+// (ExperimentConfig::scalar_touch) and records the worse of the two as
+// `endtoend_speedup`.
+//
 // `--smoke` shrinks the workloads for CI (seconds, not minutes);
 // `--min-speedup X` exits non-zero when the schedule/pop speedup vs the
-// legacy queue falls below X (the CI perf-smoke gate); `--out PATH` moves
-// the JSON.
+// legacy queue falls below X (the CI perf-smoke gate);
+// `--min-endtoend-speedup X` gates the batched-touch macro speedup the same
+// way; `--scalar` runs the fig7 macro bench on the scalar path for manual
+// A/B comparisons; `--out PATH` moves the JSON.
 
 #include <algorithm>
 #include <chrono>
@@ -319,7 +326,7 @@ Result fault_storm(std::int64_t frames, std::int64_t sweeps, int reps) {
 
 /// One small fig7-style serial gang run end to end (build, run, collect) —
 /// the unit every sweep multiplies.
-Result fig7_small(double scale, int reps) {
+Result fig7_small(double scale, int reps, bool scalar_touch) {
   Result res;
   res.name = "fig7_small_run";
   ExperimentConfig config;
@@ -331,10 +338,84 @@ Result fig7_small(double scale, int reps) {
   config.usable_memory_mb = 22.0;  // overcommitted: every switch pages
   config.quantum = 4 * kSecond;
   config.iterations_scale = scale;
+  config.scalar_touch = scalar_touch;
   RunOutcome last;
   res.new_ms = median_ms(reps, [&] { last = run_gang(config); });
   res.items = static_cast<std::int64_t>(last.major_faults);
   res.extra = last.makespan_s();
+  res.extra_name = "makespan_s";
+  return res;
+}
+
+/// Rough total page touches of a config (per-rank cycle touches x ranks x
+/// instances x iterations, plus the init sweeps) — the throughput unit of
+/// the end-to-end benches.
+std::int64_t estimate_touches(const ExperimentConfig& config) {
+  const WorkloadSpec spec = npb_spec(config.app, config.cls);
+  const auto npages = static_cast<double>(spec.footprint_pages(config.nodes));
+  double per_cycle = 0.0;
+  for (const auto& phase : spec.phases) {
+    per_cycle += phase.touches_factor * phase.region_len * npages;
+  }
+  const double iterations =
+      static_cast<double>(spec.iterations) * config.iterations_scale;
+  const double ranks =
+      static_cast<double>(config.nodes) * config.instances;
+  return static_cast<std::int64_t>(ranks * (iterations * per_cycle + npages));
+}
+
+/// End-to-end macro bench: a small fig7-style (serial) or fig8-style
+/// (parallel) gang run timed with the batched touch engine against the
+/// scalar per-touch loop. The config is memory-adequate — after the init
+/// sweep both instances stay resident — so host wall time is dominated by
+/// the access hot loop, which is exactly the path the batched engine
+/// replaces; the overcommitted shapes are covered by fig7_small above.
+/// Aborts if the two engines disagree on any outcome counter: the speedup
+/// is only meaningful while behaviour is bit-identical.
+Result endtoend_fig(const char* name, int nodes, double scale, int reps) {
+  Result res;
+  res.name = name;
+  ExperimentConfig config;
+  config.app = NpbApp::kLU;  // strongly sequential: the common NPB shape
+  config.cls = NpbClass::kW;
+  config.nodes = nodes;
+  config.instances = 2;
+  config.node_memory_mb = 128.0;
+  config.usable_memory_mb = 96.0;  // both instances fit once initialized
+  config.quantum = 4 * kSecond;
+  config.iterations_scale = scale;
+  config.seed = 7;
+  RunOutcome batched;
+  RunOutcome scalar;
+  // Interleave the two engines rep by rep so transient machine load drifts
+  // into both measurements equally instead of skewing the ratio.
+  std::vector<double> batched_ms;
+  std::vector<double> scalar_ms;
+  for (int r = 0; r < reps; ++r) {
+    config.scalar_touch = false;
+    batched_ms.push_back(median_ms(1, [&] { batched = run_gang(config); }));
+    config.scalar_touch = true;
+    scalar_ms.push_back(median_ms(1, [&] { scalar = run_gang(config); }));
+  }
+  std::sort(batched_ms.begin(), batched_ms.end());
+  std::sort(scalar_ms.begin(), scalar_ms.end());
+  res.new_ms = batched_ms[batched_ms.size() / 2];
+  res.legacy_ms = scalar_ms[scalar_ms.size() / 2];
+  if (batched.makespan != scalar.makespan ||
+      batched.pages_swapped_in != scalar.pages_swapped_in ||
+      batched.pages_swapped_out != scalar.pages_swapped_out ||
+      batched.major_faults != scalar.major_faults ||
+      batched.false_evictions != scalar.false_evictions ||
+      batched.switches != scalar.switches) {
+    std::fprintf(stderr,
+                 "FATAL: %s: batched and scalar engines diverged "
+                 "(makespan %lld vs %lld)\n",
+                 name, static_cast<long long>(batched.makespan),
+                 static_cast<long long>(scalar.makespan));
+    std::exit(1);
+  }
+  res.items = estimate_touches(config);
+  res.extra = batched.makespan_s();
   res.extra_name = "makespan_s";
   return res;
 }
@@ -346,7 +427,8 @@ std::string json_number(double v) {
 }
 
 void write_json(const std::string& path, const std::vector<Result>& results,
-                bool smoke, int reps, double schedule_pop_speedup) {
+                bool smoke, int reps, double schedule_pop_speedup,
+                double endtoend_speedup) {
   std::ofstream os(path);
   os << "{\n"
      << "  \"bench\": \"perf_substrate\",\n"
@@ -354,6 +436,7 @@ void write_json(const std::string& path, const std::vector<Result>& results,
      << "  \"repetitions\": " << reps << ",\n"
      << "  \"schedule_pop_speedup_vs_legacy\": "
      << json_number(schedule_pop_speedup) << ",\n"
+     << "  \"endtoend_speedup\": " << json_number(endtoend_speedup) << ",\n"
      << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
@@ -377,18 +460,28 @@ void write_json(const std::string& path, const std::vector<Result>& results,
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool scalar = false;
   double min_speedup = 0.0;
+  double min_endtoend_speedup = 0.0;
   std::string out = "BENCH_perf.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--scalar") == 0) {
+      // Run the fig7 macro bench on the scalar per-touch path (the
+      // pre-batching engine) for manual A/B comparisons.
+      scalar = true;
     } else if (std::strcmp(argv[i], "--min-speedup") == 0 && i + 1 < argc) {
       min_speedup = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--min-endtoend-speedup") == 0 &&
+               i + 1 < argc) {
+      min_endtoend_speedup = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--smoke] [--min-speedup X] [--out PATH]\n",
+                   "usage: %s [--smoke] [--scalar] [--min-speedup X] "
+                   "[--min-endtoend-speedup X] [--out PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -428,7 +521,14 @@ int main(int argc, char** argv) {
 
   results.push_back(
       fault_storm(smoke ? 2048 : 8192, smoke ? 2 : 4, smoke ? 2 : 3));
-  results.push_back(fig7_small(smoke ? 0.25 : 0.5, smoke ? 1 : 3));
+  results.push_back(fig7_small(smoke ? 0.25 : 0.5, smoke ? 1 : 3, scalar));
+
+  // End-to-end macro section: batched touch engine vs the scalar loop on
+  // fig7-style (serial) and fig8-style (2-node parallel) runs.
+  results.push_back(
+      endtoend_fig("endtoend_fig7", 1, smoke ? 0.5 : 1.0, smoke ? 7 : 9));
+  results.push_back(
+      endtoend_fig("endtoend_fig8", 2, smoke ? 0.5 : 1.0, smoke ? 7 : 9));
 
   for (const Result& r : results) {
     if (r.legacy_ms >= 0.0) {
@@ -448,13 +548,27 @@ int main(int argc, char** argv) {
   }
 
   const double gate = results[0].speedup();  // schedule_pop_churn
-  write_json(out, results, smoke, reps, gate);
-  std::printf("\nwrote %s (schedule/pop speedup vs legacy queue: %.2fx)\n",
-              out.c_str(), gate);
+  // End-to-end gate: the worse of the fig7/fig8 macro speedups.
+  double endtoend = -1.0;
+  for (const Result& r : results) {
+    if (r.name.rfind("endtoend_", 0) != 0) continue;
+    const double s = r.speedup();
+    if (endtoend < 0.0 || s < endtoend) endtoend = s;
+  }
+  write_json(out, results, smoke, reps, gate, endtoend);
+  std::printf("\nwrote %s (schedule/pop speedup vs legacy queue: %.2fx, "
+              "end-to-end batched-touch speedup: %.2fx)\n",
+              out.c_str(), gate, endtoend);
   if (min_speedup > 0.0 && gate < min_speedup) {
     std::fprintf(stderr,
                  "FAIL: schedule/pop speedup %.2fx below required %.2fx\n",
                  gate, min_speedup);
+    return 1;
+  }
+  if (min_endtoend_speedup > 0.0 && endtoend < min_endtoend_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: end-to-end speedup %.2fx below required %.2fx\n",
+                 endtoend, min_endtoend_speedup);
     return 1;
   }
   return 0;

@@ -119,6 +119,7 @@ NodeParams ExperimentConfig::make_node_params() const {
   node.vmm.io_retry_cap = io_retry_cap;
   node.vmm.stalled_fault_retry_limit = stalled_fault_retry_limit;
   node.vmm.write_failure_streak_limit = write_failure_streak_limit;
+  node.cpu.batched_touch = !scalar_touch;
   node.wired_mb = node_memory_mb - usable_memory_mb;
   node.tier.pool_mb = tier_mb;
   node.tier.ratio_model = tier_ratio_model;

@@ -58,6 +58,12 @@ struct ExperimentConfig {
   /// `policy` is ignored in this mode.
   bool batch_mode = false;
 
+  /// Force the scalar per-touch access loop instead of the batched touch
+  /// engine (see CpuParams::batched_touch). The two are bit-identical in
+  /// every counter; this knob exists for perf baselines (bench --scalar)
+  /// and equivalence tests.
+  bool scalar_touch = false;
+
   /// Simulation horizon safety net; runs not finished by then are reported
   /// with makespan == -1.
   SimDuration horizon = 100 * 3600 * kSecond;

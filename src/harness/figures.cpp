@@ -99,7 +99,7 @@ const PolicySet kAllPolicies = PolicySet::all();
 // ---------------------------------------------------------------------------
 // Figure 7: serial benchmarks
 
-FigureResult run_fig7(unsigned threads) {
+FigureResult run_fig7(unsigned threads, bool scalar_touch) {
   const NpbApp apps[] = {NpbApp::kLU, NpbApp::kSP, NpbApp::kCG, NpbApp::kIS,
                          NpbApp::kMG};
   // Paper-reported paging reductions with so/ao/ai/bg (Figure 7c).
@@ -121,6 +121,7 @@ FigureResult run_fig7(unsigned threads) {
     configs.push_back(adaptive);
     configs.push_back(batch);
   }
+  for (auto& config : configs) config.scalar_touch = scalar_touch;
   auto results = run_indexed(std::move(configs), threads);
 
   FigureResult figure;
@@ -157,7 +158,7 @@ FigureResult run_fig7(unsigned threads) {
 // ---------------------------------------------------------------------------
 // Figure 8: parallel benchmarks
 
-FigureResult run_fig8(unsigned threads) {
+FigureResult run_fig8(unsigned threads, bool scalar_touch) {
   struct Entry {
     NpbApp app;
     int nodes;
@@ -199,6 +200,7 @@ FigureResult run_fig8(unsigned threads) {
     configs.push_back(adaptive);
     configs.push_back(batch);
   }
+  for (auto& config : configs) config.scalar_touch = scalar_touch;
   auto results = run_indexed(std::move(configs), threads);
 
   FigureResult figure;

@@ -34,12 +34,15 @@ void print_figure(std::ostream& os, const FigureResult& figure);
 [[nodiscard]] FigureResult run_fig6(unsigned threads = 0);
 
 /// Figure 7: serial benchmarks (1 node, class B, 2 instances): completion
-/// time, switching overhead, paging reduction.
-[[nodiscard]] FigureResult run_fig7(unsigned threads = 0);
+/// time, switching overhead, paging reduction. \p scalar_touch forces the
+/// scalar per-touch access loop (perf baseline; results are bit-identical).
+[[nodiscard]] FigureResult run_fig7(unsigned threads = 0,
+                                    bool scalar_touch = false);
 
 /// Figure 8: parallel benchmarks on 2 and 4 machines: completion time,
-/// switching overhead, paging reduction.
-[[nodiscard]] FigureResult run_fig8(unsigned threads = 0);
+/// switching overhead, paging reduction. \p scalar_touch as in run_fig7.
+[[nodiscard]] FigureResult run_fig8(unsigned threads = 0,
+                                    bool scalar_touch = false);
 
 /// Figure 9: LU mechanism ablation (orig, ai, so, so/ao, so/ao/bg,
 /// so/ao/ai/bg) for serial, 2- and 4-machine runs.

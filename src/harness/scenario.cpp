@@ -95,6 +95,9 @@ void apply_scenario_key(ExperimentConfig& config, std::string_view key,
     config.trace_json = std::string(value);
   } else if (key == "batch") {
     config.batch_mode = parse_bool(value, key);
+  } else if (key == "scalar_touch") {
+    // Perf baseline: force the scalar per-touch loop (bit-identical output).
+    config.scalar_touch = parse_bool(value, key);
   } else if (key == "label") {
     config.label = std::string(value);
   } else if (key == "horizon_s") {

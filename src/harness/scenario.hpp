@@ -34,7 +34,8 @@
 /// Recognised keys: app, class, nodes, instances, memory_mb, usable_mb,
 /// policy, quantum_s, quantum_override_s, page_cluster, bg_start_frac,
 /// pass_ws_hint, seed, iterations_scale, capture_traces, trace_json (switch
-/// tracer output path, "-" = in-memory only), batch, label,
+/// tracer output path, "-" = in-memory only), batch, scalar_touch (force the
+/// scalar per-touch access loop; perf baseline, bit-identical output), label,
 /// horizon_s, fault (repeatable; see FaultSpec::parse), watchdog_ms,
 /// swap_mb, tier_mb, tier_ratio_model (mixed/text/zero/incompressible),
 /// tier_writeback, io_retry_limit, io_retry_base_ms, io_retry_cap_ms,

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "mem/page.hpp"
+#include "sim/rng.hpp"
+
+/// \file touch_plan.hpp
+/// Prepared form of one page-touch chunk, consumed by the VMM's batched
+/// touch engine (Vmm::touch_run). A TouchPlan carries the chunk's addressing
+/// parameters plus everything that is loop-invariant across its touches —
+/// the zipf harmonic constant and exponent, the pre-mixed seed — so the
+/// per-touch `page_at` does no `pow`/`log` and no redundant hashing. The
+/// proc layer builds plans from AccessChunks (AccessChunk::prepare());
+/// keeping the type here lets src/mem consume it without depending on the
+/// process layer.
+///
+/// Determinism contract: for the same parameters, TouchPlan::page_at and
+/// AccessChunk::page_at return bit-identical pages for every index — both
+/// are implemented on the shared helpers below, and the golden-value test in
+/// tests/test_touch_engine.cpp pins the outputs for all four patterns.
+
+namespace apsim {
+
+/// Chunk addressing pattern (mirrors AccessChunk::Pattern; the proc layer
+/// static_asserts the correspondence).
+enum class TouchPattern : std::uint8_t {
+  kSequential,  ///< region_start + i
+  kStrided,     ///< region_start + (i * stride) mod region_pages
+  kRandom,      ///< uniform over the region, hashed from (seed, i)
+  kZipf,        ///< zipf-skewed over the region, hashed from (seed, i)
+};
+
+/// Stateless hash of (seed, i) with splitmix64.
+[[nodiscard]] constexpr std::uint64_t touch_hash(std::uint64_t seed,
+                                                 std::int64_t i) {
+  std::uint64_t s =
+      seed ^ (0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(i));
+  return splitmix64(s);
+}
+
+/// The zipf normalization constant H(n, theta) used by the inverse-CDF
+/// approximation below. One log/pow per chunk, not per touch.
+[[nodiscard]] inline double zipf_harmonic(std::int64_t n, double theta) {
+  if (theta == 1.0) {
+    return std::log(static_cast<double>(n) + 1.0);
+  }
+  return (std::pow(static_cast<double>(n) + 1.0, 1.0 - theta) - 1.0) /
+         (1.0 - theta);
+}
+
+/// Map a uniform u64 to a zipf-distributed rank in [0, n), given the
+/// precomputed harmonic constant `hn` = zipf_harmonic(n, theta).
+[[nodiscard]] inline std::int64_t zipf_rank(std::uint64_t h, std::int64_t n,
+                                            double theta, double hn) {
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  double x = 0.0;
+  if (theta == 1.0) {
+    x = std::exp(u * hn) - 1.0;
+  } else {
+    x = std::pow(u * hn * (1.0 - theta) + 1.0, 1.0 / (1.0 - theta)) - 1.0;
+  }
+  auto r = static_cast<std::int64_t>(x);
+  return r >= n ? n - 1 : (r < 0 ? 0 : r);
+}
+
+/// One access chunk, prepared for the batched touch engine.
+struct TouchPlan {
+  TouchPattern pattern = TouchPattern::kSequential;
+  VPage region_start = 0;
+  std::int64_t region_pages = 0;
+  std::int64_t touches = 0;  ///< total touches in the chunk (debug bounds)
+  std::int64_t stride = 1;   ///< for kStrided
+  bool write = false;
+  std::uint64_t seed = 0;
+  double theta = 0.8;
+  double zipf_hn = 0.0;  ///< zipf_harmonic(region_pages, theta) for kZipf
+
+  /// Deterministic page for the i-th touch; bit-identical to
+  /// AccessChunk::page_at for the chunk this plan was prepared from.
+  [[nodiscard]] VPage page_at(std::int64_t i) const {
+    assert(i >= 0 && i < touches);
+    assert(region_pages > 0);
+    switch (pattern) {
+      case TouchPattern::kSequential:
+        return region_start + (i % region_pages);
+      case TouchPattern::kStrided:
+        return region_start + (i * stride) % region_pages;
+      case TouchPattern::kRandom:
+        return region_start +
+               static_cast<VPage>(touch_hash(seed, i) %
+                                  static_cast<std::uint64_t>(region_pages));
+      case TouchPattern::kZipf:
+        return region_start +
+               zipf_rank(touch_hash(seed, i), region_pages, theta, zipf_hn);
+    }
+    return region_start;
+  }
+};
+
+}  // namespace apsim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <numeric>
 #include <utility>
 
 #include "tier/tier_manager.hpp"
@@ -47,6 +48,7 @@ Pid Vmm::create_process(std::int64_t num_pages) {
 void Vmm::release_process(Pid pid) {
   auto& as = space(pid);
   as.alive_ = false;
+  as.drop_watches();  // the residency cache dies with the process
   auto& pt = as.page_table();
   for (VPage v = 0; v < pt.num_pages(); ++v) {
     Pte& pte = pt.at(v);
@@ -97,6 +99,11 @@ bool Vmm::touch(AddressSpace& as, VPage vpage, bool write) {
   assert(as.page_table().valid(vpage));
   Pte& pte = as.page_table().at(vpage);
   if (!pte.present) return false;
+  touch_resident(as, pte, write);
+  return true;
+}
+
+void Vmm::touch_resident(AddressSpace& as, Pte& pte, bool write) {
   pte.referenced = true;
   pte.last_ref = sim_.now();
   if (pte.epoch != as.epoch_) {
@@ -113,7 +120,115 @@ bool Vmm::touch(AddressSpace& as, VPage vpage, bool write) {
       pte.slot = kNoSwapSlot;
     }
   }
-  return true;
+}
+
+bool Vmm::region_fully_resident(AddressSpace& as, VPage start,
+                                std::int64_t pages) {
+  if (pages <= 0) return true;
+  assert(as.page_table().valid(start) &&
+         as.page_table().valid(start + pages - 1));
+  // O(1) outs before consulting (or building) a watch.
+  if (as.resident_ >= as.num_pages()) return true;  // whole space resident
+  if (as.resident_ < pages) return false;           // cannot possibly cover it
+  for (const auto& w : as.watched_) {
+    if (w.active && w.start == start && w.pages == pages) {
+      return w.nonresident == 0;
+    }
+  }
+  // First query for this region: register a watch (round-robin slot) with
+  // one scan. From here on the unmap hooks keep the count exact.
+  auto& w = as.watched_[as.watch_cursor_];
+  as.watch_cursor_ = (as.watch_cursor_ + 1) % AddressSpace::kWatchedRegions;
+  w.active = true;
+  w.start = start;
+  w.pages = pages;
+  w.nonresident = 0;
+  const auto& pt = as.page_table();
+  for (VPage v = start; v < start + pages; ++v) {
+    if (!pt.at(v).present) ++w.nonresident;
+  }
+  return w.nonresident == 0;
+}
+
+Vmm::TouchRun Vmm::touch_run(AddressSpace& as, const TouchPlan& plan,
+                             std::int64_t begin, std::int64_t budget) {
+  TouchRun out;
+  if (budget <= 0) return out;
+
+  // Closed-form fast-forward: a sequential or (non-negative) strided walk
+  // over a fully-resident region revisits pages with period
+  // region_pages / gcd(step, region_pages). All touches of a run share one
+  // simulated instant, so re-touching a page is a no-op: applying the
+  // effects once per distinct page — in first-touch order, which preserves
+  // the order of stale swap-slot frees — is bit-identical to the scalar
+  // loop, and no fault can interrupt a fully-resident run.
+  if ((plan.pattern == TouchPattern::kSequential ||
+       plan.pattern == TouchPattern::kStrided) &&
+      plan.stride >= 0 &&
+      region_fully_resident(as, plan.region_start, plan.region_pages)) {
+    const std::int64_t rp = plan.region_pages;
+    const std::int64_t step =
+        plan.pattern == TouchPattern::kSequential ? 1 : plan.stride % rp;
+    const std::int64_t period = step == 0 ? 1 : rp / std::gcd(step, rp);
+    const std::int64_t distinct = std::min(budget, period);
+    // Walk the orbit incrementally — idx is page_at(begin + k) - region_start
+    // ((begin + k) * stride mod rp, reduced factor-wise so the products stay
+    // in range), advanced by one add and a conditional subtract per touch
+    // instead of a divide.
+    std::int64_t idx =
+        plan.pattern == TouchPattern::kSequential
+            ? begin % rp
+            : ((begin % rp) * step) % rp;
+    // Manually hoisted touch_resident: the simulated instant, the ws epoch
+    // and the write flag are loop invariants, but the compiler cannot prove
+    // that through the AddressSpace/Simulator references once the loop
+    // stores into PTEs, so reload-per-touch would dominate the loop.
+    Pte* const base = &as.page_table().at(plan.region_start);
+    const SimTime now = sim_.now();
+    const std::uint32_t epoch = as.epoch_;
+    const bool write = plan.write;
+    std::int64_t ws_new = 0;
+    for (std::int64_t k = 0; k < distinct; ++k) {
+      Pte& pte = base[idx];
+      pte.referenced = true;
+      pte.last_ref = now;
+      if (pte.epoch != epoch) {
+        pte.epoch = epoch;
+        ++ws_new;
+      }
+      if (write && !pte.dirty) {
+        pte.dirty = true;
+        ++as.dirty_resident_;
+        // Stale swap copy: same invalidation rule as touch_resident.
+        if (!pte.io_busy && pte.slot != kNoSwapSlot) {
+          swap_.free_slot(pte.slot);
+          pte.slot = kNoSwapSlot;
+        }
+      }
+      idx += step;
+      if (idx >= rp) idx -= rp;
+    }
+    as.ws_pages_ += ws_new;
+    out.consumed = budget;
+    return out;
+  }
+
+  // Generic batch loop: one virtual call and one page_at per touch, but no
+  // per-touch round trip through the caller.
+  auto& pt = as.page_table();
+  for (std::int64_t k = 0; k < budget; ++k) {
+    const VPage v = plan.page_at(begin + k);
+    Pte& pte = pt.at(v);
+    if (!pte.present) {
+      out.faulted = true;
+      out.fault_page = v;
+      out.consumed = k;
+      return out;
+    }
+    touch_resident(as, pte, plan.write);
+  }
+  out.consumed = budget;
+  return out;
 }
 
 void Vmm::begin_ws_epoch(Pid pid) {
@@ -220,6 +335,7 @@ void Vmm::finish_minor_fault(Pid pid, VPage vpage, bool write,
     ++as.ws_pages_;
   }
   ++as.resident_;
+  as.note_mapped(vpage);
   ++as.dirty_resident_;
   ++as.stats_.minor_faults;
   if (tracer_ != nullptr) {
@@ -383,6 +499,7 @@ void Vmm::issue_major_read(Pid pid, VPage lo, std::int64_t count, VPage vpage,
           p.age = params_.age_initial;
           p.last_ref = sim_.now();
           ++as2.resident_;
+          as2.note_mapped(v);
           if (!stalled_retry_counts_.empty()) {
             stalled_retry_counts_.erase({pid, v});
           }
@@ -610,6 +727,7 @@ std::int64_t Vmm::evict_batch(std::span<const Victim> victims,
       frames_.free(pte.frame);
       pte.frame = kNoFrame;
       --as.resident_;
+      as.note_unmapped(victim.vpage);
       ++as.stats_.pages_clean_dropped;
       ++freed_now;
       note_evicted(victim.pid, victim.vpage);
@@ -693,6 +811,7 @@ std::int64_t Vmm::evict_batch(std::span<const Victim> victims,
                         pte.frame = kNoFrame;
                         pte.present = false;
                         --as2.resident_;
+                        as2.note_unmapped(p);
                         if (pte.dirty) {
                           pte.dirty = false;
                           --as2.dirty_resident_;
@@ -724,6 +843,7 @@ std::int64_t Vmm::evict_batch(std::span<const Victim> victims,
                       frames_.free(pte.frame);
                       pte.frame = kNoFrame;
                       --as2.resident_;
+                      as2.note_unmapped(p);
                     }
                     evictions_in_flight_ -= count;
                     if (result.ok && as2.alive_) account_pageout(count, as2);
@@ -874,6 +994,7 @@ void Vmm::prefetch_pump(const std::shared_ptr<PrefetchJob>& job) {
                    pte.age = params_.age_initial;
                    pte.last_ref = sim_.now();
                    ++as2.resident_;
+                   as2.note_mapped(p);
                    fire_io_waiters(job->pid, p);
                  }
                  if (as2.alive_) account_pagein(len, as2);
@@ -973,6 +1094,7 @@ void Vmm::writeback_dirty(Pid pid, std::int64_t max_pages, IoPriority priority,
             pte.frame = kNoFrame;
             pte.present = false;
             --as2.resident_;
+            as2.note_unmapped(p);
             if (pte.dirty) {
               pte.dirty = false;
               --as2.dirty_resident_;

@@ -12,6 +12,7 @@
 #include "mem/frame_table.hpp"
 #include "mem/page_table.hpp"
 #include "mem/reclaim.hpp"
+#include "mem/touch_plan.hpp"
 #include "metrics/tracer.hpp"
 #include "sim/log.hpp"
 #include "sim/simulator.hpp"
@@ -118,6 +119,36 @@ class AddressSpace {
 
  private:
   friend class Vmm;
+
+  /// Residency cache: one watched region with an exact count of its
+  /// non-resident pages. Registered lazily by Vmm::region_fully_resident
+  /// (one O(region) scan), then kept exact by note_mapped/note_unmapped at
+  /// every present-bit transition — so the batched touch engine's
+  /// fully-resident test is O(#watches) per slice with no page-table walk,
+  /// and eviction/reclaim/tier-writeback/fault paths invalidate it for free
+  /// (they all unmap through the VMM, which bumps the counter).
+  struct WatchedRegion {
+    VPage start = 0;
+    std::int64_t pages = 0;
+    std::int64_t nonresident = 0;
+    bool active = false;
+  };
+  static constexpr int kWatchedRegions = 8;
+
+  void note_mapped(VPage v) {
+    for (auto& w : watched_) {
+      if (w.active && v >= w.start && v < w.start + w.pages) --w.nonresident;
+    }
+  }
+  void note_unmapped(VPage v) {
+    for (auto& w : watched_) {
+      if (w.active && v >= w.start && v < w.start + w.pages) ++w.nonresident;
+    }
+  }
+  void drop_watches() {
+    for (auto& w : watched_) w.active = false;
+  }
+
   Pid pid_;
   PageTable pt_;
   std::int64_t resident_ = 0;
@@ -126,6 +157,8 @@ class AddressSpace {
   std::int64_t ws_pages_ = 0;
   VPage writeback_hand_ = 0;  ///< background-writer sweep position
   bool alive_ = true;
+  WatchedRegion watched_[kWatchedRegions];
+  int watch_cursor_ = 0;
   Stats stats_;
 };
 
@@ -165,6 +198,35 @@ class Vmm {
 
   /// Hot-path overload for callers that cache the AddressSpace pointer.
   [[nodiscard]] bool touch(AddressSpace& as, VPage vpage, bool write);
+
+  /// Result of a batched touch run.
+  struct TouchRun {
+    std::int64_t consumed = 0;  ///< touches applied before stopping
+    VPage fault_page = -1;      ///< first non-resident page (when faulted)
+    bool faulted = false;
+  };
+
+  /// Batched touch engine: apply touches [begin, begin + budget) of \p plan
+  /// in one call. Stops at the first non-resident page (consumed = touches
+  /// applied before it, fault_page = the page the caller must fault()).
+  /// Observable state after the call — referenced/dirty/age bits, last_ref,
+  /// ws-epoch counts, dirty accounting, swap-slot frees and their order — is
+  /// bit-identical to calling the scalar touch() once per touch: all touches
+  /// in a run happen at one instant of simulated time, so per-page effects
+  /// are idempotent and the engine may apply them once per distinct page in
+  /// first-touch order. Sequential/strided plans over a fully-resident
+  /// region (per the residency cache) take a closed-form fast-forward that
+  /// touches each distinct page of the orbit once instead of looping per
+  /// touch.
+  [[nodiscard]] TouchRun touch_run(AddressSpace& as, const TouchPlan& plan,
+                                   std::int64_t begin, std::int64_t budget);
+
+  /// True iff every page of [start, start + pages) is resident. Served from
+  /// the per-space residency cache; registers a watch on first query for a
+  /// region (one O(pages) scan) and is O(1) afterwards. Public so tests can
+  /// probe cache invalidation directly.
+  [[nodiscard]] bool region_fully_resident(AddressSpace& as, VPage start,
+                                           std::int64_t pages);
 
   /// Handle a fault on a non-resident page. \p resume runs (via an event)
   /// once the page is mapped; the caller keeps the process blocked until
@@ -284,6 +346,9 @@ class Vmm {
     std::function<bool()> give_up;  ///< release (satisfied-enough) when true
     TraceSpan span;  ///< ends when the waiter is released (destroyed)
   };
+
+  /// Shared body of touch()/touch_run() for a page already known resident.
+  void touch_resident(AddressSpace& as, Pte& pte, bool write);
 
   // Fault machinery.
   void fault_impl(Pid pid, VPage vpage, bool write,

@@ -5,33 +5,16 @@
 
 namespace apsim {
 
-namespace {
-
-/// Stateless hash of (seed, i) with splitmix64.
-[[nodiscard]] std::uint64_t hash_at(std::uint64_t seed, std::int64_t i) {
-  std::uint64_t s = seed ^ (0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(i));
-  return splitmix64(s);
-}
-
-/// Map a uniform u64 to a zipf-distributed rank in [0, n).
-[[nodiscard]] std::int64_t zipf_rank(std::uint64_t h, std::int64_t n,
-                                     double theta) {
-  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
-  double x = 0.0;
-  if (theta == 1.0) {
-    const double hn = std::log(static_cast<double>(n) + 1.0);
-    x = std::exp(u * hn) - 1.0;
-  } else {
-    const double hn =
-        (std::pow(static_cast<double>(n) + 1.0, 1.0 - theta) - 1.0) /
-        (1.0 - theta);
-    x = std::pow(u * hn * (1.0 - theta) + 1.0, 1.0 / (1.0 - theta)) - 1.0;
-  }
-  auto r = static_cast<std::int64_t>(x);
-  return r >= n ? n - 1 : (r < 0 ? 0 : r);
-}
-
-}  // namespace
+// The proc-layer pattern enum and the mem-layer TouchPattern must stay in
+// lockstep: prepare() converts with a static_cast.
+static_assert(static_cast<int>(AccessChunk::Pattern::kSequential) ==
+              static_cast<int>(TouchPattern::kSequential));
+static_assert(static_cast<int>(AccessChunk::Pattern::kStrided) ==
+              static_cast<int>(TouchPattern::kStrided));
+static_assert(static_cast<int>(AccessChunk::Pattern::kRandom) ==
+              static_cast<int>(TouchPattern::kRandom));
+static_assert(static_cast<int>(AccessChunk::Pattern::kZipf) ==
+              static_cast<int>(TouchPattern::kZipf));
 
 VPage AccessChunk::page_at(std::int64_t i) const {
   assert(i >= 0 && i < touches);
@@ -43,12 +26,34 @@ VPage AccessChunk::page_at(std::int64_t i) const {
       return region_start + (i * stride) % region_pages;
     case Pattern::kRandom:
       return region_start +
-             static_cast<VPage>(hash_at(seed, i) %
+             static_cast<VPage>(touch_hash(seed, i) %
                                 static_cast<std::uint64_t>(region_pages));
     case Pattern::kZipf:
-      return region_start + zipf_rank(hash_at(seed, i), region_pages, theta);
+      if (zipf_hn_n != region_pages || zipf_hn_theta != theta) {
+        zipf_hn_cache = zipf_harmonic(region_pages, theta);
+        zipf_hn_n = region_pages;
+        zipf_hn_theta = theta;
+      }
+      return region_start + zipf_rank(touch_hash(seed, i), region_pages, theta,
+                                      zipf_hn_cache);
   }
   return region_start;
+}
+
+TouchPlan AccessChunk::prepare() const {
+  TouchPlan plan;
+  plan.pattern = static_cast<TouchPattern>(pattern);
+  plan.region_start = region_start;
+  plan.region_pages = region_pages;
+  plan.touches = touches;
+  plan.stride = stride;
+  plan.write = write;
+  plan.seed = seed;
+  plan.theta = theta;
+  if (pattern == Pattern::kZipf) {
+    plan.zipf_hn = zipf_harmonic(region_pages, theta);
+  }
+  return plan;
 }
 
 IterativeProgram::IterativeProgram(std::vector<Op> prologue,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "mem/page.hpp"
+#include "mem/touch_plan.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 
@@ -45,6 +46,18 @@ struct AccessChunk {
 
   /// Deterministic page for the i-th touch (0 <= i < touches).
   [[nodiscard]] VPage page_at(std::int64_t i) const;
+
+  /// Prepared form for the batched touch engine (Vmm::touch_run): same
+  /// addressing, with the zipf harmonic constant precomputed so the
+  /// per-touch hot loop does no pow/log.
+  [[nodiscard]] TouchPlan prepare() const;
+
+  /// Cached zipf harmonic constant for page_at (valid while the key fields
+  /// match); mutable so the const hot path can fill it lazily. Not part of
+  /// the chunk's identity.
+  mutable double zipf_hn_cache = 0.0;
+  mutable std::int64_t zipf_hn_n = -1;
+  mutable double zipf_hn_theta = 0.0;
 };
 
 /// Communication operation (parallel programs only).

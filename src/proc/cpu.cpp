@@ -72,15 +72,6 @@ void Cpu::dispatch() {
   });
 }
 
-void Cpu::continue_after(Process& p, SimDuration delay,
-                         std::function<void(Process&)> fn) {
-  const std::uint64_t gen = p.run_gen_;
-  sim_.after(delay, [this, &p, gen, fn = std::move(fn)] {
-    if (p.run_gen_ != gen || p.state_ != ProcState::kRunning) return;
-    fn(p);
-  });
-}
-
 void Cpu::run_slice(Process& p) {
   assert(p.state_ == ProcState::kRunning);
   if (p.stop_requested_) {
@@ -91,6 +82,11 @@ void Cpu::run_slice(Process& p) {
     p.current_op_ = p.program_->next();
     p.op_active_ = true;
     p.op_pos_ = 0;
+    if (params_.batched_touch && p.current_op_.kind == Op::Kind::kAccess) {
+      // Hoist the chunk's loop invariants (zipf harmonic constant) once per
+      // op instead of per touch.
+      p.touch_plan_ = p.current_op_.access.prepare();
+    }
   }
   switch (p.current_op_.kind) {
     case Op::Kind::kDone:
@@ -115,16 +111,36 @@ void Cpu::run_access(Process& p) {
   SimDuration accum = 0;
   bool faulted = false;
   VPage fault_page = -1;
-  while (p.op_pos_ < chunk.touches) {
-    const VPage page = chunk.page_at(p.op_pos_);
-    if (vmm_.touch(*p.space_, page, chunk.write)) {
-      accum += chunk.compute_per_touch;
-      ++p.op_pos_;
-      if (accum >= params_.slice) break;
-    } else {
-      faulted = true;
-      fault_page = page;
-      break;
+  if (params_.batched_touch) {
+    // Batched fast path: hand the whole slice budget to the VMM in one call.
+    // The scalar loop below stops once accum >= slice, i.e. after
+    // ceil(slice / compute_per_touch) touches (the whole chunk when touches
+    // cost nothing); touch_run applies exactly that prefix, stopping early
+    // only at the first non-resident page.
+    const std::int64_t remaining = chunk.touches - p.op_pos_;
+    const SimDuration cpt = chunk.compute_per_touch;
+    std::int64_t budget = remaining;
+    if (cpt > 0) {
+      budget = std::min<std::int64_t>(remaining, (params_.slice + cpt - 1) / cpt);
+    }
+    const Vmm::TouchRun run =
+        vmm_.touch_run(*p.space_, p.touch_plan_, p.op_pos_, budget);
+    accum = static_cast<SimDuration>(run.consumed) * cpt;
+    p.op_pos_ += run.consumed;
+    faulted = run.faulted;
+    fault_page = run.fault_page;
+  } else {
+    while (p.op_pos_ < chunk.touches) {
+      const VPage page = chunk.page_at(p.op_pos_);
+      if (vmm_.touch(*p.space_, page, chunk.write)) {
+        accum += chunk.compute_per_touch;
+        ++p.op_pos_;
+        if (accum >= params_.slice) break;
+      } else {
+        faulted = true;
+        fault_page = page;
+        break;
+      }
     }
   }
   p.stats_.cpu_time += accum;

@@ -28,6 +28,12 @@ struct CpuParams {
 
   /// Pure-compute ops longer than this are split (keeps signals responsive).
   SimDuration max_compute_step = 100 * kMillisecond;
+
+  /// Route access chunks through the batched touch engine (Vmm::touch_run).
+  /// Observable behaviour is bit-identical to the scalar per-touch loop
+  /// (the golden tests pin this); the flag exists so benches can time the
+  /// scalar path (--scalar) and tests can fuzz the two against each other.
+  bool batched_touch = true;
 };
 
 class Cpu {
@@ -86,8 +92,17 @@ class Cpu {
   void yield_or_continue(Process& p);
 
   /// Schedule \p fn after \p delay, dropped if the process stops, blocks or
-  /// finishes in the meantime.
-  void continue_after(Process& p, SimDuration delay, std::function<void(Process&)> fn);
+  /// finishes in the meantime. Templated so the capture moves straight into
+  /// the event queue's InlineCallback — no std::function boxing, no per-slice
+  /// heap allocation.
+  template <typename F>
+  void continue_after(Process& p, SimDuration delay, F&& fn) {
+    const std::uint64_t gen = p.run_gen_;
+    sim_.after(delay, [this, &p, gen, fn = std::forward<F>(fn)]() mutable {
+      if (p.run_gen_ != gen || p.state_ != ProcState::kRunning) return;
+      fn(p);
+    });
+  }
 
   Simulator& sim_;
   Vmm& vmm_;

@@ -84,6 +84,7 @@ class Process {
   Op current_op_;
   bool op_active_ = false;
   std::int64_t op_pos_ = 0;  ///< touches done (kAccess) or ns elapsed (kCompute)
+  TouchPlan touch_plan_;     ///< prepared form of current_op_.access (batched path)
 
   // Accounting anchors.
   SimTime blocked_since_ = 0;

@@ -1,0 +1,524 @@
+// Tests for the batched touch engine: golden page_at values pinning the
+// reference-string addressing (all four patterns, both zipf regimes), the
+// prepared TouchPlan agreeing with AccessChunk, bulk-vs-scalar equivalence
+// (direct Vmm::touch_run fuzz and full CPU-executor runs under memory
+// pressure), and residency-cache invalidation across the evict, reclaim,
+// writeback, tier, prefetch and fault-injection paths.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "mem/vmm.hpp"
+#include "proc/cpu.hpp"
+#include "tier/tier_manager.hpp"
+#include "workloads/generator.hpp"
+
+namespace apsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Golden addressing values
+
+/// Fixed chunk shape shared by the golden tests: values below were produced
+/// by this exact configuration and pin the addressing functions — any change
+/// to touch_hash, zipf_rank or the pattern arithmetic must show up here.
+AccessChunk golden_chunk(AccessChunk::Pattern pattern, double theta = 0.8) {
+  AccessChunk c;
+  c.pattern = pattern;
+  c.region_start = 1000;
+  c.region_pages = 97;
+  c.touches = 100000;
+  c.seed = 12345;
+  c.stride = 7;
+  c.theta = theta;
+  return c;
+}
+
+constexpr std::int64_t kGoldenIdx[] = {0, 1, 2, 42, 96, 97, 1000, 99999};
+
+void expect_golden(const AccessChunk& chunk, const std::int64_t (&want)[8]) {
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_EQ(chunk.page_at(kGoldenIdx[k]), want[k]) << "index " << kGoldenIdx[k];
+  }
+  // The prepared plan must address identically to the chunk.
+  const TouchPlan plan = chunk.prepare();
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_EQ(plan.page_at(kGoldenIdx[k]), want[k]) << "index " << kGoldenIdx[k];
+  }
+}
+
+TEST(TouchGolden, Sequential) {
+  auto c = golden_chunk(AccessChunk::Pattern::kSequential);
+  expect_golden(c, {1000, 1001, 1002, 1042, 1096, 1000, 1030, 1089});
+}
+
+TEST(TouchGolden, Strided) {
+  auto c = golden_chunk(AccessChunk::Pattern::kStrided);
+  expect_golden(c, {1000, 1007, 1014, 1003, 1090, 1000, 1016, 1041});
+}
+
+TEST(TouchGolden, Random) {
+  auto c = golden_chunk(AccessChunk::Pattern::kRandom);
+  expect_golden(c, {1071, 1027, 1032, 1036, 1035, 1000, 1066, 1030});
+}
+
+TEST(TouchGolden, ZipfTheta08) {
+  auto c = golden_chunk(AccessChunk::Pattern::kZipf, 0.8);
+  expect_golden(c, {1035, 1043, 1030, 1084, 1010, 1000, 1062, 1031});
+}
+
+TEST(TouchGolden, ZipfTheta10) {
+  // theta == 1.0 takes the harmonic/exponential special case.
+  auto c = golden_chunk(AccessChunk::Pattern::kZipf, 1.0);
+  expect_golden(c, {1023, 1030, 1020, 1078, 1005, 1000, 1050, 1020});
+}
+
+TEST(TouchGolden, ZipfHnCacheSurvivesParameterChange) {
+  // The lazily-filled harmonic cache must be keyed on (region_pages, theta):
+  // mutating either must not reuse the stale constant.
+  auto c = golden_chunk(AccessChunk::Pattern::kZipf, 0.8);
+  const VPage before = c.page_at(42);
+  c.theta = 1.0;
+  auto fresh = golden_chunk(AccessChunk::Pattern::kZipf, 1.0);
+  EXPECT_EQ(c.page_at(42), fresh.page_at(42));
+  c.theta = 0.8;
+  EXPECT_EQ(c.page_at(42), before);
+  c.region_pages = 53;
+  auto small = golden_chunk(AccessChunk::Pattern::kZipf, 0.8);
+  small.region_pages = 53;
+  EXPECT_EQ(c.page_at(42), small.page_at(42));
+}
+
+TEST(TouchGolden, PreparedPlanMatchesChunkEverywhere) {
+  for (const auto pattern :
+       {AccessChunk::Pattern::kSequential, AccessChunk::Pattern::kStrided,
+        AccessChunk::Pattern::kRandom, AccessChunk::Pattern::kZipf}) {
+    for (const double theta : {0.8, 1.0}) {
+      AccessChunk c = golden_chunk(pattern, theta);
+      const TouchPlan plan = c.prepare();
+      for (std::int64_t i = 0; i < 500; ++i) {
+        ASSERT_EQ(plan.page_at(i), c.page_at(i))
+            << "pattern " << static_cast<int>(pattern) << " theta " << theta
+            << " i " << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fixtures
+
+VmmParams small_params() {
+  VmmParams p;
+  p.total_frames = 128;
+  p.freepages_min = 8;
+  p.freepages_low = 12;
+  p.freepages_high = 16;
+  p.page_cluster = 8;
+  return p;
+}
+
+/// One full memory stack; the equivalence tests run two of these in
+/// lock-step (identical construction order, hence identical RNG streams).
+struct Stack {
+  explicit Stack(VmmParams params = small_params())
+      : vmm(sim, swap, params) {}
+
+  Simulator sim;
+  Disk disk{sim, DiskParams{.num_blocks = 1 << 16}};
+  SwapDevice swap{disk, 0, 1 << 16};
+  Vmm vmm;
+
+  bool sync_fault(Pid pid, VPage v, bool write = false) {
+    bool done = false;
+    vmm.fault(pid, v, write, [&] { done = true; });
+    sim.run();
+    return done;
+  }
+
+  void populate(Pid pid, VPage begin, VPage end, bool write = true) {
+    for (VPage v = begin; v < end; ++v) {
+      if (!vmm.touch(pid, v, write)) {
+        ASSERT_TRUE(sync_fault(pid, v, write));
+      }
+    }
+  }
+
+  void force_free(std::int64_t target) {
+    bool done = false;
+    vmm.request_free_frames(target, [&] { done = true; });
+    sim.run();
+    ASSERT_TRUE(done);
+  }
+};
+
+/// Ground truth for region_fully_resident: a fresh page-table scan.
+bool scan_fully_resident(const AddressSpace& as, VPage start,
+                         std::int64_t pages) {
+  for (VPage v = start; v < start + pages; ++v) {
+    if (!as.page_table().at(v).present) return false;
+  }
+  return true;
+}
+
+void expect_equal_spaces(const AddressSpace& a, const AddressSpace& b) {
+  ASSERT_EQ(a.num_pages(), b.num_pages());
+  EXPECT_EQ(a.resident_pages(), b.resident_pages());
+  EXPECT_EQ(a.dirty_pages(), b.dirty_pages());
+  EXPECT_EQ(a.ws_pages(), b.ws_pages());
+  EXPECT_EQ(a.stats().minor_faults, b.stats().minor_faults);
+  EXPECT_EQ(a.stats().major_faults, b.stats().major_faults);
+  EXPECT_EQ(a.stats().pages_swapped_in, b.stats().pages_swapped_in);
+  EXPECT_EQ(a.stats().pages_swapped_out, b.stats().pages_swapped_out);
+  EXPECT_EQ(a.stats().pages_clean_dropped, b.stats().pages_clean_dropped);
+  EXPECT_EQ(a.stats().false_evictions, b.stats().false_evictions);
+  for (VPage v = 0; v < a.num_pages(); ++v) {
+    const Pte& x = a.page_table().at(v);
+    const Pte& y = b.page_table().at(v);
+    ASSERT_EQ(x.present, y.present) << "page " << v;
+    ASSERT_EQ(x.frame, y.frame) << "page " << v;
+    ASSERT_EQ(x.slot, y.slot) << "page " << v;
+    ASSERT_EQ(x.last_ref, y.last_ref) << "page " << v;
+    ASSERT_EQ(x.epoch, y.epoch) << "page " << v;
+    ASSERT_EQ(x.referenced, y.referenced) << "page " << v;
+    ASSERT_EQ(x.dirty, y.dirty) << "page " << v;
+    ASSERT_EQ(x.age, y.age) << "page " << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bulk vs scalar: direct Vmm::touch_run fuzz
+
+TEST(TouchRunEquivalence, FuzzAgainstScalarLoop) {
+  // Two identical stacks: A consumes plans through touch_run, B through the
+  // scalar touch() loop. Every observable — consumed count, fault page, the
+  // full page tables and all counters — must stay bit-identical across
+  // randomized plans, partial residency and resumed runs.
+  Stack a;
+  Stack b;
+  const std::int64_t kPages = 256;
+  const Pid pid_a = a.vmm.create_process(kPages);
+  const Pid pid_b = b.vmm.create_process(kPages);
+  std::mt19937_64 rng(0xC0FFEE);
+
+  // Partial residency: fault in a pseudo-random subset, same on both.
+  for (VPage v = 0; v < kPages; ++v) {
+    if ((rng() & 3) != 0) {  // ~75% resident
+      ASSERT_TRUE(a.sync_fault(pid_a, v, true));
+      ASSERT_TRUE(b.sync_fault(pid_b, v, true));
+    }
+  }
+
+  auto& as_a = a.vmm.space(pid_a);
+  auto& as_b = b.vmm.space(pid_b);
+  const TouchPattern patterns[] = {TouchPattern::kSequential,
+                                   TouchPattern::kStrided,
+                                   TouchPattern::kRandom, TouchPattern::kZipf};
+  for (int round = 0; round < 200; ++round) {
+    TouchPlan plan;
+    plan.pattern = patterns[rng() % 4];
+    plan.region_pages = 1 + static_cast<std::int64_t>(rng() % kPages);
+    plan.region_start =
+        static_cast<VPage>(rng() % (kPages - plan.region_pages + 1));
+    plan.touches = 1 << 20;
+    plan.stride = static_cast<std::int64_t>(rng() % 300);  // 0 included
+    plan.write = (rng() & 1) != 0;
+    plan.seed = rng();
+    plan.theta = (rng() & 1) != 0 ? 1.0 : 0.8;
+    if (plan.pattern == TouchPattern::kZipf) {
+      plan.zipf_hn = zipf_harmonic(plan.region_pages, plan.theta);
+    }
+    const auto begin = static_cast<std::int64_t>(rng() % 5000);
+    const auto budget = static_cast<std::int64_t>(1 + rng() % 700);
+
+    const Vmm::TouchRun run = a.vmm.touch_run(as_a, plan, begin, budget);
+
+    // Scalar reference on stack B.
+    std::int64_t consumed = budget;
+    VPage fault_page = -1;
+    bool faulted = false;
+    for (std::int64_t k = 0; k < budget; ++k) {
+      const VPage v = plan.page_at(begin + k);
+      if (!b.vmm.touch(as_b, v, plan.write)) {
+        consumed = k;
+        fault_page = v;
+        faulted = true;
+        break;
+      }
+    }
+
+    ASSERT_EQ(run.consumed, consumed) << "round " << round;
+    ASSERT_EQ(run.faulted, faulted) << "round " << round;
+    ASSERT_EQ(run.fault_page, faulted ? fault_page : -1) << "round " << round;
+    // Occasionally fault the missing page in (both stacks), advance the
+    // epoch, or evict — so later rounds see changed residency.
+    if (faulted && (rng() & 1) != 0) {
+      ASSERT_TRUE(a.sync_fault(pid_a, fault_page, plan.write));
+      ASSERT_TRUE(b.sync_fault(pid_b, fault_page, plan.write));
+    }
+    if (round % 37 == 17) {
+      a.vmm.begin_ws_epoch(pid_a);
+      b.vmm.begin_ws_epoch(pid_b);
+    }
+    if (round % 51 == 23) {
+      a.force_free(40);
+      b.force_free(40);
+    }
+  }
+  expect_equal_spaces(as_a, as_b);
+  EXPECT_EQ(a.sim.now(), b.sim.now());
+}
+
+TEST(TouchRunEquivalence, FastForwardStridedOrbitMatchesScalar) {
+  // stride sharing a factor with region_pages: the orbit period is shorter
+  // than the budget, so the fast path applies fewer distinct touches — the
+  // result must still match the scalar loop exactly.
+  Stack a;
+  Stack b;
+  const std::int64_t kPages = 96;
+  const Pid pid_a = a.vmm.create_process(kPages);
+  const Pid pid_b = b.vmm.create_process(kPages);
+  a.populate(pid_a, 0, kPages);
+  b.populate(pid_b, 0, kPages);
+  auto& as_a = a.vmm.space(pid_a);
+  auto& as_b = b.vmm.space(pid_b);
+
+  for (const std::int64_t stride : {0, 1, 4, 6, 12, 96, 97, 192}) {
+    TouchPlan plan;
+    plan.pattern = stride == 1 ? TouchPattern::kSequential
+                               : TouchPattern::kStrided;
+    plan.region_start = 0;
+    plan.region_pages = kPages;
+    plan.touches = 1 << 20;
+    plan.stride = stride;
+    plan.write = (stride % 2) == 0;
+
+    const Vmm::TouchRun run = a.vmm.touch_run(as_a, plan, 13, 500);
+    EXPECT_EQ(run.consumed, 500);
+    EXPECT_FALSE(run.faulted);
+    for (std::int64_t k = 0; k < 500; ++k) {
+      ASSERT_TRUE(b.vmm.touch(as_b, plan.page_at(13 + k), plan.write));
+    }
+    expect_equal_spaces(as_a, as_b);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bulk vs scalar: whole CPU-executor runs
+
+void run_program_pair(std::unique_ptr<Program> prog_a,
+                      std::unique_ptr<Program> prog_b) {
+  Stack a;
+  Stack b;
+  CpuParams batched;
+  batched.batched_touch = true;
+  CpuParams scalar;
+  scalar.batched_touch = false;
+  Cpu cpu_a(a.sim, a.vmm, batched);
+  Cpu cpu_b(b.sim, b.vmm, scalar);
+
+  const Pid pid_a = a.vmm.create_process(400);
+  const Pid pid_b = b.vmm.create_process(400);
+  Process proc_a("a", pid_a, std::move(prog_a));
+  Process proc_b("b", pid_b, std::move(prog_b));
+  cpu_a.attach(proc_a);
+  cpu_b.attach(proc_b);
+  cpu_a.cont_process(proc_a);
+  cpu_b.cont_process(proc_b);
+  a.sim.run();
+  b.sim.run();
+
+  ASSERT_EQ(proc_a.state(), ProcState::kFinished);
+  ASSERT_EQ(proc_b.state(), ProcState::kFinished);
+  // Full observable equality: virtual time, scheduling, accounting, memory.
+  EXPECT_EQ(a.sim.now(), b.sim.now());
+  EXPECT_EQ(a.sim.events_dispatched(), b.sim.events_dispatched());
+  EXPECT_EQ(proc_a.stats().cpu_time, proc_b.stats().cpu_time);
+  EXPECT_EQ(proc_a.stats().fault_wait, proc_b.stats().fault_wait);
+  EXPECT_EQ(proc_a.stats().finished_at, proc_b.stats().finished_at);
+  EXPECT_EQ(proc_a.stats().slices, proc_b.stats().slices);
+  EXPECT_EQ(proc_a.stats().faults_taken, proc_b.stats().faults_taken);
+  expect_equal_spaces(a.vmm.space(pid_a), b.vmm.space(pid_b));
+  EXPECT_EQ(a.disk.stats().blocks_written, b.disk.stats().blocks_written);
+}
+
+TEST(CpuBatchedVsScalar, SweepUnderMemoryPressure) {
+  // 400-page footprint on 128 frames: the run faults, evicts and re-faults
+  // throughout — both engines must produce the identical execution.
+  SweepOptions options;
+  options.pages = 400;
+  options.iterations = 3;
+  options.compute_per_touch = 10 * kMicrosecond;
+  run_program_pair(make_sweep_program(options), make_sweep_program(options));
+}
+
+TEST(CpuBatchedVsScalar, HotColdUnderMemoryPressure) {
+  HotColdOptions options;
+  options.pages = 400;
+  options.iterations = 4;
+  options.touches_per_iteration = 1500;
+  options.seed = 77;
+  run_program_pair(make_hot_cold_program(options),
+                   make_hot_cold_program(options));
+}
+
+TEST(CpuBatchedVsScalar, RandomUnderMemoryPressure) {
+  RandomOptions options;
+  options.pages = 400;
+  options.iterations = 4;
+  options.touches_per_iteration = 1500;
+  options.seed = 5;
+  run_program_pair(make_random_program(options), make_random_program(options));
+}
+
+// ---------------------------------------------------------------------------
+// Residency-cache invalidation
+
+struct ResidencyFixture : ::testing::Test {
+  Stack s;
+  Pid pid = s.vmm.create_process(256);
+
+  bool probe(VPage start, std::int64_t pages) {
+    auto& as = s.vmm.space(pid);
+    const bool got = s.vmm.region_fully_resident(as, start, pages);
+    // Whatever the cache answers must agree with a fresh page-table scan.
+    EXPECT_EQ(got, scan_fully_resident(as, start, pages));
+    return got;
+  }
+};
+
+TEST_F(ResidencyFixture, EvictionInvalidatesAndRefaultRestores) {
+  s.populate(pid, 0, 100);
+  EXPECT_TRUE(probe(0, 100));
+  s.force_free(64);  // evicts part of the region
+  EXPECT_FALSE(probe(0, 100));
+  s.populate(pid, 0, 100);  // fault everything back in
+  EXPECT_TRUE(probe(0, 100));
+}
+
+TEST_F(ResidencyFixture, WritebackKeepsPagesResident) {
+  s.populate(pid, 0, 100);
+  EXPECT_TRUE(probe(0, 100));
+  std::int64_t started = -1;
+  s.vmm.writeback_dirty(pid, 50, IoPriority::kBackground,
+                        [&](std::int64_t n) { started = n; });
+  s.sim.run();
+  EXPECT_GT(started, 0);
+  // Background writing does not unmap: the region must still test resident.
+  EXPECT_TRUE(probe(0, 100));
+  // ... but a subsequent eviction (now cheap: clean swap copies) must not.
+  s.force_free(64);
+  EXPECT_FALSE(probe(0, 100));
+}
+
+TEST_F(ResidencyFixture, PrefetchRemapsAndRevalidates) {
+  s.populate(pid, 0, 100);
+  s.force_free(64);
+  ASSERT_FALSE(probe(0, 100));
+  bool done = false;
+  s.vmm.prefetch(pid, {{0, 100}}, [&] { done = true; });
+  s.sim.run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(probe(0, 100));
+}
+
+TEST_F(ResidencyFixture, WatchTableEvictionStaysCorrect) {
+  // More distinct regions than watch slots: early watches get recycled, and
+  // a later probe of the first region must re-register and still be exact.
+  s.populate(pid, 0, 100);
+  ASSERT_TRUE(probe(0, 100));
+  for (VPage start = 0; start < 12; ++start) {
+    EXPECT_TRUE(probe(start, 20));  // 12 regions > 8 watch slots
+  }
+  s.force_free(64);  // invalidates whatever is still watched — and the rest
+  EXPECT_FALSE(probe(0, 100));
+  s.populate(pid, 0, 100);
+  EXPECT_TRUE(probe(0, 100));
+  for (VPage start = 0; start < 12; ++start) {
+    EXPECT_TRUE(probe(start, 20));
+  }
+}
+
+TEST_F(ResidencyFixture, EpochAndWsAccountingUnaffectedByProbes) {
+  s.populate(pid, 0, 50);
+  s.vmm.begin_ws_epoch(pid);
+  EXPECT_EQ(s.vmm.space(pid).ws_pages(), 0);
+  (void)probe(0, 50);
+  // Probing must not touch pages: the working set stays empty.
+  EXPECT_EQ(s.vmm.space(pid).ws_pages(), 0);
+  TouchPlan plan;
+  plan.pattern = TouchPattern::kSequential;
+  plan.region_start = 0;
+  plan.region_pages = 50;
+  plan.touches = 1 << 20;
+  const auto run = s.vmm.touch_run(s.vmm.space(pid), plan, 0, 50);
+  EXPECT_EQ(run.consumed, 50);
+  EXPECT_EQ(s.vmm.space(pid).ws_pages(), 50);
+}
+
+TEST(ResidencyTier, TierEvictionInvalidates) {
+  // With the compressed tier interposed, evictions route through the pool;
+  // the unmap bookkeeping must invalidate the cache all the same.
+  Stack s;
+  TierParams tp;
+  tp.pool_mb = 1.0;
+  tp.ratio_model = TierRatioModel::kText;
+  TierManager tier(s.sim, s.swap, tp);
+  s.vmm.set_tier(&tier);
+  const Pid pid = s.vmm.create_process(256);
+  s.populate(pid, 0, 100);
+  auto& as = s.vmm.space(pid);
+  EXPECT_TRUE(s.vmm.region_fully_resident(as, 0, 100));
+  s.force_free(64);
+  EXPECT_FALSE(s.vmm.region_fully_resident(as, 0, 100));
+  EXPECT_EQ(s.vmm.region_fully_resident(as, 0, 100),
+            scan_fully_resident(as, 0, 100));
+  s.populate(pid, 0, 100);
+  EXPECT_TRUE(s.vmm.region_fully_resident(as, 0, 100));
+}
+
+TEST(ResidencyFault, InjectedDiskFaultsKeepCacheExact) {
+  // Transient disk failures make eviction writes and swap reads fail and
+  // retry; through all of it the cache must keep agreeing with the page
+  // table.
+  Stack s;
+  FaultPlan plan;
+  plan.add(FaultSpec::parse("disk_transient node=0 start_s=0 end_s=3600 p=0.1"));
+  FaultInjector injector(s.sim, plan);
+  s.disk.set_fault_injector(&injector, 0);
+
+  const Pid pid = s.vmm.create_process(256);
+  s.populate(pid, 0, 100);
+  auto& as = s.vmm.space(pid);
+  EXPECT_TRUE(s.vmm.region_fully_resident(as, 0, 100));
+  for (int round = 0; round < 5; ++round) {
+    s.force_free(64);
+    EXPECT_EQ(s.vmm.region_fully_resident(as, 0, 100),
+              scan_fully_resident(as, 0, 100));
+    s.populate(pid, 0, 100);
+    EXPECT_EQ(s.vmm.region_fully_resident(as, 0, 100),
+              scan_fully_resident(as, 0, 100));
+    EXPECT_TRUE(s.vmm.region_fully_resident(as, 0, 100));
+  }
+}
+
+TEST(ResidencyRelease, ReleaseDropsWatchesSafely) {
+  // Releasing a process with active watches must not leave the counters
+  // pointing at torn-down state; a second process reusing the frames works.
+  Stack s;
+  const Pid first = s.vmm.create_process(128);
+  s.populate(first, 0, 100);
+  EXPECT_TRUE(s.vmm.region_fully_resident(s.vmm.space(first), 0, 100));
+  s.vmm.release_process(first);
+  s.sim.run();
+  const Pid second = s.vmm.create_process(128);
+  s.populate(second, 0, 100);
+  EXPECT_TRUE(s.vmm.region_fully_resident(s.vmm.space(second), 0, 100));
+}
+
+}  // namespace
+}  // namespace apsim
