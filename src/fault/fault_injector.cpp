@@ -63,6 +63,20 @@ bool FaultInjector::on_tier_store(int node) {
   return false;
 }
 
+bool FaultInjector::on_ckpt_write(int node) {
+  const SimTime now = sim_.now();
+  for (const auto& spec : plan_.specs) {
+    if (spec.kind != FaultKind::kCkptFault || !spec.applies(node, now)) {
+      continue;
+    }
+    if (rng_.bernoulli(spec.probability)) {
+      ++stats_.ckpt_writes_failed;
+      return true;
+    }
+  }
+  return false;
+}
+
 void FaultInjector::schedule_crashes(std::function<void(int)> crash) {
   for (const auto& spec : plan_.specs) {
     if (spec.kind != FaultKind::kNodeCrash || spec.node < 0) continue;

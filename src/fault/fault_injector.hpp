@@ -50,6 +50,10 @@ class FaultInjector {
   /// now (the page falls back to the disk path).
   [[nodiscard]] bool on_tier_store(int node);
 
+  /// True when a checkpoint image write on \p node should fail right now
+  /// (the checkpoint manager's retry ladder handles it).
+  [[nodiscard]] bool on_ckpt_write(int node);
+
   struct Stats {
     std::uint64_t disk_errors_injected = 0;
     std::uint64_t disk_requests_slowed = 0;
@@ -57,6 +61,7 @@ class FaultInjector {
     std::uint64_t signals_delayed = 0;
     std::uint64_t node_crashes = 0;
     std::uint64_t tier_stores_rejected = 0;
+    std::uint64_t ckpt_writes_failed = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 

@@ -17,6 +17,7 @@ std::string_view to_string(FaultKind kind) {
     case FaultKind::kSignalDrop: return "signal_drop";
     case FaultKind::kNodeCrash: return "node_crash";
     case FaultKind::kTierFault: return "tier_fault";
+    case FaultKind::kCkptFault: return "ckpt_fault";
   }
   return "?";
 }
@@ -27,7 +28,7 @@ namespace {
   for (FaultKind kind :
        {FaultKind::kDiskTransient, FaultKind::kDiskPersistent,
         FaultKind::kDiskSlow, FaultKind::kSignalDelay, FaultKind::kSignalDrop,
-        FaultKind::kNodeCrash, FaultKind::kTierFault}) {
+        FaultKind::kNodeCrash, FaultKind::kTierFault, FaultKind::kCkptFault}) {
     if (token == to_string(kind)) return kind;
   }
   throw std::invalid_argument("fault: unknown kind '" + std::string(token) +

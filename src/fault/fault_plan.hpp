@@ -27,6 +27,8 @@ enum class FaultKind : std::uint8_t {
   kTierFault,       ///< compressed-tier stores fail with `probability` inside the
                     ///< window (pages fall back to disk; resident pool data
                     ///< stays readable)
+  kCkptFault,       ///< checkpoint image writes fail with `probability` inside
+                    ///< the window (the checkpoint retry ladder re-issues them)
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind kind);

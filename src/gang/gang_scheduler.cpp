@@ -77,10 +77,14 @@ bool GangScheduler::fits_in_memory(const Job& job) const {
   // plus this one must fit in admission_margin of usable memory. Jobs
   // without a declaration are assumed to need their full address space.
   auto demand = [](const Job& j, int node) -> std::int64_t {
-    const Process* p = j.process_on(node);
-    if (p == nullptr) return 0;
-    // The address-space size is the upper bound; the declaration refines it.
-    return j.declared_ws_pages ? *j.declared_ws_pages : 0;
+    // Sum per placement: a restarted job may hold several ranks on a node.
+    std::int64_t total = 0;
+    for (const auto& pl : j.processes()) {
+      if (pl.node != node) continue;
+      // The address-space size is the upper bound; the declaration refines it.
+      total += j.declared_ws_pages ? *j.declared_ws_pages : 0;
+    }
+    return total;
   };
   for (int node : job.nodes()) {
     std::int64_t total = demand(job, node);
@@ -136,7 +140,6 @@ void GangScheduler::activate_slot(int to_slot) {
       continue;
     }
 
-    Process* in_proc = in_job ? in_job->process_on(node) : nullptr;
     AdaptivePager* pager = pagers_[ni].get();
     auto& cpu = cluster_.node(node).cpu();
 
@@ -150,18 +153,28 @@ void GangScheduler::activate_slot(int to_slot) {
     // Applying is idempotent per generation — a watchdog retransmission that
     // races a late original delivery runs the body only once — and a stale
     // generation is skipped once a newer switch has been applied. The
-    // outgoing job and liveness (dead()) are evaluated at delivery time, not
-    // send time: a process may finish or be killed, and an earlier switch
-    // may land or be lost, while this signal is in flight.
-    switch_action_[ni] = [this, node, ni, gen, pager, &cpu, in_job, in_proc,
-                          ws_hint] {
+    // outgoing job, its placements on this node and liveness (dead()) are
+    // all evaluated at delivery time, not send time: a process may finish,
+    // be killed, or be re-placed here by a checkpoint restart while this
+    // signal is in flight (a restarted job may also put several of its
+    // ranks on one node, hence the placement loops).
+    switch_action_[ni] = [this, node, ni, gen, pager, &cpu, in_job, ws_hint] {
       if (switch_applied_[ni] >= gen || node_dead_[ni]) return;
       switch_applied_[ni] = gen;
       Job* out_job = running_job_[ni];
       if (out_job == in_job) return;  // already running the right job
       running_job_[ni] = in_job;
-      Process* out_proc = out_job ? out_job->process_on(node) : nullptr;
-      const bool out_live = out_proc != nullptr && !out_proc->dead();
+      auto live_on_node = [node](Job* job, std::vector<Process*>& out) {
+        out.clear();
+        if (job == nullptr) return;
+        for (const auto& pl : job->processes()) {
+          if (pl.node == node && !pl.process->dead()) out.push_back(pl.process);
+        }
+      };
+      std::vector<Process*> outs, ins;
+      live_on_node(out_job, outs);
+      live_on_node(in_job, ins);
+      const bool out_live = !outs.empty();
       const int st = trace_track(node, kTrackSched);
       // The enclosing switch span is async: it ends only when the adaptive
       // page-in replay drains, long after this callback returns. The signal
@@ -182,23 +195,30 @@ void GangScheduler::activate_slot(int to_slot) {
       if (out_live) {
         TraceSpan s;
         if (tracer_ != nullptr) s = tracer_->span(st, "switch", "sigstop");
-        pager->on_quantum_end(out_proc->pid());
-        cpu.stop_process(*out_proc);
-      }
-      if (in_proc != nullptr && !in_proc->dead()) {
-        if (out_live) {
-          pager->adaptive_page_out(out_proc->pid(), in_proc->pid(), ws_hint);
+        for (Process* out_proc : outs) {
+          pager->on_quantum_end(out_proc->pid());
+          cpu.stop_process(*out_proc);
         }
-        pager->on_quantum_start(in_proc->pid());
+      }
+      if (!ins.empty()) {
+        Process* in_primary = ins.front();
+        if (out_live) {
+          pager->adaptive_page_out(outs.front()->pid(), in_primary->pid(),
+                                   ws_hint);
+        }
+        for (Process* in_proc : ins) pager->on_quantum_start(in_proc->pid());
         if (switch_span) {
-          pager->adaptive_page_in(in_proc->pid(),
+          pager->adaptive_page_in(in_primary->pid(),
                                   [switch_span] { switch_span->end(); });
         } else {
-          pager->adaptive_page_in(in_proc->pid());
+          pager->adaptive_page_in(in_primary->pid());
+        }
+        for (std::size_t i = 1; i < ins.size(); ++i) {
+          pager->adaptive_page_in(ins[i]->pid());
         }
         TraceSpan s;
         if (tracer_ != nullptr) s = tracer_->span(st, "switch", "sigcont");
-        cpu.cont_process(*in_proc);
+        for (Process* in_proc : ins) cpu.cont_process(*in_proc);
       }
     };
     switch_retries_[ni] = 0;
@@ -275,9 +295,11 @@ void GangScheduler::schedule_bg_start(int slot) {
       if (node_dead_[static_cast<std::size_t>(node)]) continue;
       const int job_id = matrix_.job_at(slot, node);
       if (job_id < 0) continue;
-      Process* p = jobs_[static_cast<std::size_t>(job_id)]->process_on(node);
-      if (p != nullptr && !p->dead()) {
-        pagers_[static_cast<std::size_t>(node)]->start_bgwrite(p->pid());
+      for (const auto& pl : jobs_[static_cast<std::size_t>(job_id)]->processes()) {
+        if (pl.node != node || pl.process->dead()) continue;
+        pagers_[static_cast<std::size_t>(node)]->start_bgwrite(
+            pl.process->pid());
+        break;  // one background writer per node is enough
       }
     }
   });
@@ -332,8 +354,17 @@ void GangScheduler::fail_job(Job& job) {
 void GangScheduler::on_page_unrecoverable(int node, Pid pid) {
   for (auto& job : jobs_) {
     if (job->done()) continue;
-    Process* p = job->process_on(node);
-    if (p == nullptr || p->pid() != pid) continue;
+    bool hit = false;
+    for (const auto& pl : job->processes()) {
+      if (pl.node == node && pl.process->pid() == pid) hit = true;
+    }
+    if (!hit) continue;
+    if (recovery_ != nullptr && recovery_->on_job_casualty(*job, "lost page")) {
+      ++stats_.lost_pages_recovered;
+      reschedule();
+      return;
+    }
+    ++stats_.lost_pages_fatal;
     cluster_.node(node).vmm().log().warn(
         "job %d lost a page on node %d (pid %d); aborting the job",
         job->id(), node, static_cast<int>(pid));
@@ -352,9 +383,59 @@ void GangScheduler::handle_node_failure(int node) {
   switch_action_[ni] = nullptr;
   if (!started_) return;  // start() fails the affected jobs itself
   for (auto& job : jobs_) {
-    if (!job->done() && job->process_on(node) != nullptr) fail_job(*job);
+    if (job->done() || job->process_on(node) == nullptr) continue;
+    if (recovery_ != nullptr &&
+        recovery_->on_job_casualty(*job, "node crash")) {
+      continue;  // the checkpoint manager took the job over
+    }
+    fail_job(*job);
   }
   reschedule();
+}
+
+void GangScheduler::suspend_job(Job& job) {
+  assert(!job.done());
+  for (const auto& placement : job.processes()) {
+    const auto ni = static_cast<std::size_t>(placement.node);
+    if (!node_dead_[ni]) {
+      auto& node = cluster_.node(placement.node);
+      node.cpu().kill_process(*placement.process);
+      if (node.vmm().space(placement.process->pid()).alive()) {
+        node.vmm().release_process(placement.process->pid());
+      }
+    }
+    if (running_job_[ni] == &job) running_job_[ni] = nullptr;
+  }
+  matrix_.remove(job.id());
+}
+
+void GangScheduler::resume_restarted_job(Job& job) {
+  assert(!job.done());
+  ++stats_.jobs_recovered;
+  for (const auto& placement : job.processes()) {
+    pagers_[static_cast<std::size_t>(placement.node)]->register_process(
+        placement.process->pid());
+  }
+  std::vector<int> nodes = job.nodes();
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  matrix_.assign(job.id(), nodes);
+  reschedule();
+}
+
+void GangScheduler::abandon_job(Job& job) {
+  if (job.done()) return;
+  fail_job(job);
+  reschedule();
+}
+
+bool GangScheduler::switch_settled() const {
+  for (int node = 0; node < cluster_.size(); ++node) {
+    const auto ni = static_cast<std::size_t>(node);
+    if (node_dead_[ni] || !switch_action_[ni]) continue;
+    if (switch_applied_[ni] < switch_gen_) return false;
+  }
+  return true;
 }
 
 void GangScheduler::reschedule() {

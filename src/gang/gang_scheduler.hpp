@@ -19,6 +19,21 @@
 
 namespace apsim {
 
+/// Recovery delegate consulted before the scheduler gives up on a job. The
+/// checkpoint manager (src/recover) implements it; the interface lives here
+/// so the gang layer needs no dependency on the recovery subsystem.
+class RecoveryHook {
+ public:
+  virtual ~RecoveryHook() = default;
+
+  /// A job is about to be failed (\p reason: node crash, lost page, ...).
+  /// Return true to take ownership — the scheduler then leaves the job
+  /// unfailed and expects suspend_job()/resume_restarted_job() (or
+  /// abandon_job() on give-up) to be driven by the hook. Return false to
+  /// let the scheduler fail the job as usual.
+  virtual bool on_job_casualty(Job& job, const char* reason) = 0;
+};
+
 struct GangParams {
   /// Default scheduling quantum (the paper uses 5 minutes).
   SimDuration quantum = 5 * kMinute;
@@ -103,6 +118,33 @@ class GangScheduler {
     return !node_dead_[static_cast<std::size_t>(node)];
   }
 
+  // ---- checkpoint/restart integration ----
+
+  /// Install (or clear) the recovery delegate consulted before failing a
+  /// job on a node crash or unrecoverable page loss.
+  void set_recovery(RecoveryHook* hook) { recovery_ = hook; }
+
+  /// Take an unfinished job out of the rotation without failing it: kill
+  /// and release its processes on surviving nodes, leaving the job eligible
+  /// for resume_restarted_job(). Counterpart of fail_job minus the verdict.
+  void suspend_job(Job& job);
+
+  /// Put a restored job back into the rotation: re-register its (possibly
+  /// re-placed) processes with the pagers, re-assign it in the matrix, and
+  /// reschedule. The checkpoint manager calls this once staging completed.
+  void resume_restarted_job(Job& job);
+
+  /// Give up on a suspended job whose restart cannot proceed (no feasible
+  /// placement, staging kept failing): fail it and reschedule.
+  void abandon_job(Job& job);
+
+  /// True when no live node still has the current switch generation's
+  /// action in flight — the quiescent instant at which a coordinated
+  /// checkpoint cannot tear a gang mid-switch.
+  [[nodiscard]] bool switch_settled() const;
+
+  [[nodiscard]] std::uint64_t switch_generation() const { return switch_gen_; }
+
   /// Attach the run's tracer (nullptr = untraced). Each delivered switch
   /// action emits, on the owning node's scheduler track, an async "switch"
   /// span (ending when the adaptive page-in replay drains) containing the
@@ -116,6 +158,9 @@ class GangScheduler {
     std::uint64_t signal_retransmits = 0;  ///< watchdog-resent switch signals
     int jobs_failed = 0;
     int nodes_failed = 0;
+    int jobs_recovered = 0;  ///< restarts that made it back into the rotation
+    std::uint64_t lost_pages_fatal = 0;      ///< page losses that failed a job
+    std::uint64_t lost_pages_recovered = 0;  ///< page losses a restart absorbed
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -167,6 +212,7 @@ class GangScheduler {
   std::vector<bool> node_dead_;
   EventHandle watchdog_event_;
   Tracer* tracer_ = nullptr;
+  RecoveryHook* recovery_ = nullptr;
   Stats stats_;
 };
 

@@ -33,6 +33,12 @@ class Job {
   };
   [[nodiscard]] const std::vector<Placement>& processes() const { return procs_; }
 
+  /// Re-home placement \p index onto \p node (checkpoint restart may place
+  /// a process on a different surviving node).
+  void move_process(std::size_t index, int node) {
+    procs_.at(index).node = node;
+  }
+
   [[nodiscard]] std::vector<int> nodes() const {
     std::vector<int> out;
     out.reserve(procs_.size());

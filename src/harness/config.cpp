@@ -89,6 +89,14 @@ void ExperimentConfig::validate() const {
     fail("write_failure_streak_limit must be >= 1, got " +
          std::to_string(write_failure_streak_limit));
   }
+  if (checkpoint_interval < 0) {
+    fail("checkpoint_interval must be >= 0, got " +
+         std::to_string(checkpoint_interval) + " ns");
+  }
+  if (ckpt_max_retries < 0) {
+    fail("ckpt_max_retries must be >= 0, got " +
+         std::to_string(ckpt_max_retries));
+  }
 }
 
 std::string ExperimentConfig::describe() const {
@@ -138,6 +146,11 @@ NodeParams ExperimentConfig::make_node_params() const {
                                              mb_to_pages(512.0));
   }
   node.disk.num_blocks = node.swap_slots;
+  if (checkpoint_interval > 0) {
+    // Checkpoint images live in a region past the swap partition on the
+    // same device, so image writes contend with paging I/O for the head.
+    node.disk.num_blocks = node.swap_slots * 2;
+  }
   return node;
 }
 

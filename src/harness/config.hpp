@@ -8,6 +8,7 @@
 #include "core/policy.hpp"
 #include "fault/fault_plan.hpp"
 #include "net/network.hpp"
+#include "recover/restart_planner.hpp"
 #include "workloads/spec.hpp"
 
 /// \file config.hpp
@@ -101,6 +102,20 @@ struct ExperimentConfig {
   SimDuration io_retry_cap = 80 * kMillisecond;
   int stalled_fault_retry_limit = 200;
   int write_failure_streak_limit = 3;
+
+  /// Coordinated checkpoint/restart. 0 disables recovery entirely: no
+  /// CheckpointManager is constructed, no events are scheduled, and the run
+  /// is bit-identical to a build without the subsystem (the golden suites
+  /// pin this). > 0 takes a coordinated checkpoint of every job at this
+  /// period and restarts crashed jobs from their last image on surviving
+  /// nodes. When enabled, each node's disk gains a checkpoint region past
+  /// the swap partition (num_blocks doubles), so checkpoint I/O contends
+  /// with paging on the same device.
+  SimDuration checkpoint_interval = 0;
+  bool ckpt_incremental = true;  ///< dirty/delta images vs full live set
+  int ckpt_max_retries = 3;      ///< image-write retry ladder depth
+  RestartPlacement restart_placement = RestartPlacement::kSpread;
+  LostWorkModel lost_work_model = LostWorkModel::kCpu;
 
   /// Check the configuration for nonsense (negative quantum, bg_start_frac
   /// outside [0, 1], zero usable memory, swap smaller than wired memory,

@@ -130,6 +130,18 @@ void apply_scenario_key(ExperimentConfig& config, std::string_view key,
     config.stalled_fault_retry_limit = static_cast<int>(parse_int(value, key));
   } else if (key == "write_failure_streak") {
     config.write_failure_streak_limit = static_cast<int>(parse_int(value, key));
+  } else if (key == "checkpoint_interval_s") {
+    // 0 disables checkpoint/restart entirely (bit-identical runs).
+    config.checkpoint_interval = static_cast<SimDuration>(
+        parse_double(value, key) * static_cast<double>(kSecond));
+  } else if (key == "ckpt_incremental") {
+    config.ckpt_incremental = parse_bool(value, key);
+  } else if (key == "ckpt_max_retries") {
+    config.ckpt_max_retries = static_cast<int>(parse_int(value, key));
+  } else if (key == "restart_placement") {
+    config.restart_placement = parse_restart_placement(value);
+  } else if (key == "lost_work_model") {
+    config.lost_work_model = parse_lost_work_model(value);
   } else {
     throw std::invalid_argument("scenario: unknown key '" + std::string(key) +
                                 "'");

@@ -39,7 +39,9 @@
 /// horizon_s, fault (repeatable; see FaultSpec::parse), watchdog_ms,
 /// swap_mb, tier_mb, tier_ratio_model (mixed/text/zero/incompressible),
 /// tier_writeback, io_retry_limit, io_retry_base_ms, io_retry_cap_ms,
-/// stalled_retry_limit, write_failure_streak.
+/// stalled_retry_limit, write_failure_streak, checkpoint_interval_s (0 =
+/// checkpoint/restart off), ckpt_incremental, ckpt_max_retries,
+/// restart_placement (spread/packed), lost_work_model (cpu/wall).
 
 namespace apsim {
 

@@ -238,6 +238,54 @@ void Vmm::begin_ws_epoch(Pid pid) {
 }
 
 // ---------------------------------------------------------------------------
+// Checkpoint/restart support
+
+Vmm::ImageSnapshot Vmm::snapshot_image(Pid pid) const {
+  const auto& as = space(pid);
+  const auto& pt = as.page_table();
+  ImageSnapshot snap;
+  snap.dirty_pages = as.dirty_pages();
+  for (VPage v = 0; v < pt.num_pages(); ++v) {
+    const Pte& pte = pt.at(v);
+    const bool live = pte.present || pte.slot != kNoSwapSlot;
+    if (!live) continue;
+    ++snap.live_pages;
+    if (!snap.live.empty() &&
+        snap.live.back().start + snap.live.back().count == v) {
+      ++snap.live.back().count;
+    } else {
+      snap.live.push_back({v, 1});
+    }
+  }
+  return snap;
+}
+
+void Vmm::bind_swap_image(Pid pid, const std::vector<PageRun>& pages,
+                          const std::vector<SlotRun>& slots) {
+  auto& as = space(pid);
+  assert(as.alive_);
+  assert(as.resident_ == 0 && "bind_swap_image expects a fresh space");
+  auto& pt = as.page_table();
+  auto slot_it = slots.begin();
+  std::int64_t slot_off = 0;
+  for (const PageRun& run : pages) {
+    for (std::int64_t i = 0; i < run.count; ++i) {
+      assert(slot_it != slots.end());
+      Pte& pte = pt.at(run.start + i);
+      assert(pte.slot == kNoSwapSlot && !pte.present);
+      pte.slot = slot_it->start + slot_off;
+      pte.ever_touched = true;
+      if (++slot_off == slot_it->count) {
+        ++slot_it;
+        slot_off = 0;
+      }
+    }
+  }
+  assert(slot_it == slots.end() && slot_off == 0 &&
+         "page/slot run totals must match");
+}
+
+// ---------------------------------------------------------------------------
 // Faults
 
 void Vmm::fault(Pid pid, VPage vpage, bool write, std::function<void()> resume) {

@@ -272,6 +272,28 @@ class Vmm {
   /// start); ws_pages() then counts distinct pages touched in the new epoch.
   void begin_ws_epoch(Pid pid);
 
+  // ---- checkpoint/restart support ----
+
+  /// Everything a checkpoint image needs about one address space, taken at
+  /// a single instant: the runs of live pages (resident or with a valid
+  /// swap copy — pages that would survive to the next touch) and the live
+  /// and dirty counts used for incremental checkpoint sizing.
+  struct ImageSnapshot {
+    std::vector<PageRun> live;
+    std::int64_t live_pages = 0;
+    std::int64_t dirty_pages = 0;
+  };
+  [[nodiscard]] ImageSnapshot snapshot_image(Pid pid) const;
+
+  /// Stage a checkpoint image into a freshly created address space: bind
+  /// the image's live page runs to the given swap-slot runs (same total
+  /// length), so subsequent demand faults read them back as real major
+  /// faults. The caller owns writing the image data to those slots through
+  /// the disk model; the slots become pte-owned here and are released with
+  /// the process as usual.
+  void bind_swap_image(Pid pid, const std::vector<PageRun>& pages,
+                       const std::vector<SlotRun>& slots);
+
   // ---- failure reporting ----
 
   /// Why a page became unrecoverable.

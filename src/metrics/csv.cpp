@@ -30,7 +30,8 @@ void write_outcomes_csv(std::ostream& os,
            "major_faults", "minor_faults", "pages_in", "pages_out",
            "false_evictions", "cpu_s", "fault_wait_s", "comm_wait_s",
            "tier_pool_hits", "tier_pool_misses", "tier_comp_ratio",
-           "tier_writeback_pages"});
+           "tier_writeback_pages", "failed", "recovered", "checkpoints",
+           "ckpt_bytes", "jobs_recovered", "lost_work_ms"});
   for (const auto& outcome : outcomes) {
     for (const auto& job : outcome.jobs) {
       csv.row({outcome.label, outcome.policy,
@@ -49,7 +50,15 @@ void write_outcomes_csv(std::ostream& os,
                std::to_string(outcome.tier_pool_hits),
                std::to_string(outcome.tier_pool_misses),
                std::to_string(outcome.tier_compression_ratio()),
-               std::to_string(outcome.tier_writeback_pages)});
+               std::to_string(outcome.tier_writeback_pages),
+               // Recovery: failed/recovered are per job, the rest repeat
+               // cluster-wide totals (all zero with checkpointing off).
+               std::to_string(static_cast<int>(job.failed)),
+               std::to_string(static_cast<int>(job.recovered)),
+               std::to_string(outcome.checkpoints_taken),
+               std::to_string(outcome.bytes_checkpointed),
+               std::to_string(outcome.jobs_recovered),
+               std::to_string(outcome.lost_work_ms)});
     }
   }
 }

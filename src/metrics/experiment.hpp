@@ -23,6 +23,7 @@ struct JobOutcome {
   std::string name;
   SimTime completion = -1;          ///< job finish time
   bool failed = false;              ///< aborted (node crash / lost page)
+  bool recovered = false;           ///< restarted from a checkpoint at least once
   std::uint64_t major_faults = 0;
   std::uint64_t minor_faults = 0;
   std::uint64_t pages_swapped_in = 0;
@@ -77,6 +78,20 @@ struct RunOutcome {
   std::uint64_t io_retries = 0;           ///< swap reads retried after errors
   std::uint64_t pages_unrecoverable = 0;  ///< abandoned faults (I/O + out-of-swap)
   std::uint64_t signal_retransmits = 0;   ///< watchdog-resent switch signals
+
+  // Checkpoint/restart statistics (all zero with checkpoint_interval = 0).
+  std::uint64_t checkpoints_taken = 0;    ///< committed coordinated images
+  std::uint64_t checkpoint_failures = 0;  ///< attempts lost to image-write errors
+  std::uint64_t ckpt_io_retries = 0;      ///< image-write re-issues (backoff ladder)
+  std::uint64_t bytes_checkpointed = 0;   ///< raw image bytes (pre-compression)
+  std::uint64_t pages_staged = 0;         ///< image pages written during restores
+  int jobs_recovered = 0;                 ///< successful restarts from a checkpoint
+  int restarts_failed = 0;                ///< give-ups (no placement / staging I/O)
+  std::uint64_t lost_pages_recovered = 0; ///< lost-page casualties turned restarts
+  std::uint64_t lost_pages_fatal = 0;     ///< lost-page casualties that killed jobs
+  double lost_work_ms = 0.0;              ///< work destroyed by crashes (model-dependent)
+  std::uint64_t disk_blocks_written = 0;  ///< cluster-wide (incl. checkpoint region)
+  std::uint64_t disk_blocks_read = 0;
 
   [[nodiscard]] double makespan_s() const { return to_seconds(makespan); }
 };

@@ -18,6 +18,17 @@ void MpiComm::bind(int rank, Process& process, int node_index) {
   process.rank = rank;
 }
 
+void MpiComm::rebind_node(int rank, int node_index) {
+  assert(rank >= 0 && rank < nranks_);
+  node_of_[static_cast<std::size_t>(rank)] = node_index;
+}
+
+void MpiComm::reset_for_restart(const std::vector<std::uint64_t>& seqs) {
+  assert(static_cast<int>(seqs.size()) == nranks_);
+  open_.clear();
+  rank_seq_ = seqs;
+}
+
 void MpiComm::install_exclusive(Cpu& cpu) {
   cpu.set_comm_handler([this](Process& p, const CommOp& op,
                               std::function<void()> resume) {

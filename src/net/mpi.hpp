@@ -43,6 +43,30 @@ class MpiComm {
   /// Entry point invoked by the CPU executor for every comm op.
   void enter(Process& p, const CommOp& op, std::function<void()> resume);
 
+  /// Checkpoint/restart support -----------------------------------------
+
+  /// Per-rank next collective sequence numbers (snapshot material).
+  [[nodiscard]] const std::vector<std::uint64_t>& rank_seqs() const {
+    return rank_seq_;
+  }
+
+  /// True while collective \p seq has entrants waiting for stragglers. A
+  /// blocked rank whose previous collective is still open must re-enter it
+  /// after a restart (the collective never completed); one that is closed
+  /// already resumed every rank, so the restored rank rolls forward.
+  [[nodiscard]] bool collective_open(std::uint64_t seq) const {
+    return open_.contains(seq);
+  }
+
+  /// Re-home a rank after restart placement moved its process.
+  void rebind_node(int rank, int node_index);
+
+  /// Rewind the communicator to a checkpoint image: drop every in-progress
+  /// collective (their resumes target dead incarnations and are dropped by
+  /// the CPU's generation guards anyway) and restore the per-rank sequence
+  /// counters so re-entered collectives match up again.
+  void reset_for_restart(const std::vector<std::uint64_t>& seqs);
+
   struct Stats {
     std::uint64_t barriers = 0;
     std::uint64_t exchanges = 0;

@@ -94,6 +94,27 @@ Op IterativeProgram::next() {
   return Op::done_op();
 }
 
+std::optional<ProgramCursor> IterativeProgram::save_cursor() const {
+  ProgramCursor cursor;
+  cursor.in_prologue = in_prologue_;
+  cursor.pos = pos_;
+  cursor.iter = iter_;
+  cursor.done = done_;
+  return cursor;
+}
+
+bool IterativeProgram::restore_cursor(const ProgramCursor& cursor) {
+  if (cursor.iter < 0 || cursor.iter > iterations_) return false;
+  const std::size_t limit =
+      cursor.in_prologue ? prologue_.size() : cycle_.size();
+  if (cursor.pos > limit) return false;
+  in_prologue_ = cursor.in_prologue;
+  pos_ = static_cast<std::size_t>(cursor.pos);
+  iter_ = cursor.iter;
+  done_ = cursor.done;
+  return true;
+}
+
 double IterativeProgram::progress() const {
   if (done_) return 1.0;
   if (iterations_ == 0) return in_prologue_ ? 0.0 : 1.0;

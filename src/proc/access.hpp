@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "mem/page.hpp"
@@ -100,6 +101,19 @@ struct Op {
   [[nodiscard]] static Op done_op() { return Op{}; }
 };
 
+/// Serializable position within a Program's op stream, captured by the
+/// checkpoint subsystem. The fields mirror IterativeProgram's cursor state;
+/// other Program shapes may interpret them as they see fit as long as
+/// restore_cursor(save_cursor()) replays the identical op sequence.
+struct ProgramCursor {
+  bool in_prologue = false;
+  std::uint64_t pos = 0;
+  std::int64_t iter = 0;
+  bool done = false;
+
+  friend bool operator==(const ProgramCursor&, const ProgramCursor&) = default;
+};
+
 /// Stream of operations describing one process's execution.
 class Program {
  public:
@@ -111,6 +125,17 @@ class Program {
 
   /// Completion fraction in [0, 1]; informational only.
   [[nodiscard]] virtual double progress() const = 0;
+
+  /// Checkpoint support. A program that can be rewound returns its cursor;
+  /// the default (nullopt) marks the program non-checkpointable, and the
+  /// recovery subsystem then leaves its job on the fatal path. A restored
+  /// cursor must make the following next() calls replay exactly the
+  /// sequence that followed the save — determinism of recovered runs
+  /// depends on it.
+  [[nodiscard]] virtual std::optional<ProgramCursor> save_cursor() const {
+    return std::nullopt;
+  }
+  virtual bool restore_cursor(const ProgramCursor&) { return false; }
 };
 
 /// Program that runs a fixed prologue once, then repeats a cycle of ops for
@@ -125,6 +150,9 @@ class IterativeProgram final : public Program {
 
   [[nodiscard]] Op next() override;
   [[nodiscard]] double progress() const override;
+
+  [[nodiscard]] std::optional<ProgramCursor> save_cursor() const override;
+  bool restore_cursor(const ProgramCursor& cursor) override;
 
   [[nodiscard]] std::int64_t iterations_total() const { return iterations_; }
   [[nodiscard]] std::int64_t iterations_done() const { return iter_; }

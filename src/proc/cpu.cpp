@@ -51,6 +51,25 @@ void Cpu::kill_all() {
   for (Process* p : attached_) kill_process(*p);
 }
 
+void Cpu::detach(Process& p) {
+  std::erase(attached_, &p);
+  std::erase(ready_, &p);
+  if (current_ == &p) current_ = nullptr;
+}
+
+void Cpu::adopt(Process& p, Pid new_pid) {
+  assert(p.dead());
+  p.pid_ = new_pid;
+  p.space_ = &vmm_.space(new_pid);
+  ++p.run_gen_;  // drop anything still in flight from the previous life
+  p.state_ = ProcState::kStopped;
+  p.stop_requested_ = true;
+  p.stopped_since_ = sim_.now();
+  if (std::find(attached_.begin(), attached_.end(), &p) == attached_.end()) {
+    attached_.push_back(&p);
+  }
+}
+
 void Cpu::make_runnable(Process& p) {
   assert(!p.dead());
   p.state_ = ProcState::kReady;
@@ -164,7 +183,14 @@ void Cpu::run_access(Process& p) {
         dispatch();
       }
       const bool write = proc.current_op_.access.write;
-      vmm_.fault(proc.pid(), fault_page, write, [this, &proc] {
+      const std::uint64_t fgen = proc.run_gen_;
+      vmm_.fault(proc.pid(), fault_page, write, [this, &proc, fgen] {
+        // A process killed and later revived by the checkpoint manager must
+        // not be touched by its previous life's fault completion.
+        if (proc.run_gen_ != fgen ||
+            proc.state_ != ProcState::kBlockedFault) {
+          return;
+        }
         proc.stats_.fault_wait += sim_.now() - proc.blocked_since_;
         ++proc.op_pos_;  // the VMM touched the page on completion
         unblock(proc);
@@ -192,13 +218,16 @@ void Cpu::run_compute(Process& p) {
 
 void Cpu::run_comm(Process& p) {
   p.state_ = ProcState::kBlockedComm;
-  ++p.run_gen_;
+  const std::uint64_t gen = ++p.run_gen_;
   p.blocked_since_ = sim_.now();
   if (current_ == &p) {
     current_ = nullptr;
     dispatch();
   }
-  auto resume = [this, &p] {
+  auto resume = [this, &p, gen] {
+    // Drop resumes aimed at a previous life of the process (killed while
+    // blocked, then restarted from a checkpoint).
+    if (p.run_gen_ != gen || p.state_ != ProcState::kBlockedComm) return;
     p.stats_.comm_wait += sim_.now() - p.blocked_since_;
     p.op_active_ = false;
     unblock(p);

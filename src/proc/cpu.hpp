@@ -66,6 +66,17 @@ class Cpu {
   /// Kill every attached process (node crash).
   void kill_all();
 
+  /// Remove a process from this CPU (restart migration). The process must
+  /// not be running; any ready/current bookkeeping referring to it is
+  /// dropped. Safe to call for a process that was never attached here.
+  void detach(Process& p);
+
+  /// Re-home a dead (killed) process onto this CPU under a fresh address
+  /// space, leaving it stopped as if freshly attached. The checkpoint
+  /// manager rewinds the program cursor separately; adopt only fixes up
+  /// pid/space/scheduling state and invalidates stale continuations.
+  void adopt(Process& p, Pid new_pid);
+
   /// Install the communication delegate (the MPI layer). Without one, comm
   /// ops complete immediately.
   void set_comm_handler(CommHandler handler) { comm_ = std::move(handler); }

@@ -70,6 +70,7 @@ class Process {
 
  private:
   friend class Cpu;
+  friend class CheckpointManager;  // snapshots/restores the op cursor
 
   std::string name_;
   Pid pid_;

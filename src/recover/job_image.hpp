@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/vmm.hpp"
+#include "proc/access.hpp"
+#include "sim/time.hpp"
+
+/// \file job_image.hpp
+/// The in-memory form of one job's last committed coordinated checkpoint.
+/// Everything is captured at a single simulated instant (a consistent cut:
+/// the mini-MPI model has no in-flight point-to-point messages, so the only
+/// cross-rank state is the set of open collectives, resolved per rank into
+/// either a rewind or a roll-forward of the in-flight comm op).
+
+namespace apsim {
+
+/// One rank's slice of a checkpoint.
+struct RankImage {
+  int node = -1;               ///< placement at snapshot time (informational)
+  std::int64_t num_pages = 0;  ///< address-space size
+  ProgramCursor cursor;        ///< program position to rewind to
+  Op current_op;               ///< in-flight op (meaningful when op_active)
+  bool op_active = false;
+  std::int64_t op_pos = 0;     ///< progress within current_op
+  bool comm_rewind = false;    ///< restore re-enters the in-flight collective
+  SimDuration cpu_time = 0;    ///< accounting anchor for lost-work (cpu model)
+  Vmm::ImageSnapshot mem;      ///< live-page layout + sizing counts
+};
+
+/// One job's coordinated checkpoint.
+struct JobImage {
+  bool valid = false;
+  SimTime taken_at = -1;
+  std::vector<RankImage> ranks;          ///< by placement index
+  std::vector<std::uint64_t> comm_seqs;  ///< MpiComm per-rank seq restore values
+
+  [[nodiscard]] std::int64_t total_live_pages() const {
+    std::int64_t total = 0;
+    for (const RankImage& r : ranks) total += r.mem.live_pages;
+    return total;
+  }
+};
+
+}  // namespace apsim

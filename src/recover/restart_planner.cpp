@@ -1,0 +1,72 @@
+#include "recover/restart_planner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace apsim {
+
+std::string_view to_string(RestartPlacement placement) {
+  switch (placement) {
+    case RestartPlacement::kSpread: return "spread";
+    case RestartPlacement::kPacked: return "packed";
+  }
+  return "?";
+}
+
+std::string_view to_string(LostWorkModel model) {
+  switch (model) {
+    case LostWorkModel::kCpu: return "cpu";
+    case LostWorkModel::kWall: return "wall";
+  }
+  return "?";
+}
+
+RestartPlacement parse_restart_placement(std::string_view text) {
+  if (text == "spread") return RestartPlacement::kSpread;
+  if (text == "packed") return RestartPlacement::kPacked;
+  throw std::invalid_argument("restart_placement must be spread|packed, got '" +
+                              std::string(text) + "'");
+}
+
+LostWorkModel parse_lost_work_model(std::string_view text) {
+  if (text == "cpu") return LostWorkModel::kCpu;
+  if (text == "wall") return LostWorkModel::kWall;
+  throw std::invalid_argument("lost_work_model must be cpu|wall, got '" +
+                              std::string(text) + "'");
+}
+
+std::optional<std::vector<int>> RestartPlanner::plan(
+    const std::vector<std::int64_t>& rank_pages,
+    std::vector<RestartCandidate> candidates, RestartPlacement placement) {
+  // Deterministic regardless of caller ordering.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const RestartCandidate& a, const RestartCandidate& b) {
+              return a.node < b.node;
+            });
+  std::vector<int> assigned_count(candidates.size(), 0);
+  std::vector<int> out(rank_pages.size(), -1);
+
+  for (std::size_t r = 0; r < rank_pages.size(); ++r) {
+    std::size_t pick = candidates.size();
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      const RestartCandidate& cand = candidates[c];
+      if (cand.usable_frames < cand.min_frames) continue;
+      if (cand.free_swap_slots < rank_pages[r]) continue;
+      if (placement == RestartPlacement::kPacked) {
+        pick = c;
+        break;
+      }
+      if (pick == candidates.size() ||
+          assigned_count[c] < assigned_count[pick]) {
+        pick = c;
+      }
+    }
+    if (pick == candidates.size()) return std::nullopt;
+    candidates[pick].free_swap_slots -= rank_pages[r];
+    ++assigned_count[pick];
+    out[r] = candidates[pick].node;
+  }
+  return out;
+}
+
+}  // namespace apsim

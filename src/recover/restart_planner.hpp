@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file restart_planner.hpp
+/// Placement planning for checkpoint restarts, plus the small enums the
+/// harness config exposes. Kept dependency-free so harness/config.hpp can
+/// include it without pulling the whole recovery subsystem.
+
+namespace apsim {
+
+/// Where a restarted job's ranks land on the surviving nodes.
+enum class RestartPlacement : std::uint8_t {
+  kSpread,  ///< balance ranks across all feasible nodes
+  kPacked,  ///< fill the first feasible node before moving to the next
+};
+
+/// How the work destroyed by a crash is accounted in lost_work_ms.
+enum class LostWorkModel : std::uint8_t {
+  kCpu,   ///< CPU time burned since the restored checkpoint was taken
+  kWall,  ///< wall-clock time since the restored checkpoint was taken
+};
+
+[[nodiscard]] std::string_view to_string(RestartPlacement placement);
+[[nodiscard]] std::string_view to_string(LostWorkModel model);
+
+/// Parse "spread" / "packed"; throws std::invalid_argument otherwise.
+[[nodiscard]] RestartPlacement parse_restart_placement(std::string_view text);
+/// Parse "cpu" / "wall"; throws std::invalid_argument otherwise.
+[[nodiscard]] LostWorkModel parse_lost_work_model(std::string_view text);
+
+/// One surviving node offered to the planner, with its staging budgets.
+struct RestartCandidate {
+  int node = -1;
+  std::int64_t free_swap_slots = 0;  ///< slots available for image staging
+  std::int64_t usable_frames = 0;    ///< physical frames (wired excluded)
+  std::int64_t min_frames = 0;       ///< floor below which the node cannot page
+};
+
+/// Pure assignment of ranks to surviving nodes; no simulator state, so the
+/// planning policy is unit-testable in isolation.
+class RestartPlanner {
+ public:
+  /// Assign every rank (rank_pages[i] = swap slots its image needs) to a
+  /// candidate. A candidate is feasible for a rank while its remaining swap
+  /// budget covers the rank's pages and its usable_frames clear min_frames.
+  /// kSpread picks the feasible node with the fewest ranks assigned so far
+  /// (ties to the lowest node index); kPacked takes the first feasible node
+  /// in index order. Returns one node index per rank, or std::nullopt when
+  /// some rank cannot be placed.
+  [[nodiscard]] static std::optional<std::vector<int>> plan(
+      const std::vector<std::int64_t>& rank_pages,
+      std::vector<RestartCandidate> candidates, RestartPlacement placement);
+};
+
+}  // namespace apsim
