@@ -1,0 +1,216 @@
+// Self-tuning ablation: fixed knobs vs the adaptive control plane's two
+// controllers (dyn-thresh, hill-climb) across the paper's fig7 serial gang
+// (IS.W on one node), the fig8 parallel gang (LU.W on two nodes), and a
+// chaos variant with transient disk faults. Every configuration runs twice
+// and the pairs must be bit-identical — the controllers are deterministic
+// functions of simulated time and counters — so the process exits nonzero
+// only on a determinism mismatch, never on a performance regression.
+// Results (makespan, total fault stall, knob adjustments, win flags) are
+// written to BENCH_selftune.json.
+//
+// Usage: ablation_selftune [--smoke] [--out PATH]
+//   --smoke   scaled-down iterations (used by CI)
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "metrics/table.hpp"
+
+namespace {
+
+using namespace apsim;
+
+struct Scenario {
+  const char* name;
+  ExperimentConfig config;
+};
+
+std::vector<Scenario> scenarios(bool smoke) {
+  std::vector<Scenario> out;
+
+  ExperimentConfig fig7;
+  fig7.app = NpbApp::kIS;
+  fig7.cls = NpbClass::kW;
+  fig7.nodes = 1;
+  fig7.instances = 2;
+  fig7.node_memory_mb = 64.0;
+  fig7.usable_memory_mb = 22.0;
+  fig7.quantum = 4 * kSecond;
+  fig7.iterations_scale = smoke ? 0.25 : 1.0;
+  out.push_back({"fig7-IS.W", fig7});
+
+  ExperimentConfig fig8 = fig7;
+  fig8.app = NpbApp::kLU;
+  fig8.nodes = 2;
+  out.push_back({"fig8-LU.W", fig8});
+
+  ExperimentConfig chaos = fig7;
+  chaos.faults.add(
+      FaultSpec::parse("disk_transient start_s=1 end_s=30 p=0.02"));
+  out.push_back({"chaos-IS.W", chaos});
+
+  return out;
+}
+
+struct Row {
+  std::string scenario;
+  std::string mode;
+  double makespan_s = 0.0;
+  double stall_s = 0.0;
+  std::uint64_t major_faults = 0;
+  std::uint64_t adjustments = 0;
+  std::uint64_t policy_switches = 0;
+  bool reproduced = false;
+  bool wins_makespan = false;  ///< vs the fixed-knob baseline
+  bool wins_stall = false;
+};
+
+double total_stall_s(const RunOutcome& out) {
+  SimDuration stall = 0;
+  for (const JobOutcome& job : out.jobs) stall += job.fault_wait;
+  return to_seconds(stall);
+}
+
+/// The determinism gate: two runs of the same config must agree bit for bit.
+bool same_run(const RunOutcome& a, const RunOutcome& b) {
+  if (a.makespan != b.makespan || a.major_faults != b.major_faults ||
+      a.pages_swapped_in != b.pages_swapped_in ||
+      a.pages_swapped_out != b.pages_swapped_out ||
+      a.autotune_ticks != b.autotune_ticks ||
+      a.autotune_adjustments != b.autotune_adjustments ||
+      a.autotune_policy_switches != b.autotune_policy_switches ||
+      a.jobs.size() != b.jobs.size()) {
+    return false;
+  }
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    if (a.jobs[j].completion != b.jobs[j].completion ||
+        a.jobs[j].fault_wait != b.jobs[j].fault_wait) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows,
+                bool smoke, bool deterministic) {
+  std::ofstream os(path);
+  os << "{\n"
+     << "  \"bench\": \"ablation_selftune\",\n"
+     << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+     << "  \"deterministic\": " << (deterministic ? "true" : "false") << ",\n"
+     << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    os << "    {\"scenario\": \"" << r.scenario << "\", \"controller\": \""
+       << r.mode << "\", \"makespan_s\": " << json_number(r.makespan_s)
+       << ", \"stall_s\": " << json_number(r.stall_s)
+       << ", \"major_faults\": " << r.major_faults
+       << ", \"adjustments\": " << r.adjustments
+       << ", \"policy_switches\": " << r.policy_switches
+       << ", \"reproduced\": " << (r.reproduced ? "true" : "false")
+       << ", \"wins_makespan\": " << (r.wins_makespan ? "true" : "false")
+       << ", \"wins_stall\": " << (r.wins_stall ? "true" : "false") << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_selftune.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: ablation_selftune [--smoke] [--out PATH]\n");
+      return 2;
+    }
+  }
+
+  std::printf("Self-tuning ablation%s: fixed knobs vs adaptive controllers\n"
+              "(every config runs twice; pairs must be bit-identical)\n\n",
+              smoke ? " (smoke)" : "");
+
+  const char* modes[] = {"fixed", "dyn-thresh", "hill-climb"};
+  std::vector<Row> rows;
+  bool deterministic = true;
+
+  for (const Scenario& scenario : scenarios(smoke)) {
+    Table table({"controller", "makespan (s)", "stall (s)", "major faults",
+                 "adjustments", "policy switches", "reproduced"});
+    double fixed_makespan = 0.0;
+    double fixed_stall = 0.0;
+    for (const char* mode : modes) {
+      ExperimentConfig config = scenario.config;
+      if (std::strcmp(mode, "fixed") != 0) {
+        config.autotune = true;
+        config.autotune_controller = mode;
+        config.autotune_interval = kSecond;
+        config.autotune_policy = true;
+      }
+      const RunOutcome first = run_gang(config);
+      const RunOutcome second = run_gang(config);
+
+      Row row;
+      row.scenario = scenario.name;
+      row.mode = mode;
+      row.makespan_s = to_seconds(first.makespan);
+      row.stall_s = total_stall_s(first);
+      row.major_faults = first.major_faults;
+      row.adjustments = first.autotune_adjustments;
+      row.policy_switches = first.autotune_policy_switches;
+      row.reproduced = same_run(first, second);
+      if (!row.reproduced) deterministic = false;
+
+      if (std::strcmp(mode, "fixed") == 0) {
+        fixed_makespan = row.makespan_s;
+        fixed_stall = row.stall_s;
+      } else {
+        row.wins_makespan = row.makespan_s < fixed_makespan;
+        row.wins_stall = row.stall_s < fixed_stall;
+      }
+      table.add_row({row.mode, Table::fmt(row.makespan_s, 1),
+                     Table::fmt(row.stall_s, 1),
+                     std::to_string(row.major_faults),
+                     std::to_string(row.adjustments),
+                     std::to_string(row.policy_switches),
+                     row.reproduced ? "yes" : "NO"});
+      rows.push_back(row);
+    }
+    std::printf("%s: %s\n%s\n", scenario.name,
+                scenario.config.describe().c_str(),
+                table.to_string().c_str());
+    std::printf("  baseline makespan %.1fs stall %.1fs\n\n", fixed_makespan,
+                fixed_stall);
+  }
+
+  write_json(out_path, rows, smoke, deterministic);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  int winners = 0;
+  for (const Row& r : rows) {
+    if (r.wins_makespan || r.wins_stall) ++winners;
+  }
+  std::printf("controller wins vs fixed baseline: %d of %zu tuned rows\n",
+              winners, rows.size() - rows.size() / 3);
+
+  if (!deterministic) {
+    std::fprintf(stderr, "FAIL: a tuned run did not reproduce bit-for-bit\n");
+    return 1;
+  }
+  return 0;
+}

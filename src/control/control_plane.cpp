@@ -1,0 +1,171 @@
+#include "control/control_plane.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mem/reclaim_registry.hpp"
+
+namespace apsim {
+
+namespace {
+
+/// Index of \p name in reclaim_policy_names(), or -1.
+int policy_index(std::string_view name) {
+  const auto& names = reclaim_policy_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+ControlPlane::ControlPlane(Cluster& cluster, GangScheduler& sched,
+                           ControlPlaneParams params)
+    : cluster_(cluster), sched_(sched), params_(std::move(params)) {
+  if (params_.tune_policy && params_.config.dyn.thrash_policy_index < 0) {
+    // Default thrash policy for the mode controller: S3-FIFO, whose ghost
+    // queue resists the one-shot scan patterns that thrash a clock.
+    params_.config.dyn.thrash_policy_index = policy_index("s3-fifo");
+  }
+  nodes_.resize(static_cast<std::size_t>(cluster_.size()));
+  for (int n = 0; n < cluster_.size(); ++n) {
+    NodeCtl& ctl = nodes_[static_cast<std::size_t>(n)];
+    ctl.sampler = std::make_unique<SignalSampler>(cluster_.node(n));
+    register_knobs(n);
+    ctl.controller = make_controller(params_.controller, params_.config);
+  }
+}
+
+void ControlPlane::register_knobs(int n) {
+  KnobRegistry& knobs = nodes_[static_cast<std::size_t>(n)].knobs;
+  Node& node = cluster_.node(n);
+  Vmm& vmm = node.vmm();
+  const VmmParams& vp = vmm.params();
+
+  const auto i64 = [](double v) {
+    return static_cast<std::int64_t>(std::llround(v));
+  };
+
+  knobs.add({"reclaim_batch", 8.0,
+             static_cast<double>(std::max<std::int64_t>(512, vp.reclaim_batch)),
+             16.0},
+            [&vmm] { return static_cast<double>(vmm.params().reclaim_batch); },
+            [&vmm, i64](double v) { vmm.set_reclaim_batch(i64(v)); });
+  knobs.add(
+      {"prefetch_run", 64.0,
+       static_cast<double>(std::max<std::int64_t>(4096, vp.max_prefetch_run)),
+       128.0},
+      [&vmm] { return static_cast<double>(vmm.params().max_prefetch_run); },
+      [&vmm, i64](double v) { vmm.set_max_prefetch_run(i64(v)); });
+
+  const std::int64_t low0 = vp.freepages_low;
+  const std::int64_t high0 = vp.freepages_high;
+  const double wm_step =
+      static_cast<double>(std::max<std::int64_t>((high0 - vp.freepages_min) / 8, 8));
+  knobs.add({"freepages_low", static_cast<double>(vp.freepages_min),
+             static_cast<double>(2 * low0), wm_step},
+            [&vmm] { return static_cast<double>(vmm.params().freepages_low); },
+            [&vmm, i64](double v) { vmm.set_freepages_low(i64(v)); });
+  knobs.add({"freepages_high", static_cast<double>(low0),
+             static_cast<double>(2 * high0), wm_step},
+            [&vmm] { return static_cast<double>(vmm.params().freepages_high); },
+            [&vmm, i64](double v) { vmm.set_freepages_high(i64(v)); });
+
+  AdaptivePager& pager = sched_.pager(n);
+  knobs.add(
+      {"bg_batch", 16.0,
+       static_cast<double>(std::max<std::int64_t>(512, pager.bg_batch())),
+       32.0},
+      [&pager] { return static_cast<double>(pager.bg_batch()); },
+      [&pager, i64](double v) { pager.set_bg_batch(i64(v)); });
+
+  if (n == 0) {
+    // Scheduler-wide knob; registered on node 0 only so a single controller
+    // owns it.
+    knobs.add({"bg_start_frac", 0.5, 0.99, 0.05},
+              [this] { return sched_.params().bg_start_frac; },
+              [this](double v) { sched_.set_bg_start_frac(v); });
+  }
+
+  if (TierManager* tier = node.tier()) {
+    const double boot = static_cast<double>(tier->pool().budget_bytes());
+    knobs.add({"tier_budget", std::max(1.0, boot / 4.0), boot,
+               std::max(1.0, boot / 8.0)},
+              [tier] { return static_cast<double>(tier->pool().budget_bytes()); },
+              [tier, i64](double v) { tier->set_pool_budget_bytes(i64(v)); });
+  }
+
+  if (params_.tune_policy) {
+    const auto& names = reclaim_policy_names();
+    knobs.add(
+        {"reclaim_policy", 0.0, static_cast<double>(names.size() - 1), 1.0,
+         /*continuous=*/false},
+        [&pager] {
+          const int idx = policy_index(pager.base_reclaim_policy());
+          return idx >= 0 ? static_cast<double>(idx) : 0.0;
+        },
+        [this, &pager, &names](double v) {
+          const auto idx = static_cast<std::size_t>(std::clamp<double>(
+              std::llround(v), 0.0, static_cast<double>(names.size() - 1)));
+          if (names[idx] != pager.base_reclaim_policy()) {
+            pager.set_base_reclaim_policy(names[idx]);
+            ++policy_switches_;
+          }
+        });
+  }
+}
+
+void ControlPlane::start() {
+  cluster_.sim().after(params_.interval, [this] { tick(); });
+}
+
+void ControlPlane::tick() {
+  // Once the schedule has drained, stop rescheduling so the event queue
+  // quiesces (fuzz invariant: no pending events shortly after completion).
+  if (sched_.all_finished()) return;
+  ++ticks_;
+  const SimTime now = cluster_.sim().now();
+  for (int n = 0; n < cluster_.size(); ++n) {
+    if (!cluster_.node_alive(n)) continue;
+    NodeCtl& ctl = nodes_[static_cast<std::size_t>(n)];
+    const SignalSample cur = ctl.sampler->sample(now);
+    if (!ctl.primed) {
+      ctl.last = cur;
+      ctl.primed = true;
+      continue;
+    }
+    const SignalRates rates = SignalSampler::rates(ctl.last, cur);
+    ctl.last = cur;
+    const std::uint64_t before = ctl.knobs.adjustments();
+    ctl.controller->tick(rates, ctl.knobs);
+    trace_tick(n, rates, ctl.knobs.adjustments() - before);
+  }
+  cluster_.sim().after(params_.interval, [this] { tick(); });
+}
+
+void ControlPlane::trace_tick(int n, const SignalRates& rates,
+                              std::uint64_t adjustments) {
+  if (!tracer_) return;
+  NodeCtl& ctl = nodes_[static_cast<std::size_t>(n)];
+  const int track = trace_track(n, kTrackSched);
+  tracer_->instant(track, "control", "autotune_tick",
+                   {{"adjustments", static_cast<double>(adjustments)},
+                    {"stall_frac", rates.stall_frac},
+                    {"fault_rate", rates.fault_rate},
+                    {"state", ctl.controller->state_metric()}});
+  for (std::size_t i = 0; i < ctl.knobs.size(); ++i) {
+    const std::string name = "knob:" + ctl.knobs.spec(i).name;
+    tracer_->counter(track, "control", name, ctl.knobs.get(i));
+  }
+}
+
+ControlPlane::Stats ControlPlane::stats() const {
+  Stats s;
+  s.ticks = ticks_;
+  s.policy_switches = policy_switches_;
+  for (const NodeCtl& ctl : nodes_) s.adjustments += ctl.knobs.adjustments();
+  return s;
+}
+
+}  // namespace apsim

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "control/knobs.hpp"
+#include "control/signals.hpp"
+#include "gang/gang_scheduler.hpp"
+#include "metrics/tracer.hpp"
+
+/// \file control_plane.hpp
+/// The adaptive control plane: a periodic tick off the simulator's event
+/// queue that, per node, samples paging signals, derives interval rates,
+/// and lets a Controller adjust that node's knob registry. Entirely
+/// simulation-time driven — every decision is a deterministic function of
+/// simulated time and counters, so runs stay bit-reproducible across hosts
+/// and thread counts. When the harness leaves `autotune` off, no
+/// ControlPlane is constructed at all and behaviour is bit-identical to
+/// builds without this subsystem.
+
+namespace apsim {
+
+struct ControlPlaneParams {
+  /// Controller name (see controller_names()): dyn-thresh or hill-climb.
+  std::string controller = "dyn-thresh";
+
+  /// Sampling / decision interval in simulated time.
+  SimDuration interval = kSecond;
+
+  /// Expose the reclaim-policy selector as a (discrete) knob, letting mode
+  /// controllers switch replacement policy at runtime.
+  bool tune_policy = false;
+
+  /// Band thresholds / climber settings forwarded to the controller.
+  ControllerConfig config;
+};
+
+class ControlPlane {
+ public:
+  ControlPlane(Cluster& cluster, GangScheduler& sched,
+               ControlPlaneParams params);
+
+  ControlPlane(const ControlPlane&) = delete;
+  ControlPlane& operator=(const ControlPlane&) = delete;
+
+  /// Schedule the first tick at now + interval. Call after
+  /// GangScheduler::start(); ticking stops by itself once the schedule has
+  /// drained (all_finished), so the queue still quiesces.
+  void start();
+
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  struct Stats {
+    std::uint64_t ticks = 0;            ///< control-plane tick events run
+    std::uint64_t adjustments = 0;      ///< knob writes that changed a value
+    std::uint64_t policy_switches = 0;  ///< reclaim-policy swaps actuated
+  };
+  /// Adjustments are summed over every node's registry at call time.
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] const ControlPlaneParams& params() const { return params_; }
+  [[nodiscard]] KnobRegistry& knobs(int node) {
+    return nodes_[static_cast<std::size_t>(node)].knobs;
+  }
+  [[nodiscard]] Controller& controller(int node) {
+    return *nodes_[static_cast<std::size_t>(node)].controller;
+  }
+
+ private:
+  struct NodeCtl {
+    std::unique_ptr<SignalSampler> sampler;
+    KnobRegistry knobs;
+    std::unique_ptr<Controller> controller;
+    SignalSample last;
+    bool primed = false;
+  };
+
+  void register_knobs(int n);
+  void tick();
+  void trace_tick(int n, const SignalRates& rates, std::uint64_t adjustments);
+
+  Cluster& cluster_;
+  GangScheduler& sched_;
+  ControlPlaneParams params_;
+  std::vector<NodeCtl> nodes_;
+  Tracer* tracer_ = nullptr;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t policy_switches_ = 0;
+};
+
+}  // namespace apsim

@@ -1,0 +1,197 @@
+#include "control/controller.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace apsim {
+
+// ---------------------------------------------------------------------------
+// DynThreshController
+
+void DynThreshController::tick(const SignalRates& rates, KnobRegistry& knobs) {
+  // Mode transitions with hysteresis: the entry thresholds (hi) sit above
+  // the exit thresholds (lo) so one noisy interval cannot flap the mode.
+  switch (mode_) {
+    case Mode::kCalm:
+      if (rates.stall_frac > params_.stall_hi) {
+        mode_ = Mode::kThrash;
+      } else if (rates.fault_rate > params_.fault_hi) {
+        mode_ = Mode::kPressure;
+      }
+      break;
+    case Mode::kPressure:
+      if (rates.stall_frac > params_.stall_hi) {
+        mode_ = Mode::kThrash;
+      } else if (rates.fault_rate < params_.fault_lo &&
+                 rates.stall_frac < params_.stall_lo) {
+        mode_ = Mode::kCalm;
+      }
+      break;
+    case Mode::kThrash:
+      if (rates.stall_frac < params_.stall_lo) {
+        mode_ = rates.fault_rate > params_.fault_lo ? Mode::kPressure
+                                                    : Mode::kCalm;
+      }
+      break;
+  }
+
+  // Actuate: one step per knob per tick toward the mode's target, so knob
+  // trajectories ramp instead of jumping and mode flaps cost little.
+  for (std::size_t i = 0; i < knobs.size(); ++i) {
+    const KnobSpec& spec = knobs.spec(i);
+    if (!spec.continuous) {
+      // Discrete selector (the reclaim-policy knob): snap, don't ramp.
+      if (spec.name == "reclaim_policy" && params_.thrash_policy_index >= 0) {
+        const double target = mode_ == Mode::kThrash
+                                  ? params_.thrash_policy_index
+                                  : knobs.initial(i);
+        if (knobs.get(i) != target) knobs.set(i, target);
+      }
+      continue;
+    }
+    const double target = target_for(knobs, i);
+    const double cur = knobs.get(i);
+    if (std::abs(cur - target) > spec.step * 0.5) {
+      knobs.step(i, target > cur ? 1 : -1);
+    }
+  }
+}
+
+double DynThreshController::target_for(const KnobRegistry& knobs,
+                                       std::size_t i) const {
+  const KnobSpec& spec = knobs.spec(i);
+  const double init = knobs.initial(i);
+  switch (mode_) {
+    case Mode::kCalm:
+      return init;
+    case Mode::kPressure:
+      // Widen the paging pipes a little; leave watermarks alone.
+      if (spec.name == "reclaim_batch" || spec.name == "prefetch_run" ||
+          spec.name == "bg_batch") {
+        return (init + spec.max) / 2.0;
+      }
+      return init;
+    case Mode::kThrash:
+      // Max out reclaim/prefetch throughput, pull the watermarks down so
+      // reclaim triggers later (the working sets do not fit anyway), and
+      // start background writeback earlier.
+      if (spec.name == "reclaim_batch" || spec.name == "prefetch_run" ||
+          spec.name == "bg_batch") {
+        return spec.max;
+      }
+      if (spec.name == "freepages_low") return spec.min;
+      if (spec.name == "freepages_high") return (init + spec.min) / 2.0;
+      if (spec.name == "bg_start_frac") {
+        return std::max(spec.min, init - 2.0 * spec.step);
+      }
+      return init;
+  }
+  return init;
+}
+
+// ---------------------------------------------------------------------------
+// HillClimbController
+
+double HillClimbController::cost_of(const SignalRates& rates) {
+  // Stall fraction is the primary objective; a small fault-rate term breaks
+  // ties between configs that hide stall equally well.
+  return rates.stall_frac + 1e-4 * rates.fault_rate;
+}
+
+void HillClimbController::tick(const SignalRates& rates, KnobRegistry& knobs) {
+  if (state_.size() != knobs.size()) state_.resize(knobs.size());
+  if (knobs.size() == 0) return;
+  const double cost = cost_of(rates);
+
+  if (probing_) {
+    // Measure interval: decide whether last tick's perturbation paid off.
+    KnobState& ks = state_[probe_idx_];
+    const double margin =
+        std::max(params_.eps * baseline_, params_.eps_floor);
+    if (cost < baseline_ - margin) {
+      baseline_ = cost;  // keep the move; same direction next visit
+      ks.failed_dirs = 0;
+    } else {
+      knobs.set(probe_idx_, prev_value_);
+      ks.dir = -ks.dir;
+      if (++ks.failed_dirs >= 2) {
+        // Both directions failed: the objective is flat (or noisy) along
+        // this knob — park it for a few probe visits to damp oscillation.
+        ks.cooldown = params_.cooldown;
+        ks.failed_dirs = 0;
+      }
+      // The measurement included a rejected perturbation; fold it in only
+      // as far as it confirms the baseline.
+      baseline_ = (1.0 - params_.smooth) * baseline_ +
+                  params_.smooth * std::min(cost, baseline_);
+    }
+    probing_ = false;
+    return;  // next tick measures the settled config before a new probe
+  }
+
+  if (!have_baseline_) {
+    baseline_ = cost;
+    have_baseline_ = true;
+  } else {
+    baseline_ = (1.0 - params_.smooth) * baseline_ + params_.smooth * cost;
+  }
+
+  // Start the next probe: round-robin over continuous knobs, skipping any
+  // still cooling down (skips count down their cooldown).
+  for (std::size_t tries = 0; tries < knobs.size(); ++tries) {
+    rr_ = (rr_ + 1) % knobs.size();
+    KnobState& ks = state_[rr_];
+    if (!knobs.spec(rr_).continuous) continue;
+    if (ks.cooldown > 0) {
+      --ks.cooldown;
+      continue;
+    }
+    prev_value_ = knobs.get(rr_);
+    if (!knobs.step(rr_, ks.dir)) {
+      ks.dir = -ks.dir;
+      if (!knobs.step(rr_, ks.dir)) continue;  // pinned: zero-width knob
+    }
+    probe_idx_ = rr_;
+    probing_ = true;
+    break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+const std::vector<std::string_view>& controller_names() {
+  static const std::vector<std::string_view> names = {"dyn-thresh",
+                                                      "hill-climb"};
+  return names;
+}
+
+bool is_controller(std::string_view name) {
+  for (std::string_view n : controller_names()) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+std::string controller_names_hint() {
+  std::string hint = "valid controllers are:";
+  for (std::string_view n : controller_names()) {
+    hint += ' ';
+    hint += n;
+  }
+  return hint;
+}
+
+std::unique_ptr<Controller> make_controller(std::string_view name,
+                                            const ControllerConfig& config) {
+  if (name == "dyn-thresh") {
+    return std::make_unique<DynThreshController>(config.dyn);
+  }
+  if (name == "hill-climb") {
+    return std::make_unique<HillClimbController>(config.hill);
+  }
+  throw std::invalid_argument("unknown controller '" + std::string(name) +
+                              "'; " + controller_names_hint());
+}
+
+}  // namespace apsim

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "control/knobs.hpp"
+#include "control/signals.hpp"
+
+/// \file controller.hpp
+/// The control plane's decision makers. A Controller is ticked once per
+/// sampling interval with the interval's signal rates and the node's knob
+/// registry; everything it decides is a deterministic function of those
+/// inputs and its own state. Two are shipped, mirroring the classic DRAM
+/// scheduler pair: a dynamic-threshold controller that switches between
+/// calm / pressure / thrash modes on signal bands (with hysteresis) and
+/// walks each knob one step toward the mode's target, and a hill climber
+/// that perturbs one knob at a time, measures the next interval, and keeps
+/// or reverts the move (with per-knob cooldowns damping oscillation on flat
+/// or noisy objectives).
+
+namespace apsim {
+
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  /// One decision: read this interval's rates, adjust knobs.
+  virtual void tick(const SignalRates& rates, KnobRegistry& knobs) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Small numeric summary of internal state for trace counters
+  /// (dyn-thresh: mode index; hill-climb: probing knob index or -1).
+  [[nodiscard]] virtual double state_metric() const { return 0.0; }
+};
+
+struct DynThreshParams {
+  /// Major-fault-rate band (faults/s): above hi enters pressure, below lo
+  /// (with stall also calm) leaves it.
+  double fault_hi = 200.0;
+  double fault_lo = 50.0;
+  /// Stall-fraction band: above hi enters thrash, below lo leaves it.
+  double stall_hi = 0.4;
+  double stall_lo = 0.15;
+  /// Target index for a discrete "reclaim_policy" knob while in thrash
+  /// (-1 = never touch the policy selector).
+  double thrash_policy_index = -1.0;
+};
+
+class DynThreshController final : public Controller {
+ public:
+  explicit DynThreshController(DynThreshParams params = {})
+      : params_(params) {}
+
+  enum class Mode : std::uint8_t { kCalm = 0, kPressure = 1, kThrash = 2 };
+
+  void tick(const SignalRates& rates, KnobRegistry& knobs) override;
+
+  [[nodiscard]] std::string_view name() const override { return "dyn-thresh"; }
+  [[nodiscard]] double state_metric() const override {
+    return static_cast<double>(mode_);
+  }
+  [[nodiscard]] Mode mode() const { return mode_; }
+
+ private:
+  [[nodiscard]] double target_for(const KnobRegistry& knobs,
+                                  std::size_t i) const;
+
+  DynThreshParams params_;
+  Mode mode_ = Mode::kCalm;
+};
+
+struct HillClimbParams {
+  /// Relative (and absolute floor) improvement a probe must show to be kept.
+  double eps = 0.02;
+  double eps_floor = 1e-4;
+  /// Probe visits a knob sits out after failing in both directions.
+  int cooldown = 4;
+  /// EWMA factor folding fresh measurements into the baseline cost.
+  double smooth = 0.3;
+};
+
+class HillClimbController final : public Controller {
+ public:
+  explicit HillClimbController(HillClimbParams params = {})
+      : params_(params) {}
+
+  void tick(const SignalRates& rates, KnobRegistry& knobs) override;
+
+  [[nodiscard]] std::string_view name() const override { return "hill-climb"; }
+  [[nodiscard]] double state_metric() const override {
+    return probing_ ? static_cast<double>(probe_idx_) : -1.0;
+  }
+
+  /// The scalar objective being minimised (fault-service stall dominated).
+  [[nodiscard]] static double cost_of(const SignalRates& rates);
+
+  [[nodiscard]] bool probing() const { return probing_; }
+  [[nodiscard]] double baseline_cost() const { return baseline_; }
+
+ private:
+  struct KnobState {
+    int dir = 1;          ///< direction of the next probe
+    int cooldown = 0;     ///< probe visits left to sit out
+    int failed_dirs = 0;  ///< consecutive rejected probes on this knob
+  };
+
+  HillClimbParams params_;
+  std::vector<KnobState> state_;
+  double baseline_ = 0.0;
+  bool have_baseline_ = false;
+  bool probing_ = false;
+  std::size_t probe_idx_ = 0;
+  double prev_value_ = 0.0;
+  std::size_t rr_ = 0;  ///< round-robin cursor over knobs
+};
+
+/// Settings forwarded by the factory to whichever controller is named.
+struct ControllerConfig {
+  DynThreshParams dyn;
+  HillClimbParams hill;
+};
+
+/// Valid controller names, in registry order: dyn-thresh, hill-climb.
+[[nodiscard]] const std::vector<std::string_view>& controller_names();
+
+[[nodiscard]] bool is_controller(std::string_view name);
+
+/// One-line "valid controllers are: ..." suffix for error messages.
+[[nodiscard]] std::string controller_names_hint();
+
+/// Construct the named controller. Throws std::invalid_argument naming the
+/// valid controllers when \p name is unknown.
+[[nodiscard]] std::unique_ptr<Controller> make_controller(
+    std::string_view name, const ControllerConfig& config = {});
+
+}  // namespace apsim

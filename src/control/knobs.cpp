@@ -1,0 +1,46 @@
+#include "control/knobs.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace apsim {
+
+void KnobRegistry::add(KnobSpec spec, Getter get, Setter set) {
+  assert(get && set);
+  assert(spec.min <= spec.max);
+  assert(spec.step > 0.0);
+  Knob knob{std::move(spec), std::move(get), std::move(set), 0.0};
+  knob.initial = std::clamp(knob.get(), knob.spec.min, knob.spec.max);
+  knobs_.push_back(std::move(knob));
+}
+
+int KnobRegistry::find(std::string_view name) const {
+  for (std::size_t i = 0; i < knobs_.size(); ++i) {
+    if (knobs_[i].spec.name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+double KnobRegistry::set(std::size_t i, double value) {
+  Knob& knob = knobs_[i];
+  const double before = knob.get();
+  knob.set(std::clamp(value, knob.spec.min, knob.spec.max));
+  const double after = knob.get();
+  if (after != before) ++adjustments_;
+  return after;
+}
+
+bool KnobRegistry::step(std::size_t i, int direction) {
+  const Knob& knob = knobs_[i];
+  const double cur = knob.get();
+  const double target =
+      cur + (direction >= 0 ? knob.spec.step : -knob.spec.step);
+  if (target > knob.spec.max + 1e-9 || target < knob.spec.min - 1e-9) {
+    return false;
+  }
+  set(i, target);
+  return true;
+}
+
+}  // namespace apsim

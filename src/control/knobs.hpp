@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file knobs.hpp
+/// The control plane's actuator surface: a registry of bounded, steppable
+/// knobs. Each knob binds a getter/setter pair onto a live component (VMM
+/// watermarks, reclaim batch, pager bg batch, tier budget, ...); the
+/// registry clamps every write into [min, max] and counts the writes that
+/// actually changed a value, so controllers can actuate blindly and the
+/// underlying component is still free to apply its own (dynamic) invariants
+/// — the registry reads the value back after setting.
+
+namespace apsim {
+
+/// Description of one bounded, steppable actuator.
+struct KnobSpec {
+  std::string name;
+  double min = 0.0;
+  double max = 1.0;
+  double step = 0.1;
+  /// Continuous knobs are fair game for the hill climber; discrete ones
+  /// (the reclaim-policy selector) are only driven by mode controllers.
+  bool continuous = true;
+};
+
+class KnobRegistry {
+ public:
+  using Getter = std::function<double()>;
+  using Setter = std::function<void(double)>;
+
+  /// Register an actuator. The current value is captured as the knob's
+  /// initial (the "calm" target controllers return to).
+  void add(KnobSpec spec, Getter get, Setter set);
+
+  [[nodiscard]] std::size_t size() const { return knobs_.size(); }
+  [[nodiscard]] const KnobSpec& spec(std::size_t i) const {
+    return knobs_[i].spec;
+  }
+  /// Index of the named knob, or -1.
+  [[nodiscard]] int find(std::string_view name) const;
+
+  [[nodiscard]] double get(std::size_t i) const { return knobs_[i].get(); }
+  [[nodiscard]] double initial(std::size_t i) const {
+    return knobs_[i].initial;
+  }
+
+  /// Clamp \p value into [min, max] and apply it. Returns the value read
+  /// back after the write (the component may clamp further). Counts one
+  /// adjustment when the readback differs from the previous value.
+  double set(std::size_t i, double value);
+
+  /// Step by +/- one spec.step. Returns false — applying nothing — when
+  /// already at the bound in that direction.
+  bool step(std::size_t i, int direction);
+
+  /// Knob writes that changed a value (the control plane's decision count).
+  [[nodiscard]] std::uint64_t adjustments() const { return adjustments_; }
+
+ private:
+  struct Knob {
+    KnobSpec spec;
+    Getter get;
+    Setter set;
+    double initial = 0.0;
+  };
+  std::vector<Knob> knobs_;
+  std::uint64_t adjustments_ = 0;
+};
+
+}  // namespace apsim

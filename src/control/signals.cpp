@@ -1,0 +1,65 @@
+#include "control/signals.hpp"
+
+namespace apsim {
+
+SignalSample SignalSampler::sample(SimTime now) const {
+  SignalSample s;
+  s.t = now;
+  Vmm& vmm = node_.vmm();
+  s.free_frames = vmm.free_frames();
+  s.usable_frames = vmm.frames().usable_frames();
+  for (Pid pid : vmm.pids()) {
+    const auto& stats = vmm.space(pid).stats();
+    s.major_faults += stats.major_faults;
+    s.pages_swapped_in += stats.pages_swapped_in;
+    s.pages_swapped_out += stats.pages_swapped_out;
+    s.false_evictions += stats.false_evictions;
+  }
+  s.reclaim_steps = vmm.stats().reclaim_steps;
+  s.alloc_retries = vmm.stats().alloc_retries;
+  for (const Process* p : node_.cpu().attached()) {
+    s.fault_stall += p->stats().fault_wait;
+  }
+  if (const TierManager* tier = node_.tier()) {
+    s.tier_pool_hits = tier->stats().pool_hits;
+    s.tier_pool_misses = tier->stats().pool_misses;
+  }
+  return s;
+}
+
+SignalRates SignalSampler::rates(const SignalSample& prev,
+                                 const SignalSample& cur) {
+  SignalRates r;
+  r.free_frac = cur.usable_frames > 0
+                    ? static_cast<double>(cur.free_frames) /
+                          static_cast<double>(cur.usable_frames)
+                    : 1.0;
+  const double dt = to_seconds(cur.t - prev.t);
+  r.dt_s = dt;
+  if (dt <= 0.0) return r;
+
+  const auto rate = [dt](std::uint64_t before, std::uint64_t after) {
+    return after > before ? static_cast<double>(after - before) / dt : 0.0;
+  };
+  r.fault_rate = rate(prev.major_faults, cur.major_faults);
+  r.pagein_rate = rate(prev.pages_swapped_in, cur.pages_swapped_in);
+  r.pageout_rate = rate(prev.pages_swapped_out, cur.pages_swapped_out);
+  r.false_evict_rate = rate(prev.false_evictions, cur.false_evictions);
+  if (cur.fault_stall > prev.fault_stall) {
+    r.stall_frac = to_seconds(cur.fault_stall - prev.fault_stall) / dt;
+  }
+  const std::uint64_t hits = cur.tier_pool_hits > prev.tier_pool_hits
+                                 ? cur.tier_pool_hits - prev.tier_pool_hits
+                                 : 0;
+  const std::uint64_t misses =
+      cur.tier_pool_misses > prev.tier_pool_misses
+          ? cur.tier_pool_misses - prev.tier_pool_misses
+          : 0;
+  if (hits + misses > 0) {
+    r.pool_hit_ratio =
+        static_cast<double>(hits) / static_cast<double>(hits + misses);
+  }
+  return r;
+}
+
+}  // namespace apsim

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/node.hpp"
+
+/// \file signals.hpp
+/// The control plane's sensor: per-node cumulative counter snapshots taken
+/// off the event queue, and the per-interval rates derived from consecutive
+/// snapshots. Everything here is read from counters the simulator already
+/// maintains (Vmm, AddressSpace, TierManager, Process stats) at an instant
+/// of simulated time — no wall clock, no extra events — so sampling is free
+/// of observable side effects and controller inputs are deterministic.
+
+namespace apsim {
+
+/// One cumulative snapshot of a node's paging signals.
+struct SignalSample {
+  SimTime t = 0;
+  std::int64_t free_frames = 0;
+  std::int64_t usable_frames = 0;
+  std::uint64_t major_faults = 0;       ///< summed over address spaces
+  std::uint64_t pages_swapped_in = 0;
+  std::uint64_t pages_swapped_out = 0;
+  std::uint64_t false_evictions = 0;
+  std::uint64_t reclaim_steps = 0;
+  std::uint64_t alloc_retries = 0;
+  SimDuration fault_stall = 0;          ///< summed process fault_wait
+  std::uint64_t tier_pool_hits = 0;
+  std::uint64_t tier_pool_misses = 0;
+};
+
+/// Rates over the interval (prev, cur]. Cumulative sums can step backwards
+/// when a process is torn down mid-interval (its counters leave the sum);
+/// every delta clamps at zero so controllers never see negative rates.
+struct SignalRates {
+  double dt_s = 0.0;
+  double fault_rate = 0.0;        ///< major faults per second
+  double pagein_rate = 0.0;       ///< pages swapped in per second
+  double pageout_rate = 0.0;      ///< pages swapped out per second
+  double false_evict_rate = 0.0;  ///< false evictions per second
+  double stall_frac = 0.0;        ///< fault-stall time per wall time
+  double free_frac = 0.0;         ///< free frames / usable frames (at cur)
+  double pool_hit_ratio = 1.0;    ///< tier hits / (hits+misses); 1 if idle
+};
+
+class SignalSampler {
+ public:
+  explicit SignalSampler(Node& node) : node_(node) {}
+
+  [[nodiscard]] SignalSample sample(SimTime now) const;
+
+  [[nodiscard]] static SignalRates rates(const SignalSample& prev,
+                                         const SignalSample& cur);
+
+ private:
+  Node& node_;
+};
+
+}  // namespace apsim

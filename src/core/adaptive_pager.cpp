@@ -4,10 +4,21 @@
 #include <cassert>
 #include <memory>
 
+#include "mem/reclaim_registry.hpp"
+
 namespace apsim {
 
 // ---------------------------------------------------------------------------
 // SelectiveReclaimPolicy
+
+SelectiveReclaimPolicy::SelectiveReclaimPolicy()
+    : fallback_(std::make_unique<ClockReclaimPolicy>()) {}
+
+void SelectiveReclaimPolicy::set_fallback(
+    std::unique_ptr<ReclaimPolicy> fallback) {
+  assert(fallback != nullptr);
+  fallback_ = std::move(fallback);
+}
 
 void SelectiveReclaimPolicy::set_victim_process(Pid pid) {
   victim_ = pid;
@@ -63,20 +74,31 @@ std::vector<Victim> SelectiveReclaimPolicy::select_victims(
       if (!out.empty()) return out;
     }
   }
-  // The outgoing process is fully swapped out (or none designated): default
-  // replacement takes over, exactly as in the paper's Figure 2.
-  return fallback_.select_victims(vmm, max_pages);
+  // The outgoing process is fully swapped out (or none designated): the
+  // base replacement takes over, exactly as in the paper's Figure 2.
+  return fallback_->select_victims(vmm, max_pages);
 }
 
 // ---------------------------------------------------------------------------
 // AdaptivePager
 
 AdaptivePager::AdaptivePager(Node& node, AdaptivePagerParams params)
-    : node_(node), params_(params) {
+    : node_(node), params_(std::move(params)) {
+  // "clock-lru" is the VMM's constructor default: install nothing so the
+  // no-selective, default-policy path stays bit-identical to the
+  // pre-registry tree.
+  std::unique_ptr<ReclaimPolicy> base;
+  if (params_.reclaim_policy != "clock-lru") {
+    base = make_reclaim_policy(params_.reclaim_policy);
+    base_policy_name_ = params_.reclaim_policy;
+  }
   if (params_.policy.selective_out) {
     auto policy = std::make_unique<SelectiveReclaimPolicy>();
+    if (base) policy->set_fallback(std::move(base));
     selective_ = policy.get();
     node_.vmm().set_reclaim_policy(std::move(policy));
+  } else if (base) {
+    node_.vmm().set_reclaim_policy(std::move(base));
   }
   if (params_.policy.adaptive_in) {
     node_.vmm().set_evict_observer(
@@ -272,6 +294,17 @@ void AdaptivePager::on_quantum_end(Pid out) {
 std::int64_t AdaptivePager::ws_estimate(Pid pid) const {
   auto it = estimators_.find(pid);
   return it == estimators_.end() ? 0 : it->second.estimate();
+}
+
+void AdaptivePager::set_base_reclaim_policy(std::string_view name) {
+  if (name == base_policy_name_) return;
+  auto base = make_reclaim_policy(name);  // throws on unknown names
+  base_policy_name_ = std::string(name);
+  if (selective_ != nullptr) {
+    selective_->set_fallback(std::move(base));
+  } else {
+    node_.vmm().set_reclaim_policy(std::move(base));
+  }
 }
 
 const PageRecorder& AdaptivePager::recorder(Pid pid) const {

@@ -1,9 +1,12 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "cluster/node.hpp"
@@ -26,14 +29,26 @@ namespace apsim {
 
 /// Selective page-out (paper §3.1, Figure 2): while the outgoing process
 /// still has resident pages, evict those — oldest first; only then fall back
-/// to the default clock policy. Prevents the false eviction of the incoming
+/// to the base replacement policy (the clock by default, or any registry
+/// policy via set_fallback). Prevents the false eviction of the incoming
 /// process's residual working set.
 class SelectiveReclaimPolicy final : public ReclaimPolicy {
  public:
+  SelectiveReclaimPolicy();
+
   /// Designate the current outgoing process (kNoPid to disable).
   void set_victim_process(Pid pid);
 
   [[nodiscard]] Pid victim_process() const { return victim_; }
+
+  /// Replace the base policy consulted once the outgoing process is fully
+  /// swapped out. This is the policy-switch actuation point when selective
+  /// page-out is enabled (the selective wrapper itself stays installed).
+  void set_fallback(std::unique_ptr<ReclaimPolicy> fallback);
+
+  [[nodiscard]] std::string_view fallback_name() const {
+    return fallback_->name();
+  }
 
   [[nodiscard]] std::vector<Victim> select_victims(Vmm& vmm,
                                                    std::int64_t max_pages) override;
@@ -47,7 +62,7 @@ class SelectiveReclaimPolicy final : public ReclaimPolicy {
   std::vector<VPage> cache_;          ///< victim's pages, oldest first
   std::size_t cursor_ = 0;
   std::int64_t cache_resident_ = -1;  ///< resident count at build time
-  ClockReclaimPolicy fallback_;
+  std::unique_ptr<ReclaimPolicy> fallback_;
 };
 
 struct AdaptivePagerParams {
@@ -62,6 +77,12 @@ struct AdaptivePagerParams {
   /// Safety factor applied to the working-set estimate before aggressive
   /// page-out.
   double ws_margin = 1.0;
+
+  /// Base replacement policy (registry name). "clock-lru" — the kernel
+  /// default — installs nothing and keeps the VMM's constructor policy, so
+  /// runs stay bit-identical to the pre-registry tree. Any other name is
+  /// installed either directly or as the selective wrapper's fallback.
+  std::string reclaim_policy = "clock-lru";
 };
 
 class AdaptivePager {
@@ -124,6 +145,26 @@ class AdaptivePager {
     trace_track_ = track;
   }
 
+  // ---- runtime actuators (adaptive control plane) ----
+
+  /// Background-writer batch per tick, clamped to >= 1.
+  void set_bg_batch(std::int64_t pages) {
+    params_.bg_batch = std::max<std::int64_t>(1, pages);
+  }
+  [[nodiscard]] std::int64_t bg_batch() const { return params_.bg_batch; }
+
+  /// Swap the base replacement policy at runtime (registry name). With
+  /// selective page-out enabled the new policy becomes the selective
+  /// wrapper's fallback — the wrapper itself stays installed; otherwise it
+  /// replaces the VMM's policy directly. Throws std::invalid_argument on
+  /// unknown names. No-op when \p name is already active.
+  void set_base_reclaim_policy(std::string_view name);
+
+  /// Registry name of the active base policy.
+  [[nodiscard]] std::string_view base_reclaim_policy() const {
+    return base_policy_name_;
+  }
+
   /// Recorder contents for \p pid (for tests and diagnostics).
   [[nodiscard]] const PageRecorder& recorder(Pid pid) const;
 
@@ -147,6 +188,7 @@ class AdaptivePager {
   Node& node_;
   AdaptivePagerParams params_;
   SelectiveReclaimPolicy* selective_ = nullptr;  ///< owned by the VMM
+  std::string base_policy_name_ = "clock-lru";
 
   std::set<Pid> managed_;
   std::map<Pid, PageRecorder> recorders_;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -101,6 +102,13 @@ class GangScheduler {
   }
   [[nodiscard]] const GangParams& params() const { return params_; }
   [[nodiscard]] int switches() const { return switch_count_; }
+
+  /// Runtime actuator (adaptive control plane): background writing covers
+  /// the last (1 - frac) of each quantum. Takes effect from the next slot
+  /// activation — bg start times are computed per slot.
+  void set_bg_start_frac(double frac) {
+    params_.bg_start_frac = std::clamp(frac, 0.0, 1.0);
+  }
   [[nodiscard]] const ScheduleMatrix& matrix() const { return matrix_; }
 
   /// True once the job has been admitted to the rotation (always true

@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "control/controller.hpp"
+#include "mem/reclaim_registry.hpp"
+
 namespace apsim {
 
 void ExperimentConfig::validate() const {
@@ -97,6 +100,25 @@ void ExperimentConfig::validate() const {
     fail("ckpt_max_retries must be >= 0, got " +
          std::to_string(ckpt_max_retries));
   }
+  if (!is_reclaim_policy(reclaim_policy)) {
+    fail("unknown reclaim_policy '" + reclaim_policy + "'; " +
+         reclaim_policy_names_hint());
+  }
+  if (reclaim_batch < 1) {
+    fail("reclaim_batch must be >= 1, got " + std::to_string(reclaim_batch));
+  }
+  if (max_prefetch_run < 1) {
+    fail("max_prefetch_run must be >= 1, got " +
+         std::to_string(max_prefetch_run));
+  }
+  if (!is_controller(autotune_controller)) {
+    fail("unknown autotune_controller '" + autotune_controller + "'; " +
+         controller_names_hint());
+  }
+  if (autotune_interval <= 0) {
+    fail("autotune_interval must be positive, got " +
+         std::to_string(autotune_interval) + " ns");
+  }
 }
 
 std::string ExperimentConfig::describe() const {
@@ -122,6 +144,8 @@ NodeParams ExperimentConfig::make_node_params() const {
   node.vmm.total_frames = mb_to_pages(node_memory_mb);
   node.vmm.page_cluster = page_cluster;
   node.vmm.page_aging = page_aging;
+  node.vmm.reclaim_batch = reclaim_batch;
+  node.vmm.max_prefetch_run = max_prefetch_run;
   node.vmm.io_retry_limit = io_retry_limit;
   node.vmm.io_retry_base = io_retry_base;
   node.vmm.io_retry_cap = io_retry_cap;

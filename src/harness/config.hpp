@@ -117,6 +117,28 @@ struct ExperimentConfig {
   RestartPlacement restart_placement = RestartPlacement::kSpread;
   LostWorkModel lost_work_model = LostWorkModel::kCpu;
 
+  /// Base page-replacement policy, by registry name (see
+  /// reclaim_registry.hpp): clock-lru (the kernel default), exact-lru, fifo,
+  /// mglru, s3-fifo. "clock-lru" installs nothing and is bit-identical to
+  /// builds without the registry.
+  std::string reclaim_policy = "clock-lru";
+
+  /// VmmParams::reclaim_batch / max_prefetch_run (see vmm.hpp). These are
+  /// the boot values; the control plane may move them at runtime.
+  std::int64_t reclaim_batch = 32;
+  std::int64_t max_prefetch_run = 512;
+
+  /// Adaptive control plane (src/control). Off (the default) constructs no
+  /// ControlPlane at all: runs are bit-identical to builds without the
+  /// subsystem. On, `autotune_controller` names the decision maker
+  /// (dyn-thresh or hill-climb) ticked every `autotune_interval` of
+  /// simulated time; `autotune_policy` additionally exposes the reclaim
+  /// policy selector as a discrete knob.
+  bool autotune = false;
+  std::string autotune_controller = "dyn-thresh";
+  SimDuration autotune_interval = kSecond;
+  bool autotune_policy = false;
+
   /// Check the configuration for nonsense (negative quantum, bg_start_frac
   /// outside [0, 1], zero usable memory, swap smaller than wired memory,
   /// ...). Throws std::invalid_argument with a specific message.

@@ -7,7 +7,9 @@
 #include <stdexcept>
 
 #include "cluster/cluster.hpp"
+#include "control/control_plane.hpp"
 #include "gang/gang_scheduler.hpp"
+#include "mem/reclaim_registry.hpp"
 #include "metrics/tracer.hpp"
 #include "net/mpi.hpp"
 #include "recover/checkpoint_manager.hpp"
@@ -203,6 +205,7 @@ RunOutcome run_gang(const ExperimentConfig& config) {
   params.bg_start_frac = config.bg_start_frac;
   params.pass_ws_hint = config.pass_ws_hint;
   params.pager.policy = config.policy;
+  params.pager.reclaim_policy = config.reclaim_policy;
   if (config.switch_watchdog > 0) {
     params.switch_watchdog = config.switch_watchdog;
   } else if (config.switch_watchdog == 0 &&
@@ -236,8 +239,21 @@ RunOutcome run_gang(const ExperimentConfig& config) {
     if (tracer) ckpt->set_tracer(tracer.get());
   }
 
+  // Adaptive control plane. autotune off constructs nothing at all: no
+  // sampling, no events, bit-identical to a build without the subsystem.
+  std::unique_ptr<ControlPlane> plane;
+  if (config.autotune) {
+    ControlPlaneParams pparams;
+    pparams.controller = config.autotune_controller;
+    pparams.interval = config.autotune_interval;
+    pparams.tune_policy = config.autotune_policy;
+    plane = std::make_unique<ControlPlane>(*built.cluster, scheduler, pparams);
+    if (tracer) plane->set_tracer(tracer.get());
+  }
+
   scheduler.start();
   if (ckpt) ckpt->start();
+  if (plane) plane->start();
 
   const bool finished = built.cluster->sim().run_until(
       [&scheduler] { return scheduler.all_finished(); }, config.horizon);
@@ -272,6 +288,12 @@ RunOutcome run_gang(const ExperimentConfig& config) {
       out.jobs[i].recovered = ckpt->restarts_of(jobs[i]->id()) > 0;
     }
   }
+  if (plane) {
+    const auto& pstats = plane->stats();
+    out.autotune_ticks = pstats.ticks;
+    out.autotune_adjustments = pstats.adjustments;
+    out.autotune_policy_switches = pstats.policy_switches;
+  }
   finish_trace(std::move(tracer), config, out);
   return out;
 }
@@ -279,6 +301,15 @@ RunOutcome run_gang(const ExperimentConfig& config) {
 RunOutcome run_batch(const ExperimentConfig& config) {
   config.validate();
   Built built = build_cluster(config);
+
+  // Batch mode has no AdaptivePager to compose policies through; install a
+  // non-default base policy directly on each node's VMM.
+  if (config.reclaim_policy != "clock-lru") {
+    for (int n = 0; n < built.cluster->size(); ++n) {
+      built.cluster->node(n).vmm().set_reclaim_policy(
+          make_reclaim_policy(config.reclaim_policy));
+    }
+  }
 
   BatchRunner runner(*built.cluster);
   build_jobs(built, config, runner);

@@ -142,6 +142,21 @@ void apply_scenario_key(ExperimentConfig& config, std::string_view key,
     config.restart_placement = parse_restart_placement(value);
   } else if (key == "lost_work_model") {
     config.lost_work_model = parse_lost_work_model(value);
+  } else if (key == "reclaim_policy") {
+    config.reclaim_policy = std::string(value);
+  } else if (key == "reclaim_batch") {
+    config.reclaim_batch = parse_int(value, key);
+  } else if (key == "max_prefetch_run") {
+    config.max_prefetch_run = parse_int(value, key);
+  } else if (key == "autotune") {
+    config.autotune = parse_bool(value, key);
+  } else if (key == "autotune_controller") {
+    config.autotune_controller = std::string(value);
+  } else if (key == "autotune_interval_s") {
+    config.autotune_interval = static_cast<SimDuration>(
+        parse_double(value, key) * static_cast<double>(kSecond));
+  } else if (key == "autotune_policy") {
+    config.autotune_policy = parse_bool(value, key);
   } else {
     throw std::invalid_argument("scenario: unknown key '" + std::string(key) +
                                 "'");

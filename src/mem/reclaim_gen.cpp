@@ -1,0 +1,192 @@
+#include "mem/reclaim_gen.hpp"
+
+#include <algorithm>
+
+#include "mem/vmm.hpp"
+
+namespace apsim {
+
+// ---------------------------------------------------------------------------
+// MglruPolicy
+
+void MglruPolicy::prune_dead(Vmm& vmm) {
+  for (auto it = procs_.begin(); it != procs_.end();) {
+    const bool live = std::find(vmm.pids().begin(), vmm.pids().end(),
+                                it->first) != vmm.pids().end() &&
+                      vmm.space(it->first).alive();
+    it = live ? std::next(it) : procs_.erase(it);
+  }
+}
+
+std::vector<Victim> MglruPolicy::select_victims(Vmm& vmm,
+                                                std::int64_t max_pages) {
+  std::vector<Victim> out;
+  if (max_pages <= 0) return out;
+  prune_dead(vmm);
+
+  const auto& pids = vmm.pids();
+  std::int64_t resident = 0;
+  for (Pid pid : pids) {
+    const auto& as = vmm.space(pid);
+    if (as.alive()) resident += as.resident_pages();
+  }
+  if (resident == 0) return out;
+
+  // Work bound: with kYoungest+1 generations a hot page survives several
+  // encounters, so allow the sweep a few passes over the resident set before
+  // giving up (mirrors the clock policy's revolution budget).
+  std::int64_t budget = (static_cast<std::int64_t>(kYoungest) + 2) * resident;
+  // Pages examined on one process before rotating to the next.
+  constexpr std::int64_t kQuota = 64;
+
+  while (std::ssize(out) < max_pages && budget > 0) {
+    if (cursor_ >= pids.size()) cursor_ = 0;
+    const Pid pid = pids[cursor_];
+    auto& as = vmm.space(pid);
+    if (!as.alive() || as.resident_pages() == 0) {
+      ++cursor_;
+      --budget;  // guarantees termination when nothing is evictable
+      continue;
+    }
+    auto& st = procs_[pid];
+    auto& pt = as.page_table();
+    if (std::ssize(st.gen) != pt.num_pages()) {
+      st.gen.assign(static_cast<std::size_t>(pt.num_pages()), kEntryGen);
+      st.hand = 0;
+    }
+    for (std::int64_t q = 0;
+         q < kQuota && budget > 0 && std::ssize(out) < max_pages; ++q) {
+      if (st.hand >= pt.num_pages()) st.hand = 0;
+      const VPage v = st.hand++;
+      --budget;
+      Pte& pte = pt.at(v);
+      if (!pte.present) continue;
+      auto& gen = st.gen[static_cast<std::size_t>(v)];
+      if (pte.referenced) {
+        pte.referenced = false;
+        gen = kYoungest;
+      } else if (gen > 0) {
+        --gen;
+      } else if (!pte.io_busy) {
+        out.push_back(Victim{pid, v});
+        // If the page comes back it re-enters on probation, not at gen 0.
+        gen = kEntryGen;
+      }
+    }
+    ++cursor_;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// S3FifoPolicy
+
+void S3FifoPolicy::ghost_insert(const Key& key) {
+  if (ghost_.insert(key).second) ghost_fifo_.push_back(key);
+  // Ghost capacity tracks the resident population (the classic sizing: the
+  // ghost remembers about one cache-full of departures).
+  const auto cap =
+      std::max<std::size_t>(tracked_.size() + small_.size() + main_.size(), 64);
+  while (ghost_fifo_.size() > cap) {
+    ghost_.erase(ghost_fifo_.front());
+    ghost_fifo_.pop_front();
+  }
+}
+
+void S3FifoPolicy::ingest(Vmm& vmm) {
+  for (Pid pid : vmm.pids()) {
+    const auto& as = vmm.space(pid);
+    if (!as.alive() || as.resident_pages() == 0) continue;
+    const auto& pt = as.page_table();
+    for (VPage v = 0; v < pt.num_pages(); ++v) {
+      const Pte& pte = pt.at(v);
+      if (!pte.present) continue;
+      const Key key{pid, v};
+      if (tracked_.contains(key)) continue;
+      if (ghost_.contains(key)) {
+        // The page was evicted recently and came back: skip probation.
+        ghost_.erase(key);
+        main_.push_back(key);
+        tracked_.emplace(key, Where::kMain);
+        ++stats_.ghost_hits;
+      } else {
+        small_.push_back(key);
+        tracked_.emplace(key, Where::kSmall);
+      }
+    }
+  }
+}
+
+std::vector<Victim> S3FifoPolicy::select_victims(Vmm& vmm,
+                                                 std::int64_t max_pages) {
+  std::vector<Victim> out;
+  if (max_pages <= 0) return out;
+  ingest(vmm);
+
+  // Every referenced page re-enters its queue with the bit cleared, so each
+  // entry is examined at most twice per call; the scan bound only has to
+  // cover the all-io-busy corner.
+  std::int64_t scans =
+      2 * (std::ssize(small_) + std::ssize(main_)) + 4 * max_pages;
+  while (std::ssize(out) < max_pages && scans-- > 0 &&
+         (!small_.empty() || !main_.empty())) {
+    // Evict from the probationary queue while it holds >= ~10% of the
+    // tracked population (the S3-FIFO small-queue target), else from main.
+    const bool from_small =
+        !small_.empty() &&
+        (main_.empty() ||
+         10 * std::ssize(small_) >= std::ssize(small_) + std::ssize(main_));
+    auto& queue = from_small ? small_ : main_;
+    const Key key = queue.front();
+    queue.pop_front();
+
+    const auto tracked_it = tracked_.find(key);
+    const bool in_this_queue =
+        tracked_it != tracked_.end() &&
+        tracked_it->second == (from_small ? Where::kSmall : Where::kMain);
+    if (!in_this_queue) continue;  // stale entry (re-tracked elsewhere)
+
+    const auto& pids = vmm.pids();
+    if (std::find(pids.begin(), pids.end(), key.first) == pids.end()) {
+      tracked_.erase(tracked_it);
+      continue;
+    }
+    auto& as = vmm.space(key.first);
+    if (!as.alive() || !as.page_table().valid(key.second)) {
+      tracked_.erase(tracked_it);
+      continue;
+    }
+    Pte& pte = as.page_table().at(key.second);
+    if (!pte.present) {
+      tracked_.erase(tracked_it);
+      continue;
+    }
+    if (pte.referenced) {
+      pte.referenced = false;
+      if (from_small) {
+        tracked_it->second = Where::kMain;
+        main_.push_back(key);
+        ++stats_.promotions;
+      } else {
+        main_.push_back(key);
+        ++stats_.reinserts;
+      }
+      continue;
+    }
+    if (pte.io_busy) {
+      queue.push_back(key);  // retry later; bounded by the scan budget
+      continue;
+    }
+    out.push_back(Victim{key.first, key.second});
+    tracked_.erase(tracked_it);
+    if (from_small) {
+      ghost_insert(key);
+      ++stats_.small_evictions;
+    } else {
+      ++stats_.main_evictions;
+    }
+  }
+  return out;
+}
+
+}  // namespace apsim

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "mem/reclaim.hpp"
+
+/// \file reclaim_gen.hpp
+/// Generational additions to the eviction zoo, selectable through the policy
+/// registry (mem/reclaim_registry.hpp) so the adaptive control plane can
+/// switch replacement policy as an actuator:
+///
+///   * MglruPolicy — MGLRU-style generational clock: every tracked page
+///     carries a small generation counter; a referenced page is promoted to
+///     the youngest generation, an unreferenced one ages down a generation
+///     per sweep encounter and is evicted only from generation 0. Compared
+///     with the one-bit second-chance clock this gives the active working
+///     set several sweeps of protection while cold pages still drain fast.
+///
+///   * S3FifoPolicy — S3-FIFO (small/main/ghost queues): newly mapped pages
+///     enter a small probationary FIFO; pages evicted from it leave a ghost
+///     entry, and a page that re-enters memory while its ghost is live is
+///     promoted straight to the main queue (the "one-hit wonder" filter).
+///     Queue membership is rebuilt lazily against the page tables, like the
+///     FIFO baseline in reclaim_extra.hpp.
+///
+/// Both policies keep all bookkeeping on their side of the ReclaimPolicy
+/// interface and are deterministic functions of the page tables they scan.
+
+namespace apsim {
+
+class MglruPolicy final : public ReclaimPolicy {
+ public:
+  [[nodiscard]] std::vector<Victim> select_victims(Vmm& vmm,
+                                                   std::int64_t max_pages) override;
+
+  [[nodiscard]] std::string_view name() const override { return "mglru"; }
+
+  /// Generation a referenced page is promoted to; pages enter at kEntryGen.
+  static constexpr std::uint8_t kYoungest = 3;
+  static constexpr std::uint8_t kEntryGen = 1;
+
+ private:
+  struct ProcState {
+    std::vector<std::uint8_t> gen;  ///< per-vpage generation (sized lazily)
+    VPage hand = 0;                 ///< per-process sweep position
+  };
+
+  void prune_dead(Vmm& vmm);
+
+  std::map<Pid, ProcState> procs_;
+  std::size_t cursor_ = 0;  ///< rotating process index
+};
+
+class S3FifoPolicy final : public ReclaimPolicy {
+ public:
+  [[nodiscard]] std::vector<Victim> select_victims(Vmm& vmm,
+                                                   std::int64_t max_pages) override;
+
+  [[nodiscard]] std::string_view name() const override { return "s3-fifo"; }
+
+  struct Stats {
+    std::uint64_t ghost_hits = 0;        ///< re-entries promoted via ghost
+    std::uint64_t promotions = 0;        ///< small -> main (referenced)
+    std::uint64_t small_evictions = 0;
+    std::uint64_t main_evictions = 0;
+    std::uint64_t reinserts = 0;         ///< main second chances
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  // Introspection for tests.
+  [[nodiscard]] std::int64_t small_size() const {
+    return static_cast<std::int64_t>(small_.size());
+  }
+  [[nodiscard]] std::int64_t main_size() const {
+    return static_cast<std::int64_t>(main_.size());
+  }
+  [[nodiscard]] std::int64_t ghost_size() const {
+    return static_cast<std::int64_t>(ghost_.size());
+  }
+  [[nodiscard]] bool in_main(Pid pid, VPage v) const {
+    auto it = tracked_.find({pid, v});
+    return it != tracked_.end() && it->second == Where::kMain;
+  }
+  [[nodiscard]] bool in_ghost(Pid pid, VPage v) const {
+    return ghost_.contains({pid, v});
+  }
+
+ private:
+  using Key = std::pair<Pid, VPage>;
+  enum class Where : std::uint8_t { kSmall, kMain };
+
+  /// Enqueue resident pages not yet tracked, routing ghost re-entries to
+  /// the main queue. Deterministic scan order: pid then vpage ascending.
+  void ingest(Vmm& vmm);
+  void ghost_insert(const Key& key);
+
+  std::deque<Key> small_;
+  std::deque<Key> main_;
+  std::map<Key, Where> tracked_;
+  std::set<Key> ghost_;
+  std::deque<Key> ghost_fifo_;  ///< ghost eviction order (capacity-bounded)
+  Stats stats_;
+};
+
+}  // namespace apsim

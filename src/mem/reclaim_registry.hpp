@@ -1,0 +1,34 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mem/reclaim.hpp"
+
+/// \file reclaim_registry.hpp
+/// Name-keyed factory over the eviction zoo. Config validation, the scenario
+/// parser and the adaptive control plane's policy-switch actuator all resolve
+/// replacement policies through here, so adding a policy means one line in
+/// the registry and nothing else. "clock-lru" is the kernel default: callers
+/// preserving bit-identity only install a policy when the name differs.
+
+namespace apsim {
+
+/// Valid policy names, in registry order: clock-lru, exact-lru, fifo, mglru,
+/// s3-fifo. (The paper's "selective" policy is not listed — it is a wrapper
+/// composed by the adaptive pager, with one of these as its fallback.)
+[[nodiscard]] const std::vector<std::string_view>& reclaim_policy_names();
+
+[[nodiscard]] bool is_reclaim_policy(std::string_view name);
+
+/// One-line "valid names are: ..." suffix for error messages.
+[[nodiscard]] std::string reclaim_policy_names_hint();
+
+/// Construct the named policy. Throws std::invalid_argument naming the valid
+/// policies when \p name is unknown.
+[[nodiscard]] std::unique_ptr<ReclaimPolicy> make_reclaim_policy(
+    std::string_view name);
+
+}  // namespace apsim

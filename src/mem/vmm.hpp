@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -335,6 +336,31 @@ class Vmm {
 
   /// Wire down \p n frames (mlock emulation for the experiments).
   std::int64_t wire_down(std::int64_t n) { return frames_.wire_down(n); }
+
+  // ---- runtime actuators (adaptive control plane) ----
+  //
+  // Bounded re-tuning of the paging knobs while the run is live. Each
+  // setter clamps to a sane range and preserves the watermark invariant
+  // freepages_min <= low <= high; all take effect on the next reclaim
+  // step / prefetch pump / watermark check, so the effects are
+  // deterministic functions of when the controller fires them.
+
+  void set_reclaim_batch(std::int64_t pages) {
+    params_.reclaim_batch = std::max<std::int64_t>(1, pages);
+  }
+  void set_max_prefetch_run(std::int64_t pages) {
+    params_.max_prefetch_run = std::max<std::int64_t>(1, pages);
+  }
+  void set_freepages_low(std::int64_t frames) {
+    params_.freepages_low =
+        std::clamp(frames, params_.freepages_min, params_.freepages_high);
+    // Raising the watermark above the current free level means kswapd has
+    // new work; kick it rather than waiting for the next fault.
+    if (free_frames() < params_.freepages_low) kick_reclaim();
+  }
+  void set_freepages_high(std::int64_t frames) {
+    params_.freepages_high = std::max(frames, params_.freepages_low);
+  }
 
   struct Stats {
     std::uint64_t reclaim_steps = 0;

@@ -31,7 +31,8 @@ void write_outcomes_csv(std::ostream& os,
            "false_evictions", "cpu_s", "fault_wait_s", "comm_wait_s",
            "tier_pool_hits", "tier_pool_misses", "tier_comp_ratio",
            "tier_writeback_pages", "failed", "recovered", "checkpoints",
-           "ckpt_bytes", "jobs_recovered", "lost_work_ms"});
+           "ckpt_bytes", "jobs_recovered", "lost_work_ms", "autotune_ticks",
+           "autotune_adjustments", "autotune_policy_switches"});
   for (const auto& outcome : outcomes) {
     for (const auto& job : outcome.jobs) {
       csv.row({outcome.label, outcome.policy,
@@ -58,7 +59,11 @@ void write_outcomes_csv(std::ostream& os,
                std::to_string(outcome.checkpoints_taken),
                std::to_string(outcome.bytes_checkpointed),
                std::to_string(outcome.jobs_recovered),
-               std::to_string(outcome.lost_work_ms)});
+               std::to_string(outcome.lost_work_ms),
+               // Control plane: cluster-wide totals, zero with autotune off.
+               std::to_string(outcome.autotune_ticks),
+               std::to_string(outcome.autotune_adjustments),
+               std::to_string(outcome.autotune_policy_switches)});
     }
   }
 }

@@ -93,6 +93,11 @@ struct RunOutcome {
   std::uint64_t disk_blocks_written = 0;  ///< cluster-wide (incl. checkpoint region)
   std::uint64_t disk_blocks_read = 0;
 
+  // Adaptive control plane statistics (all zero with autotune off).
+  std::uint64_t autotune_ticks = 0;           ///< control-plane tick events
+  std::uint64_t autotune_adjustments = 0;     ///< knob writes that changed a value
+  std::uint64_t autotune_policy_switches = 0; ///< reclaim-policy swaps actuated
+
   [[nodiscard]] double makespan_s() const { return to_seconds(makespan); }
 };
 

@@ -90,6 +90,12 @@ class Cpu {
   /// Total virtual time this CPU spent executing processes.
   [[nodiscard]] SimDuration busy_time() const { return busy_time_; }
 
+  /// Processes registered on this CPU (the control plane's signal sampler
+  /// sums their fault-stall times here).
+  [[nodiscard]] const std::vector<Process*>& attached() const {
+    return attached_;
+  }
+
  private:
   void make_runnable(Process& p);
   void dispatch();

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -95,6 +96,16 @@ class CompressedPool {
 
   [[nodiscard]] std::int64_t bytes_used() const { return bytes_used_; }
   [[nodiscard]] std::int64_t budget_bytes() const { return params_.budget_bytes; }
+
+  /// Runtime actuator (adaptive control plane): retarget the byte budget.
+  /// Shrinking below the current occupancy rejects new stores until the LRU
+  /// writeback (or invalidations) drain the excess; nothing is dropped
+  /// eagerly. The boot-time frame carve is fixed, so the budget can only be
+  /// returned, never grown past its construction value — the TierManager's
+  /// wrapper enforces that bound.
+  void set_budget_bytes(std::int64_t bytes) {
+    params_.budget_bytes = std::max<std::int64_t>(1, bytes);
+  }
   [[nodiscard]] std::int64_t entry_count() const {
     return static_cast<std::int64_t>(entries_.size());
   }

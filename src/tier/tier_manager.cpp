@@ -51,6 +51,13 @@ TierManager::TierManager(Simulator& sim, SwapDevice& swap, TierParams params)
 
 TierManager::~TierManager() { swap_.set_slot_release_hook(nullptr); }
 
+void TierManager::set_pool_budget_bytes(std::int64_t bytes) {
+  const auto boot_budget =
+      static_cast<std::int64_t>(params_.pool_mb * 1024.0 * 1024.0);
+  pool_.set_budget_bytes(std::clamp<std::int64_t>(bytes, 1, boot_budget));
+  maybe_start_writeback();
+}
+
 void TierManager::finish_part(const std::shared_ptr<PendingIo>& pending,
                               IoResult result) {
   pending->ok = pending->ok && result.ok;

@@ -97,6 +97,12 @@ class TierManager {
 
   [[nodiscard]] CompressedPool& pool() { return pool_; }
   [[nodiscard]] const CompressedPool& pool() const { return pool_; }
+
+  /// Runtime actuator (adaptive control plane): retarget the pool budget,
+  /// clamped to (0, boot budget] — the frame carve happened at boot, so the
+  /// budget can only shrink (and later return). Shrinking under the current
+  /// occupancy kicks the background writeback to drain the excess.
+  void set_pool_budget_bytes(std::int64_t bytes);
   [[nodiscard]] SwapDevice& swap() { return swap_; }
   [[nodiscard]] const TierParams& params() const { return params_; }
 
