@@ -40,6 +40,8 @@
 #include "disk/swap_device.hpp"
 #include "harness/config.hpp"
 #include "harness/runner.hpp"
+#include "harness/sweep.hpp"
+#include "mem/page_table.hpp"
 #include "mem/vmm.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
@@ -271,6 +273,241 @@ Result compare_queues(const char* name, std::int64_t items, int reps,
   return res;
 }
 
+// ---------------------------------------------------------------------------
+// Page-metadata sweeps: the SoA bitmap table against the pre-migration
+// array-of-structs layout, kept here verbatim so the comparison baseline
+// cannot drift. The workloads are the two hot sweep shapes of the VMM:
+// the reclaim policies' full-table present scan and the background writer's
+// dirty-candidate scan.
+
+namespace legacy_aos {
+
+struct Pte {
+  FrameNum frame = kNoFrame;
+  SwapSlot slot = kNoSwapSlot;
+  SimTime last_ref = 0;
+  std::uint32_t epoch = 0;
+  std::uint8_t age = 0;
+  bool present = false;
+  bool referenced = false;
+  bool dirty = false;
+  bool io_busy = false;
+  bool ever_touched = false;
+};
+
+}  // namespace legacy_aos
+
+/// Sparse residency pattern shared by both layouts: runs of 8 present pages
+/// every 64 (a post-reclaim table is mostly holes), every fourth present
+/// page dirty — the shape word-at-a-time scans are built for.
+bool pattern_present(std::int64_t v) { return (v & 63) < 8; }
+bool pattern_dirty(std::int64_t v) { return pattern_present(v) && (v & 3) == 0; }
+
+Result page_scan_sweep(bool smoke, int reps) {
+  Result res;
+  res.name = "page_scan_sweep";
+  const std::int64_t npages = smoke ? (1 << 18) : (1 << 20);
+  const int sweeps = 8;
+  res.items = npages * sweeps * 2;  // one present + one dirty sweep each
+
+  PageTable pt(npages);
+  std::vector<legacy_aos::Pte> aos(static_cast<std::size_t>(npages));
+  for (std::int64_t v = 0; v < npages; ++v) {
+    if (!pattern_present(v)) continue;
+    Pte pte = pt.at(v);
+    pte.set_present(true);
+    pte.set_frame(v);
+    pte.set_last_ref(v);
+    auto& a = aos[static_cast<std::size_t>(v)];
+    a.present = true;
+    a.frame = v;
+    a.last_ref = v;
+    if (pattern_dirty(v)) {
+      pte.set_dirty(true);
+      a.dirty = true;
+    }
+  }
+
+  res.new_ms = median_ms(reps, [&] {
+    std::uint64_t sum = 0;
+    for (int s = 0; s < sweeps; ++s) {
+      for (VPage v = pt.next_present(0); v < npages;
+           v = pt.next_present(v + 1)) {
+        sum += static_cast<std::uint64_t>(pt.at(v).last_ref());
+      }
+      for (VPage v = pt.next_dirty_candidate(0); v < npages;
+           v = pt.next_dirty_candidate(v + 1)) {
+        sum += static_cast<std::uint64_t>(v);
+      }
+    }
+    g_dispatched += sum;
+  });
+  res.legacy_ms = median_ms(reps, [&] {
+    std::uint64_t sum = 0;
+    for (int s = 0; s < sweeps; ++s) {
+      for (std::int64_t v = 0; v < npages; ++v) {
+        const auto& p = aos[static_cast<std::size_t>(v)];
+        if (p.present) sum += static_cast<std::uint64_t>(p.last_ref);
+      }
+      for (std::int64_t v = 0; v < npages; ++v) {
+        const auto& p = aos[static_cast<std::size_t>(v)];
+        if (p.present && p.dirty && !p.io_busy) {
+          sum += static_cast<std::uint64_t>(v);
+        }
+      }
+    }
+    g_dispatched += sum;
+  });
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Sweep forking: k sweep points sharing a fault-storm warmup, forked from
+// one copy-on-write MemSnapshot against re-running warmup + point from
+// scratch per point. Aborts when any point's forked state diverges from its
+// from-scratch twin: the speedup is only meaningful while forking is
+// bit-identical.
+
+/// Self-scheduling sequential sweep: `total` touches over [0, npages)
+/// starting at `start`, every 8th a write; misses take the full fault path.
+/// Returns immediately — the sweep continues from the event queue until the
+/// touches are spent (the caller drains the simulator).
+void touch_sweep(Simulator& /*sim*/, Vmm& vmm, Pid pid, std::int64_t npages,
+                 std::int64_t start, std::int64_t total) {
+  auto& as = vmm.space(pid);
+  auto touched = std::make_shared<std::int64_t>(0);
+  auto step = std::make_shared<std::function<void()>>();
+  // Weak self-reference: the pending fault callback carries the strong one,
+  // so the chain frees itself when the last touch lands (no shared_ptr cycle).
+  const std::weak_ptr<std::function<void()>> weak = step;
+  *step = [touched, weak, start, total, npages, pid, &vmm, &as] {
+    while (*touched < total) {
+      const VPage v = (start + *touched) % npages;
+      const bool write = (*touched & 7) == 0;
+      if (vmm.touch(as, v, write)) {
+        ++*touched;
+        continue;
+      }
+      vmm.fault(pid, v, write, [touched, strong = weak.lock()] {
+        ++*touched;
+        (*strong)();
+      });
+      return;
+    }
+  };
+  (*step)();
+}
+
+/// Everything a sweep point's outcome consists of; forked and from-scratch
+/// runs of the same point must agree on every field.
+struct PointSignature {
+  AddressSpace::Stats space;
+  Vmm::Stats vmm;
+  std::int64_t resident = 0;
+  std::int64_t dirty = 0;
+  std::int64_t free_frames = 0;
+  std::int64_t used_slots = 0;
+  SimTime now = 0;
+  BlockNum disk_head = 0;
+  std::uint64_t blocks_read = 0;
+  std::uint64_t blocks_written = 0;
+};
+
+PointSignature point_signature(MemLab& lab) {
+  const Pid pid = lab.vmm().pids().front();
+  const auto& as = lab.vmm().space(pid);
+  PointSignature sig;
+  sig.space = as.stats();
+  sig.vmm = lab.vmm().stats();
+  sig.resident = as.resident_pages();
+  sig.dirty = as.dirty_pages();
+  sig.free_frames = lab.vmm().free_frames();
+  sig.used_slots = lab.swap().used_slots();
+  sig.now = lab.sim().now();
+  sig.disk_head = lab.disk().head();
+  sig.blocks_read = lab.disk().stats().blocks_read;
+  sig.blocks_written = lab.disk().stats().blocks_written;
+  return sig;
+}
+
+bool signatures_equal(const PointSignature& a, const PointSignature& b) {
+  return a.space.minor_faults == b.space.minor_faults &&
+         a.space.major_faults == b.space.major_faults &&
+         a.space.pages_swapped_in == b.space.pages_swapped_in &&
+         a.space.pages_swapped_out == b.space.pages_swapped_out &&
+         a.space.pages_clean_dropped == b.space.pages_clean_dropped &&
+         a.space.false_evictions == b.space.false_evictions &&
+         a.vmm.reclaim_steps == b.vmm.reclaim_steps &&
+         a.resident == b.resident && a.dirty == b.dirty &&
+         a.free_frames == b.free_frames && a.used_slots == b.used_slots &&
+         a.now == b.now && a.disk_head == b.disk_head &&
+         a.blocks_read == b.blocks_read && a.blocks_written == b.blocks_written;
+}
+
+Result sweep_fork(bool smoke, int reps) {
+  Result res;
+  res.name = "sweep_fork";
+  MemLabParams params;
+  params.frames = smoke ? 1024 : 4096;
+  params.disk_blocks = 1 << 16;
+  params.swap_slots = 1 << 16;
+  const std::int64_t npages = params.frames * 2;
+  const std::int64_t warm_touches = npages * (smoke ? 3 : 4);
+  const std::int64_t point_touches = npages / 2;
+
+  auto warmup = [npages, warm_touches](MemLab& lab) {
+    const Pid pid = lab.vmm().create_process(npages);
+    touch_sweep(lab.sim(), lab.vmm(), pid, npages, 0, warm_touches);
+  };
+  std::vector<SweepPoint> points;
+  for (std::int64_t batch : {8, 16, 32, 64}) {
+    SweepPoint p;
+    p.label = "reclaim_batch=" + std::to_string(batch);
+    p.apply = [batch](MemLab& lab) { lab.vmm().set_reclaim_batch(batch); };
+    p.body = [npages, point_touches](MemLab& lab) {
+      const Pid pid = lab.vmm().pids().front();
+      touch_sweep(lab.sim(), lab.vmm(), pid, npages, 0, point_touches);
+    };
+    points.push_back(std::move(p));
+  }
+  res.items = static_cast<std::int64_t>(points.size()) *
+              (warm_touches + point_touches);
+
+  // Forked: warmup once, fork each point from the snapshot. Single worker,
+  // so forked and from-scratch timings compare the same wall-clock budget.
+  std::vector<std::unique_ptr<MemLab>> forked;
+  res.new_ms = median_ms(reps, [&] {
+    forked = run_forked_sweep(params, warmup, points, /*threads=*/1);
+  });
+
+  // From scratch: every point re-runs the warmup prefix itself.
+  std::vector<std::unique_ptr<MemLab>> scratch;
+  res.legacy_ms = median_ms(reps, [&] {
+    scratch.clear();
+    for (const SweepPoint& p : points) {
+      auto lab = std::make_unique<MemLab>(params);
+      lab->run([&] { warmup(*lab); });
+      if (p.apply) p.apply(*lab);
+      lab->run([&] { p.body(*lab); });
+      scratch.push_back(std::move(lab));
+    }
+  });
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!signatures_equal(point_signature(*forked[i]),
+                          point_signature(*scratch[i]))) {
+      std::fprintf(stderr,
+                   "FATAL: sweep_fork: point %s diverged from its "
+                   "from-scratch run\n",
+                   points[i].label.c_str());
+      std::exit(1);
+    }
+  }
+  res.extra = static_cast<double>(points.size());
+  res.extra_name = "points";
+  return res;
+}
+
 /// Fault storm through the real Vmm: one process twice the size of memory,
 /// swept touch-by-touch so every miss takes the full fault path (alloc,
 /// read-ahead, reclaim, event-queue round trips). Exercises the whole
@@ -428,7 +665,7 @@ std::string json_number(double v) {
 
 void write_json(const std::string& path, const std::vector<Result>& results,
                 bool smoke, int reps, double schedule_pop_speedup,
-                double endtoend_speedup) {
+                double endtoend_speedup, double sweep_fork_speedup) {
   std::ofstream os(path);
   os << "{\n"
      << "  \"bench\": \"perf_substrate\",\n"
@@ -437,6 +674,8 @@ void write_json(const std::string& path, const std::vector<Result>& results,
      << "  \"schedule_pop_speedup_vs_legacy\": "
      << json_number(schedule_pop_speedup) << ",\n"
      << "  \"endtoend_speedup\": " << json_number(endtoend_speedup) << ",\n"
+     << "  \"sweep_fork_speedup\": " << json_number(sweep_fork_speedup)
+     << ",\n"
      << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
@@ -463,6 +702,7 @@ int main(int argc, char** argv) {
   bool scalar = false;
   double min_speedup = 0.0;
   double min_endtoend_speedup = 0.0;
+  double min_sweep_fork_speedup = 0.0;
   std::string out = "BENCH_perf.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -476,12 +716,16 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--min-endtoend-speedup") == 0 &&
                i + 1 < argc) {
       min_endtoend_speedup = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--min-sweep-fork-speedup") == 0 &&
+               i + 1 < argc) {
+      min_sweep_fork_speedup = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [--scalar] [--min-speedup X] "
-                   "[--min-endtoend-speedup X] [--out PATH]\n",
+                   "[--min-endtoend-speedup X] [--min-sweep-fork-speedup X] "
+                   "[--out PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -519,9 +763,11 @@ int main(int argc, char** argv) {
       std::function<void()>(
           [n] { same_time_bursts<legacy::EventQueue>(n); })));
 
+  results.push_back(page_scan_sweep(smoke, reps));
   results.push_back(
       fault_storm(smoke ? 2048 : 8192, smoke ? 2 : 4, smoke ? 2 : 3));
   results.push_back(fig7_small(smoke ? 0.25 : 0.5, smoke ? 1 : 3, scalar));
+  results.push_back(sweep_fork(smoke, smoke ? 3 : 5));
 
   // End-to-end macro section: batched touch engine vs the scalar loop on
   // fig7-style (serial) and fig8-style (2-node parallel) runs.
@@ -550,15 +796,18 @@ int main(int argc, char** argv) {
   const double gate = results[0].speedup();  // schedule_pop_churn
   // End-to-end gate: the worse of the fig7/fig8 macro speedups.
   double endtoend = -1.0;
+  double fork_speedup = -1.0;
   for (const Result& r : results) {
+    if (r.name == "sweep_fork") fork_speedup = r.speedup();
     if (r.name.rfind("endtoend_", 0) != 0) continue;
     const double s = r.speedup();
     if (endtoend < 0.0 || s < endtoend) endtoend = s;
   }
-  write_json(out, results, smoke, reps, gate, endtoend);
+  write_json(out, results, smoke, reps, gate, endtoend, fork_speedup);
   std::printf("\nwrote %s (schedule/pop speedup vs legacy queue: %.2fx, "
-              "end-to-end batched-touch speedup: %.2fx)\n",
-              out.c_str(), gate, endtoend);
+              "end-to-end batched-touch speedup: %.2fx, "
+              "sweep-fork speedup: %.2fx)\n",
+              out.c_str(), gate, endtoend, fork_speedup);
   if (min_speedup > 0.0 && gate < min_speedup) {
     std::fprintf(stderr,
                  "FAIL: schedule/pop speedup %.2fx below required %.2fx\n",
@@ -569,6 +818,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: end-to-end speedup %.2fx below required %.2fx\n",
                  endtoend, min_endtoend_speedup);
+    return 1;
+  }
+  if (min_sweep_fork_speedup > 0.0 && fork_speedup < min_sweep_fork_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: sweep-fork speedup %.2fx below required %.2fx\n",
+                 fork_speedup, min_sweep_fork_speedup);
     return 1;
   }
   return 0;

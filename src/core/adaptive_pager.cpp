@@ -27,6 +27,18 @@ void SelectiveReclaimPolicy::set_victim_process(Pid pid) {
   cache_resident_ = -1;
 }
 
+std::unique_ptr<ReclaimPolicy> SelectiveReclaimPolicy::clone() const {
+  auto copy = std::make_unique<SelectiveReclaimPolicy>();
+  copy->victim_ = victim_;
+  copy->cache_ = cache_;
+  copy->cursor_ = cursor_;
+  copy->cache_resident_ = cache_resident_;
+  auto fallback = fallback_->clone();
+  if (!fallback) return nullptr;  // fallback not snapshottable
+  copy->fallback_ = std::move(fallback);
+  return copy;
+}
+
 void SelectiveReclaimPolicy::rebuild_cache(Vmm& vmm) {
   cache_.clear();
   cursor_ = 0;
@@ -35,9 +47,10 @@ void SelectiveReclaimPolicy::rebuild_cache(Vmm& vmm) {
   auto& pt = as.page_table();
   std::vector<std::pair<SimTime, VPage>> pages;
   pages.reserve(static_cast<std::size_t>(as.resident_pages()));
-  for (VPage v = 0; v < pt.num_pages(); ++v) {
-    const Pte& pte = pt.at(v);
-    if (pte.present && !pte.io_busy) pages.emplace_back(pte.last_ref, v);
+  const std::int64_t npages = pt.num_pages();
+  for (VPage v = pt.next_present(0); v < npages; v = pt.next_present(v + 1)) {
+    const auto pte = pt.at(v);
+    if (!pte.io_busy()) pages.emplace_back(pte.last_ref(), v);
   }
   // Oldest first (paper: "in the order of decreasing age"); ties resolve by
   // vpage so sweeps stay address-contiguous for the write batcher.
@@ -58,8 +71,8 @@ std::vector<Victim> SelectiveReclaimPolicy::select_victims(
       for (int attempt = 0; attempt < 2 && out.empty(); ++attempt) {
         while (cursor_ < cache_.size() && std::ssize(out) < max_pages) {
           const VPage v = cache_[cursor_++];
-          const Pte& pte = as.page_table().at(v);
-          if (pte.present && !pte.io_busy) out.push_back(Victim{victim_, v});
+          const auto pte = as.page_table().at(v);
+          if (pte.present() && !pte.io_busy()) out.push_back(Victim{victim_, v});
         }
         if (!out.empty()) break;
         // Cache exhausted but pages remain resident (mapped after the cache

@@ -55,6 +55,8 @@ class SelectiveReclaimPolicy final : public ReclaimPolicy {
 
   [[nodiscard]] std::string_view name() const override { return "selective"; }
 
+  [[nodiscard]] std::unique_ptr<ReclaimPolicy> clone() const override;
+
  private:
   void rebuild_cache(Vmm& vmm);
 

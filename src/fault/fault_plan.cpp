@@ -1,6 +1,8 @@
 #include "fault/fault_plan.hpp"
 
 #include <cctype>
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 
@@ -37,15 +39,18 @@ namespace {
 
 [[nodiscard]] double parse_number(std::string_view value,
                                   std::string_view key) {
-  try {
-    std::size_t consumed = 0;
-    const double out = std::stod(std::string(value), &consumed);
-    if (consumed != value.size()) throw std::invalid_argument("trailing junk");
-    return out;
-  } catch (const std::exception&) {
+  // std::from_chars, not stod: rejects trailing junk and locale quirks; the
+  // isfinite check additionally rejects "inf"/"nan", which from_chars still
+  // parses — no fault knob has a meaningful non-finite setting.
+  double out = 0.0;
+  const auto* begin = value.data();
+  const auto* end = value.data() + value.size();
+  const auto result = std::from_chars(begin, end, out);
+  if (result.ec != std::errc{} || result.ptr != end || !std::isfinite(out)) {
     throw std::invalid_argument("fault: bad number for '" + std::string(key) +
                                 "': " + std::string(value));
   }
+  return out;
 }
 
 }  // namespace

@@ -1,10 +1,13 @@
 #include "harness/runner.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <stdexcept>
+#include <thread>
 
 #include "cluster/cluster.hpp"
 #include "control/control_plane.hpp"
@@ -195,6 +198,27 @@ void finish_trace(std::shared_ptr<Tracer> tracer,
 }
 
 }  // namespace
+
+void parallel_indices(std::size_t n, unsigned threads,
+                      const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(n));
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      body(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+}
 
 RunOutcome run_gang(const ExperimentConfig& config) {
   config.validate();

@@ -1,9 +1,7 @@
 #pragma once
 
-#include <algorithm>
-#include <atomic>
+#include <cstddef>
 #include <functional>
-#include <thread>
 #include <vector>
 
 #include "harness/config.hpp"
@@ -34,6 +32,13 @@ struct EvaluatedRun {
 };
 [[nodiscard]] EvaluatedRun evaluate(const ExperimentConfig& config);
 
+/// Run \p body(i) for every i in [0, n) on up to \p threads workers (0 =
+/// hardware concurrency), self-scheduling over indices. The shared-nothing
+/// worker pool behind parallel_map and the sweep-fork harness; \p body must
+/// be thread-safe for distinct indices.
+void parallel_indices(std::size_t n, unsigned threads,
+                      const std::function<void(std::size_t)>& body);
+
 /// Map \p configs through \p fn on up to \p threads workers (0 = hardware
 /// concurrency), preserving order. \p fn must be thread-safe for distinct
 /// configs (run_gang/run_batch/evaluate are: each run builds its own
@@ -44,27 +49,8 @@ template <typename Result>
     const std::function<Result(const ExperimentConfig&)>& fn,
     unsigned threads = 0) {
   std::vector<Result> results(configs.size());
-  if (configs.empty()) return results;
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min<unsigned>(threads,
-                               static_cast<unsigned>(configs.size()));
-  if (threads <= 1) {
-    for (std::size_t i = 0; i < configs.size(); ++i) {
-      results[i] = fn(configs[i]);
-    }
-    return results;
-  }
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    for (std::size_t i = next.fetch_add(1); i < configs.size();
-         i = next.fetch_add(1)) {
-      results[i] = fn(configs[i]);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
+  parallel_indices(configs.size(), threads,
+                   [&](std::size_t i) { results[i] = fn(configs[i]); });
   return results;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -21,12 +22,18 @@ namespace {
 
 [[nodiscard]] double parse_double(std::string_view value,
                                   std::string_view key) {
-  try {
-    return std::stod(std::string(value));
-  } catch (const std::exception&) {
+  // std::from_chars, not stod: reject trailing junk ("5x" is not 5), locale
+  // quirks, and the textual non-finites ("inf", "nan") from_chars itself
+  // still accepts — no scenario knob has a meaningful non-finite setting.
+  double out = 0.0;
+  const auto* begin = value.data();
+  const auto* end = value.data() + value.size();
+  const auto result = std::from_chars(begin, end, out);
+  if (result.ec != std::errc{} || result.ptr != end || !std::isfinite(out)) {
     throw std::invalid_argument("scenario: bad number for '" +
                                 std::string(key) + "': " + std::string(value));
   }
+  return out;
 }
 
 [[nodiscard]] std::int64_t parse_int(std::string_view value,

@@ -1,0 +1,52 @@
+#include "harness/sweep.hpp"
+
+#include "harness/runner.hpp"
+
+namespace apsim {
+
+MemLab::MemLab(const MemLabParams& params) : params_(params) {
+  sim_ = std::make_unique<Simulator>();
+  disk_ = std::make_unique<Disk>(*sim_,
+                                 DiskParams{.num_blocks = params.disk_blocks});
+  swap_ = std::make_unique<SwapDevice>(*disk_, 0, params.swap_slots);
+  VmmParams vp;
+  vp.total_frames = params.frames;
+  vp.freepages_min = params.freepages_min;
+  vp.freepages_low = params.freepages_low;
+  vp.freepages_high = params.freepages_high;
+  vmm_ = std::make_unique<Vmm>(*sim_, *swap_, vp);
+}
+
+void MemLab::run(const std::function<void()>& work) {
+  sim_->after(0, [&work] { work(); });
+  (void)sim_->run();
+}
+
+std::unique_ptr<MemLab> MemLab::fork(const MemLabParams& params,
+                                     const MemSnapshot& snap) {
+  auto lab = std::make_unique<MemLab>(params);
+  lab->vmm_->restore_snapshot(snap);
+  // Advance the fresh clock to the capture instant (the queue is empty, so
+  // this dispatches exactly one no-op event).
+  (void)lab->sim_->at(snap.when, [] {});
+  (void)lab->sim_->run();
+  return lab;
+}
+
+std::vector<std::unique_ptr<MemLab>> run_forked_sweep(
+    const MemLabParams& params, const std::function<void(MemLab&)>& warmup,
+    const std::vector<SweepPoint>& points, unsigned threads) {
+  MemLab prefix(params);
+  prefix.run([&] { warmup(prefix); });
+  const MemSnapshot snap = prefix.checkpoint();
+  std::vector<std::unique_ptr<MemLab>> labs(points.size());
+  parallel_indices(points.size(), threads, [&](std::size_t i) {
+    labs[i] = MemLab::fork(params, snap);
+    MemLab& lab = *labs[i];
+    if (points[i].apply) points[i].apply(lab);
+    lab.run([&] { points[i].body(lab); });
+  });
+  return labs;
+}
+
+}  // namespace apsim

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "disk/disk.hpp"
+#include "disk/swap_device.hpp"
+#include "mem/vmm.hpp"
+#include "sim/simulator.hpp"
+
+/// \file sweep.hpp
+/// Prefix-forked parameter sweeps over the paging stack. A sweep whose
+/// points share an expensive warmup (fill memory, reach paging steady
+/// state) runs the warmup ONCE, captures a copy-on-write MemSnapshot at
+/// quiescence, and forks every sweep point from that image instead of
+/// replaying the prefix per point. Forked labs are shared-nothing, so
+/// points can run on worker threads (parallel_indices) and each one is
+/// bit-identical to a from-scratch run of warmup + point.
+
+namespace apsim {
+
+struct MemLabParams {
+  std::int64_t frames = 2048;
+  std::int64_t freepages_min = 64;
+  std::int64_t freepages_low = 96;
+  std::int64_t freepages_high = 128;
+  std::int64_t disk_blocks = 1 << 22;
+  std::int64_t swap_slots = 1 << 22;
+};
+
+/// One self-contained paging stack (Simulator + Disk + SwapDevice + Vmm):
+/// the unit a sweep point runs in. Construction is cheap next to any real
+/// warmup, and labs share nothing, so forks can run concurrently.
+class MemLab {
+ public:
+  explicit MemLab(const MemLabParams& params);
+
+  MemLab(const MemLab&) = delete;
+  MemLab& operator=(const MemLab&) = delete;
+
+  [[nodiscard]] Simulator& sim() { return *sim_; }
+  [[nodiscard]] Disk& disk() { return *disk_; }
+  [[nodiscard]] SwapDevice& swap() { return *swap_; }
+  [[nodiscard]] Vmm& vmm() { return *vmm_; }
+
+  /// Schedule \p work at the current instant and drain the event queue.
+  void run(const std::function<void()>& work);
+
+  /// Capture the stack's paging state (call after run(): the queue must
+  /// have drained, so the stack is I/O-quiet).
+  [[nodiscard]] MemSnapshot checkpoint() const {
+    return vmm_->capture_snapshot();
+  }
+
+  /// Build a fresh lab continuing from \p snap: restores the image and
+  /// advances the new clock to the capture instant, so subsequent events
+  /// land at the same absolute times as in the captured run.
+  [[nodiscard]] static std::unique_ptr<MemLab> fork(const MemLabParams& params,
+                                                    const MemSnapshot& snap);
+
+ private:
+  MemLabParams params_;
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<Disk> disk_;
+  std::unique_ptr<SwapDevice> swap_;
+  std::unique_ptr<Vmm> vmm_;
+};
+
+/// One sweep point: `apply` sets the knob under sweep on the forked lab,
+/// then `body` drives the measurement workload inside the lab's simulator.
+struct SweepPoint {
+  std::string label;
+  std::function<void(MemLab&)> apply;  ///< set the point's knob(s) (optional)
+  std::function<void(MemLab&)> body;   ///< the measurement workload
+};
+
+/// Run \p warmup once in a fresh lab, checkpoint it, then fork every point
+/// from the image on up to \p threads workers. Returns the finished labs,
+/// one per point, holding each point's final state for inspection.
+[[nodiscard]] std::vector<std::unique_ptr<MemLab>> run_forked_sweep(
+    const MemLabParams& params, const std::function<void(MemLab&)>& warmup,
+    const std::vector<SweepPoint>& points, unsigned threads = 1);
+
+}  // namespace apsim

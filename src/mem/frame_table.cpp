@@ -7,7 +7,9 @@ namespace apsim {
 
 FrameTable::FrameTable(std::int64_t num_frames)
     : frames_(static_cast<std::size_t>(num_frames)) {
-  assert(num_frames > 0);
+  // 0 frames is a valid (empty) table: MemSnapshot default-constructs one
+  // as a placeholder before capture fills it in.
+  assert(num_frames >= 0);
   free_.reserve(frames_.size());
   // Hand out low frame numbers first (purely cosmetic determinism).
   for (std::int64_t f = num_frames - 1; f >= 0; --f) free_.push_back(f);

@@ -6,13 +6,10 @@
 #include "sim/time.hpp"
 
 /// \file page.hpp
-/// Core virtual-memory types: page/frame numbering and the page-table entry.
-/// The PTE mirrors what the paper's mechanisms need from Linux 2.2: present,
-/// referenced and dirty bits, the backing swap slot, plus an age stamp (the
-/// paper's selective page-out evicts the outgoing process's pages "in order
-/// of decreasing age") and a working-set epoch stamp (the kernel estimates
-/// the incoming process's working set from references in its previous
-/// quantum).
+/// Core virtual-memory types: page/frame numbering and size conversions.
+/// Per-page metadata (present/referenced/dirty/... bits) lives in
+/// `PageTable` as structure-of-arrays bitmaps; see page_table.hpp for the
+/// `Pte` accessor view that call sites read and write through.
 
 namespace apsim {
 
@@ -40,25 +37,5 @@ inline constexpr std::int64_t kPageBytes = 4096;
 [[nodiscard]] constexpr double pages_to_mb(std::int64_t pages) {
   return static_cast<double>(pages * kPageBytes) / (1024.0 * 1024.0);
 }
-
-/// Page-table entry.
-struct Pte {
-  FrameNum frame = kNoFrame;     ///< physical frame while present
-  SwapSlot slot = kNoSwapSlot;   ///< valid swap copy while >= 0
-  SimTime last_ref = 0;          ///< age information for selective page-out
-  std::uint32_t epoch = 0;       ///< working-set accounting epoch
-  std::uint32_t evict_epoch = 0; ///< epoch of last eviction (false-eviction detection)
-  std::uint8_t age = 0;          ///< page age (optional aging mode, cf. Linux 2.2)
-  bool present = false;
-  bool referenced = false;
-  bool dirty = false;
-  bool io_busy = false;          ///< page-in or page-out in flight
-  bool ever_touched = false;     ///< first touch is a zero-fill minor fault
-
-  /// True when eviction would need no disk write (valid swap copy, clean).
-  [[nodiscard]] bool clean_drop_ok() const {
-    return present && !dirty && slot != kNoSwapSlot;
-  }
-};
 
 }  // namespace apsim

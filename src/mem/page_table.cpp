@@ -1,4 +1,84 @@
 #include "mem/page_table.hpp"
 
-// PageTable is header-only today; this TU anchors the library target and
-// keeps a stable home for future out-of-line members.
+#include <algorithm>
+
+namespace apsim {
+
+namespace {
+[[nodiscard]] std::size_t words_for(std::int64_t npages) {
+  return static_cast<std::size_t>((npages + 63) / 64);
+}
+}  // namespace
+
+PageTable::PageTable(std::int64_t num_pages) {
+  auto meta = std::make_shared<Meta>();
+  meta->npages = num_pages;
+  const std::size_t nwords = words_for(num_pages);
+  const std::size_t n = static_cast<std::size_t>(num_pages);
+  meta->present.assign(nwords, 0);
+  meta->referenced.assign(nwords, 0);
+  meta->dirty.assign(nwords, 0);
+  meta->io_busy.assign(nwords, 0);
+  meta->ever_touched.assign(nwords, 0);
+  meta->has_slot.assign(nwords, 0);
+  meta->ws_seen.assign(nwords, 0);
+  meta->evicted.assign(nwords, 0);
+  meta->frame.assign(n, kNoFrame);
+  meta->slot.assign(n, kNoSwapSlot);
+  meta->last_ref.assign(n, 0);
+  meta->age.assign(n, 0);
+  meta_ = std::move(meta);
+}
+
+void PageTable::detach() {
+  meta_ = std::make_shared<Meta>(*meta_);
+}
+
+std::int64_t PageTable::count_present(VPage start, std::int64_t count) const {
+  const Meta& m = *meta_;
+  if (count <= 0) return 0;
+  if (start < 0) {
+    count += start;
+    start = 0;
+    if (count <= 0) return 0;
+  }
+  const std::int64_t end = std::min<std::int64_t>(start + count, m.npages);
+  if (start >= end) return 0;
+  std::size_t wi = page_word(start);
+  const std::size_t we = page_word(end - 1);
+  std::int64_t total = 0;
+  std::uint64_t w = m.present[wi] & (~std::uint64_t{0} << (start & 63));
+  while (true) {
+    if (wi == we) {
+      const unsigned last = static_cast<unsigned>((end - 1) & 63);
+      if (last != 63) w &= (std::uint64_t{1} << (last + 1)) - 1;
+      total += std::popcount(w);
+      return total;
+    }
+    total += std::popcount(w);
+    w = m.present[++wi];
+  }
+}
+
+void PageTable::clear_epoch_tags() {
+  Meta& m = rw();
+  std::fill(m.ws_seen.begin(), m.ws_seen.end(), 0);
+  std::fill(m.evicted.begin(), m.evicted.end(), 0);
+}
+
+PageTable::HotRows PageTable::hot_rows() {
+  Meta& m = rw();
+  HotRows rows;
+  rows.present = m.present.data();
+  rows.referenced = m.referenced.data();
+  rows.dirty = m.dirty.data();
+  rows.io_busy = m.io_busy.data();
+  rows.ever_touched = m.ever_touched.data();
+  rows.has_slot = m.has_slot.data();
+  rows.ws_seen = m.ws_seen.data();
+  rows.slot = m.slot.data();
+  rows.last_ref = m.last_ref.data();
+  return rows;
+}
+
+}  // namespace apsim

@@ -54,29 +54,47 @@ std::vector<Victim> ClockReclaimPolicy::select_victims(Vmm& vmm,
     std::int64_t quota =
         std::max<std::int64_t>(32, as.resident_pages() / 16);
     quota = std::min(quota, budget);
-    std::int64_t steps = pt.num_pages();  // at most one revolution per visit
+    const std::int64_t npages = pt.num_pages();
+    std::int64_t steps = npages;  // at most one revolution per visit
     bool found_any = false;
     while (quota > 0 && steps > 0 && std::ssize(out) < max_pages) {
       const VPage v = pt.clock_hand();
+      // Word-skip runs of non-present pages. Each skipped page still costs
+      // one step (the page-at-a-time sweep visited it), so the hand lands
+      // exactly where it would have — including when the step budget runs
+      // out mid-run.
+      const VPage np = pt.next_present(v);
+      if (np != v) {
+        const std::int64_t gap = (np >= npages ? npages : np) - v;
+        if (gap >= steps) {
+          pt.set_clock_hand((v + steps) % npages);
+          steps = 0;
+          break;
+        }
+        steps -= gap;
+        pt.set_clock_hand((v + gap) % npages);
+        continue;
+      }
       pt.advance_clock_hand();
       --steps;
-      Pte& pte = pt.at(v);
-      if (!pte.present || pte.io_busy) continue;
+      Pte pte = pt.at(v);
+      if (pte.io_busy()) continue;
       --quota;
       --budget;
-      if (pte.referenced) {
-        pte.referenced = false;  // second chance
+      if (pte.referenced()) {
+        pte.set_referenced(false);  // second chance
         if (params.page_aging) {
-          pte.age = static_cast<std::uint8_t>(
-              std::min<int>(pte.age + params.age_advance, params.age_max));
+          pte.set_age(static_cast<std::uint8_t>(
+              std::min<int>(pte.age() + params.age_advance, params.age_max)));
         }
         found_any = true;
         continue;
       }
-      if (params.page_aging && pte.age > 0) {
-        pte.age = static_cast<std::uint8_t>(
-            pte.age > params.age_decline ? pte.age - params.age_decline : 0);
-        if (pte.age > 0) {
+      if (params.page_aging && pte.age() > 0) {
+        pte.set_age(static_cast<std::uint8_t>(
+            pte.age() > params.age_decline ? pte.age() - params.age_decline
+                                           : 0));
+        if (pte.age() > 0) {
           found_any = true;
           continue;  // still protected
         }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string_view>
 #include <vector>
 
@@ -37,6 +38,13 @@ class ReclaimPolicy {
                                                            std::int64_t max_pages) = 0;
 
   [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Deep copy including sweep state (clock hands, queues, ghost lists), so
+  /// a memory snapshot can save and restore the policy mid-run. Policies
+  /// that do not support snapshotting return nullptr (the default).
+  [[nodiscard]] virtual std::unique_ptr<ReclaimPolicy> clone() const {
+    return nullptr;
+  }
 };
 
 /// Linux-2.2-style global clock replacement: a persistent sweep that visits
@@ -53,6 +61,10 @@ class ClockReclaimPolicy final : public ReclaimPolicy {
                                                    std::int64_t max_pages) override;
 
   [[nodiscard]] std::string_view name() const override { return "clock-lru"; }
+
+  [[nodiscard]] std::unique_ptr<ReclaimPolicy> clone() const override {
+    return std::make_unique<ClockReclaimPolicy>(*this);
+  }
 
  private:
   std::size_t cursor_ = 0;  ///< rotating process index

@@ -18,10 +18,11 @@ std::vector<Victim> ExactLruPolicy::select_victims(Vmm& vmm,
     const auto& as = vmm.space(pid);
     if (!as.alive() || as.resident_pages() == 0) continue;
     const auto& pt = as.page_table();
-    for (VPage v = 0; v < pt.num_pages(); ++v) {
-      const Pte& pte = pt.at(v);
-      if (pte.present && !pte.io_busy) {
-        candidates.emplace_back(pte.last_ref, Victim{pid, v});
+    const std::int64_t npages = pt.num_pages();
+    for (VPage v = pt.next_present(0); v < npages; v = pt.next_present(v + 1)) {
+      const auto pte = pt.at(v);
+      if (!pte.io_busy()) {
+        candidates.emplace_back(pte.last_ref(), Victim{pid, v});
       }
     }
   }
@@ -54,10 +55,11 @@ void FifoPolicy::refill(Vmm& vmm) {
     const auto& as = vmm.space(pid);
     if (!as.alive() || as.resident_pages() == 0) continue;
     const auto& pt = as.page_table();
-    for (VPage v = 0; v < pt.num_pages(); ++v) {
-      const Pte& pte = pt.at(v);
-      if (pte.present && !pte.io_busy) {
-        candidates.emplace_back(pte.last_ref, Victim{pid, v});
+    const std::int64_t npages = pt.num_pages();
+    for (VPage v = pt.next_present(0); v < npages; v = pt.next_present(v + 1)) {
+      const auto pte = pt.at(v);
+      if (!pte.io_busy()) {
+        candidates.emplace_back(pte.last_ref(), Victim{pid, v});
       }
     }
   }
@@ -82,8 +84,8 @@ std::vector<Victim> FifoPolicy::select_victims(Vmm& vmm,
       const Victim victim = queue_[cursor_++];
       const auto& as = vmm.space(victim.pid);
       if (!as.alive()) continue;
-      const Pte& pte = as.page_table().at(victim.vpage);
-      if (pte.present && !pte.io_busy) out.push_back(victim);
+      const auto pte = as.page_table().at(victim.vpage);
+      if (pte.present() && !pte.io_busy()) out.push_back(victim);
     }
     if (out.empty() && cursor_ >= queue_.size()) refill(vmm);
   }

@@ -54,20 +54,34 @@ std::vector<Victim> MglruPolicy::select_victims(Vmm& vmm,
       st.gen.assign(static_cast<std::size_t>(pt.num_pages()), kEntryGen);
       st.hand = 0;
     }
+    const std::int64_t npages = pt.num_pages();
     for (std::int64_t q = 0;
          q < kQuota && budget > 0 && std::ssize(out) < max_pages; ++q) {
-      if (st.hand >= pt.num_pages()) st.hand = 0;
-      const VPage v = st.hand++;
+      if (st.hand >= npages) st.hand = 0;
+      const VPage v = st.hand;
+      // Word-skip runs of non-present pages; each skipped page still costs
+      // one quota step and one budget unit, exactly like the page-at-a-time
+      // sweep, so rotation and give-up points are unchanged.
+      const VPage np = pt.next_present(v);
+      if (np != v) {
+        const std::int64_t gap = (np >= npages ? npages : np) - v;
+        const std::int64_t avail =
+            std::min(gap, std::min(kQuota - q, budget));
+        st.hand = v + avail;  // == npages wraps at the top of the loop
+        budget -= avail;
+        q += avail - 1;  // the loop increment covers the last page
+        continue;
+      }
+      ++st.hand;
       --budget;
-      Pte& pte = pt.at(v);
-      if (!pte.present) continue;
+      Pte pte = pt.at(v);
       auto& gen = st.gen[static_cast<std::size_t>(v)];
-      if (pte.referenced) {
-        pte.referenced = false;
+      if (pte.referenced()) {
+        pte.set_referenced(false);
         gen = kYoungest;
       } else if (gen > 0) {
         --gen;
-      } else if (!pte.io_busy) {
+      } else if (!pte.io_busy()) {
         out.push_back(Victim{pid, v});
         // If the page comes back it re-enters on probation, not at gen 0.
         gen = kEntryGen;
@@ -98,9 +112,8 @@ void S3FifoPolicy::ingest(Vmm& vmm) {
     const auto& as = vmm.space(pid);
     if (!as.alive() || as.resident_pages() == 0) continue;
     const auto& pt = as.page_table();
-    for (VPage v = 0; v < pt.num_pages(); ++v) {
-      const Pte& pte = pt.at(v);
-      if (!pte.present) continue;
+    const std::int64_t npages = pt.num_pages();
+    for (VPage v = pt.next_present(0); v < npages; v = pt.next_present(v + 1)) {
       const Key key{pid, v};
       if (tracked_.contains(key)) continue;
       if (ghost_.contains(key)) {
@@ -156,13 +169,13 @@ std::vector<Victim> S3FifoPolicy::select_victims(Vmm& vmm,
       tracked_.erase(tracked_it);
       continue;
     }
-    Pte& pte = as.page_table().at(key.second);
-    if (!pte.present) {
+    Pte pte = as.page_table().at(key.second);
+    if (!pte.present()) {
       tracked_.erase(tracked_it);
       continue;
     }
-    if (pte.referenced) {
-      pte.referenced = false;
+    if (pte.referenced()) {
+      pte.set_referenced(false);
       if (from_small) {
         tracked_it->second = Where::kMain;
         main_.push_back(key);
@@ -173,7 +186,7 @@ std::vector<Victim> S3FifoPolicy::select_victims(Vmm& vmm,
       }
       continue;
     }
-    if (pte.io_busy) {
+    if (pte.io_busy()) {
       queue.push_back(key);  // retry later; bounded by the scan budget
       continue;
     }

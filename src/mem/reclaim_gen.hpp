@@ -39,6 +39,10 @@ class MglruPolicy final : public ReclaimPolicy {
 
   [[nodiscard]] std::string_view name() const override { return "mglru"; }
 
+  [[nodiscard]] std::unique_ptr<ReclaimPolicy> clone() const override {
+    return std::make_unique<MglruPolicy>(*this);
+  }
+
   /// Generation a referenced page is promoted to; pages enter at kEntryGen.
   static constexpr std::uint8_t kYoungest = 3;
   static constexpr std::uint8_t kEntryGen = 1;
@@ -61,6 +65,10 @@ class S3FifoPolicy final : public ReclaimPolicy {
                                                    std::int64_t max_pages) override;
 
   [[nodiscard]] std::string_view name() const override { return "s3-fifo"; }
+
+  [[nodiscard]] std::unique_ptr<ReclaimPolicy> clone() const override {
+    return std::make_unique<S3FifoPolicy>(*this);
+  }
 
   struct Stats {
     std::uint64_t ghost_hits = 0;        ///< re-entries promoted via ghost

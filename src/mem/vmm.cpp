@@ -50,22 +50,26 @@ void Vmm::release_process(Pid pid) {
   as.alive_ = false;
   as.drop_watches();  // the residency cache dies with the process
   auto& pt = as.page_table();
-  for (VPage v = 0; v < pt.num_pages(); ++v) {
-    Pte& pte = pt.at(v);
-    if (pte.io_busy) continue;  // reaped by the I/O completion handler
-    if (pte.present) {
-      frames_.free(pte.frame);
-      pte.frame = kNoFrame;
-      pte.present = false;
+  // Only live pages (present or holding a swap copy) need teardown work;
+  // every in-flight page is live too (a read keeps its slot, a write keeps
+  // the page mapped), so the word scan visits everything the full walk did.
+  const std::int64_t npages = pt.num_pages();
+  for (VPage v = pt.next_live(0); v < npages; v = pt.next_live(v + 1)) {
+    Pte pte = pt.at(v);
+    if (pte.io_busy()) continue;  // reaped by the I/O completion handler
+    if (pte.present()) {
+      frames_.free(pte.frame());
+      pte.set_frame(kNoFrame);
+      pte.set_present(false);
       --as.resident_;
-      if (pte.dirty) {
-        pte.dirty = false;
+      if (pte.dirty()) {
+        pte.set_dirty(false);
         --as.dirty_resident_;
       }
     }
-    if (pte.slot != kNoSwapSlot) {
-      swap_.free_slot(pte.slot);
-      pte.slot = kNoSwapSlot;
+    if (pte.slot() != kNoSwapSlot) {
+      swap_.free_slot(pte.slot());
+      pte.set_slot(kNoSwapSlot);
     }
   }
   // Freed frames and slots are reclaim progress: clear any stall.
@@ -97,27 +101,27 @@ bool Vmm::touch(Pid pid, VPage vpage, bool write) {
 
 bool Vmm::touch(AddressSpace& as, VPage vpage, bool write) {
   assert(as.page_table().valid(vpage));
-  Pte& pte = as.page_table().at(vpage);
-  if (!pte.present) return false;
+  Pte pte = as.page_table().at(vpage);
+  if (!pte.present()) return false;
   touch_resident(as, pte, write);
   return true;
 }
 
-void Vmm::touch_resident(AddressSpace& as, Pte& pte, bool write) {
-  pte.referenced = true;
-  pte.last_ref = sim_.now();
-  if (pte.epoch != as.epoch_) {
-    pte.epoch = as.epoch_;
+void Vmm::touch_resident(AddressSpace& as, Pte pte, bool write) {
+  pte.set_referenced(true);
+  pte.set_last_ref(sim_.now());
+  if (!pte.ws_seen()) {
+    pte.set_ws_seen();
     ++as.ws_pages_;
   }
-  if (write && !pte.dirty) {
-    pte.dirty = true;
+  if (write && !pte.dirty()) {
+    pte.set_dirty(true);
     ++as.dirty_resident_;
     // The swap copy (if any) is now stale. With I/O in flight the completion
     // handler performs the invalidation instead.
-    if (!pte.io_busy && pte.slot != kNoSwapSlot) {
-      swap_.free_slot(pte.slot);
-      pte.slot = kNoSwapSlot;
+    if (!pte.io_busy() && pte.slot() != kNoSwapSlot) {
+      swap_.free_slot(pte.slot());
+      pte.set_slot(kNoSwapSlot);
     }
   }
 }
@@ -136,17 +140,14 @@ bool Vmm::region_fully_resident(AddressSpace& as, VPage start,
     }
   }
   // First query for this region: register a watch (round-robin slot) with
-  // one scan. From here on the unmap hooks keep the count exact.
+  // one popcount pass over the present bitmap. From here on the unmap hooks
+  // keep the count exact.
   auto& w = as.watched_[as.watch_cursor_];
   as.watch_cursor_ = (as.watch_cursor_ + 1) % AddressSpace::kWatchedRegions;
   w.active = true;
   w.start = start;
   w.pages = pages;
-  w.nonresident = 0;
-  const auto& pt = as.page_table();
-  for (VPage v = start; v < start + pages; ++v) {
-    if (!pt.at(v).present) ++w.nonresident;
-  }
+  w.nonresident = pages - as.page_table().count_present(start, pages);
   return w.nonresident == 0;
 }
 
@@ -179,30 +180,32 @@ Vmm::TouchRun Vmm::touch_run(AddressSpace& as, const TouchPlan& plan,
         plan.pattern == TouchPattern::kSequential
             ? begin % rp
             : ((begin % rp) * step) % rp;
-    // Manually hoisted touch_resident: the simulated instant, the ws epoch
-    // and the write flag are loop invariants, but the compiler cannot prove
-    // that through the AddressSpace/Simulator references once the loop
-    // stores into PTEs, so reload-per-touch would dominate the loop.
-    Pte* const base = &as.page_table().at(plan.region_start);
+    // Raw bitmap rows, hoisted out of the loop: the simulated instant and
+    // the write flag are loop invariants, and per-page effects compile down
+    // to single bit ops against these rows instead of accessor calls the
+    // compiler cannot hoist through the stores.
+    const PageTable::HotRows rows = as.page_table().hot_rows();
     const SimTime now = sim_.now();
-    const std::uint32_t epoch = as.epoch_;
     const bool write = plan.write;
     std::int64_t ws_new = 0;
     for (std::int64_t k = 0; k < distinct; ++k) {
-      Pte& pte = base[idx];
-      pte.referenced = true;
-      pte.last_ref = now;
-      if (pte.epoch != epoch) {
-        pte.epoch = epoch;
+      const VPage v = plan.region_start + idx;
+      const std::size_t w = page_word(v);
+      const std::uint64_t bit = page_bit(v);
+      rows.referenced[w] |= bit;
+      rows.last_ref[v] = now;
+      if ((rows.ws_seen[w] & bit) == 0) {
+        rows.ws_seen[w] |= bit;
         ++ws_new;
       }
-      if (write && !pte.dirty) {
-        pte.dirty = true;
+      if (write && (rows.dirty[w] & bit) == 0) {
+        rows.dirty[w] |= bit;
         ++as.dirty_resident_;
         // Stale swap copy: same invalidation rule as touch_resident.
-        if (!pte.io_busy && pte.slot != kNoSwapSlot) {
-          swap_.free_slot(pte.slot);
-          pte.slot = kNoSwapSlot;
+        if ((rows.io_busy[w] & bit) == 0 && (rows.has_slot[w] & bit) != 0) {
+          swap_.free_slot(rows.slot[v]);
+          rows.slot[v] = kNoSwapSlot;
+          rows.has_slot[w] &= ~bit;
         }
       }
       idx += step;
@@ -218,8 +221,8 @@ Vmm::TouchRun Vmm::touch_run(AddressSpace& as, const TouchPlan& plan,
   auto& pt = as.page_table();
   for (std::int64_t k = 0; k < budget; ++k) {
     const VPage v = plan.page_at(begin + k);
-    Pte& pte = pt.at(v);
-    if (!pte.present) {
+    Pte pte = pt.at(v);
+    if (!pte.present()) {
       out.faulted = true;
       out.fault_page = v;
       out.consumed = k;
@@ -233,7 +236,7 @@ Vmm::TouchRun Vmm::touch_run(AddressSpace& as, const TouchPlan& plan,
 
 void Vmm::begin_ws_epoch(Pid pid) {
   auto& as = space(pid);
-  ++as.epoch_;
+  as.page_table().clear_epoch_tags();
   as.ws_pages_ = 0;
 }
 
@@ -245,10 +248,8 @@ Vmm::ImageSnapshot Vmm::snapshot_image(Pid pid) const {
   const auto& pt = as.page_table();
   ImageSnapshot snap;
   snap.dirty_pages = as.dirty_pages();
-  for (VPage v = 0; v < pt.num_pages(); ++v) {
-    const Pte& pte = pt.at(v);
-    const bool live = pte.present || pte.slot != kNoSwapSlot;
-    if (!live) continue;
+  const std::int64_t npages = pt.num_pages();
+  for (VPage v = pt.next_live(0); v < npages; v = pt.next_live(v + 1)) {
     ++snap.live_pages;
     if (!snap.live.empty() &&
         snap.live.back().start + snap.live.back().count == v) {
@@ -271,10 +272,10 @@ void Vmm::bind_swap_image(Pid pid, const std::vector<PageRun>& pages,
   for (const PageRun& run : pages) {
     for (std::int64_t i = 0; i < run.count; ++i) {
       assert(slot_it != slots.end());
-      Pte& pte = pt.at(run.start + i);
-      assert(pte.slot == kNoSwapSlot && !pte.present);
-      pte.slot = slot_it->start + slot_off;
-      pte.ever_touched = true;
+      Pte pte = pt.at(run.start + i);
+      assert(pte.slot() == kNoSwapSlot && !pte.present());
+      pte.set_slot(slot_it->start + slot_off);
+      pte.set_ever_touched(true);
       if (++slot_off == slot_it->count) {
         ++slot_it;
         slot_off = 0;
@@ -283,6 +284,91 @@ void Vmm::bind_swap_image(Pid pid, const std::vector<PageRun>& pages,
   }
   assert(slot_it == slots.end() && slot_off == 0 &&
          "page/slot run totals must match");
+}
+
+// ---------------------------------------------------------------------------
+// Copy-on-write memory snapshots
+
+MemSnapshot Vmm::capture_snapshot() const {
+  // Only an I/O-quiet instant can be captured: an in-flight transfer holds a
+  // callback into this Vmm that a restored stack could never re-create.
+  assert(waiters_.empty() && evictions_in_flight_ == 0 && io_waiters_.empty() &&
+         stalled_retry_counts_.empty() && "capture requires quiescence");
+  MemSnapshot snap;
+  snap.spaces.reserve(spaces_.size());
+  for (const auto& [pid, as] : spaces_) {
+    const PageTable& pt = as->pt_;
+#ifndef NDEBUG
+    for (std::uint64_t w : pt.ro().io_busy) assert(w == 0);
+#endif
+    MemSnapshot::SpaceImage image;
+    image.pid = pid;
+    image.meta = pt.share_meta();
+    image.clock_hand = pt.clock_hand();
+    image.resident = as->resident_;
+    image.dirty_resident = as->dirty_resident_;
+    image.ws_pages = as->ws_pages_;
+    image.writeback_hand = as->writeback_hand_;
+    image.alive = as->alive_;
+    image.stats = as->stats_;
+    snap.spaces.push_back(std::move(image));
+  }
+  snap.next_pid = next_pid_;
+  snap.frames = frames_;
+  snap.swap = swap_.capture_alloc();
+  snap.policy = policy_->clone();
+  assert(snap.policy && "snapshots need a clonable reclaim policy");
+  snap.params = params_;
+  snap.stats = stats_;
+  snap.reclaim_stalled = reclaim_stalled_;
+  snap.write_failure_streak = write_failure_streak_;
+  snap.release_warnings = release_warnings_;
+  snap.pagein = pagein_series_;
+  snap.pageout = pageout_series_;
+  snap.when = sim_.now();
+  snap.disk_head = swap_.disk().head();
+  snap.disk_stats = swap_.disk().stats();
+  return snap;
+}
+
+void Vmm::restore_snapshot(const MemSnapshot& snap) {
+  assert(waiters_.empty() && evictions_in_flight_ == 0 && io_waiters_.empty() &&
+         "restore requires a quiescent target");
+  assert(frames_.total_frames() == snap.frames.total_frames());
+  spaces_.clear();
+  pids_.clear();
+  pids_.reserve(snap.spaces.size());
+  for (const MemSnapshot::SpaceImage& image : snap.spaces) {
+    // The AddressSpace constructor allocates a fresh metadata block;
+    // adopt_meta immediately replaces it with the image's shared one, so
+    // the restored table starts copy-on-write against the snapshot.
+    auto as = std::make_unique<AddressSpace>(image.pid, image.meta->npages);
+    PageTable& pt = as->pt_;
+    pt.adopt_meta(image.meta);
+    pt.set_clock_hand(image.clock_hand);
+    as->resident_ = image.resident;
+    as->dirty_resident_ = image.dirty_resident;
+    as->ws_pages_ = image.ws_pages;
+    as->writeback_hand_ = image.writeback_hand;
+    as->alive_ = image.alive;
+    as->stats_ = image.stats;
+    pids_.push_back(image.pid);
+    spaces_.emplace(image.pid, std::move(as));
+  }
+  next_pid_ = snap.next_pid;
+  frames_ = snap.frames;
+  swap_.restore_alloc(snap.swap);
+  policy_ = snap.policy->clone();
+  params_ = snap.params;
+  stats_ = snap.stats;
+  reclaim_stalled_ = snap.reclaim_stalled;
+  write_failure_streak_ = snap.write_failure_streak;
+  release_warnings_ = snap.release_warnings;
+  pagein_series_ = snap.pagein;
+  pageout_series_ = snap.pageout;
+  reclaim_scheduled_ = false;
+  swap_.disk().set_head(snap.disk_head);
+  swap_.disk().set_stats(snap.disk_stats);
 }
 
 // ---------------------------------------------------------------------------
@@ -297,15 +383,15 @@ void Vmm::fault_impl(Pid pid, VPage vpage, bool write,
   auto& as = space(pid);
   assert(as.page_table().valid(vpage));
   if (!as.alive_) return;  // process was killed while the fault was pending
-  Pte& pte = as.page_table().at(vpage);
+  Pte pte = as.page_table().at(vpage);
 
-  if (pte.present) {
+  if (pte.present()) {
     // Raced with a prefetch or read-ahead that mapped the page meanwhile.
     (void)touch(as, vpage, write);
     sim_.after(0, std::move(resume));
     return;
   }
-  if (pte.io_busy) {
+  if (pte.io_busy()) {
     // Page-in already in flight (read-ahead, prefetch, or another waiter):
     // piggyback instead of issuing new I/O.
     add_io_waiter(pid, vpage, [this, pid, vpage, write,
@@ -331,7 +417,7 @@ void Vmm::fault_impl(Pid pid, VPage vpage, bool write,
     return;
   }
 
-  if (pte.slot != kNoSwapSlot) {
+  if (pte.slot() != kNoSwapSlot) {
     start_major_fault(pid, vpage, write, std::move(resume));
   } else {
     finish_minor_fault(pid, vpage, write, std::move(resume));
@@ -364,22 +450,22 @@ void Vmm::retry_fault_later(Pid pid, VPage vpage, bool write,
 void Vmm::finish_minor_fault(Pid pid, VPage vpage, bool write,
                              std::function<void()> resume) {
   auto& as = space(pid);
-  Pte& pte = as.page_table().at(vpage);
+  Pte pte = as.page_table().at(vpage);
   auto frame = frames_.alloc(pid, vpage);
   if (!frame) {
     retry_fault_later(pid, vpage, write, std::move(resume));
     return;
   }
   // Anonymous zero-fill: the page has no backing store, so it is born dirty.
-  pte.frame = *frame;
-  pte.present = true;
-  pte.referenced = true;
-  pte.dirty = true;
-  pte.ever_touched = true;
-  pte.age = params_.age_initial;
-  pte.last_ref = sim_.now();
-  if (pte.epoch != as.epoch_) {
-    pte.epoch = as.epoch_;
+  pte.set_frame(*frame);
+  pte.set_present(true);
+  pte.set_referenced(true);
+  pte.set_dirty(true);
+  pte.set_ever_touched(true);
+  pte.set_age(params_.age_initial);
+  pte.set_last_ref(sim_.now());
+  if (!pte.ws_seen()) {
+    pte.set_ws_seen();
     ++as.ws_pages_;
   }
   ++as.resident_;
@@ -399,8 +485,8 @@ void Vmm::start_major_fault(Pid pid, VPage vpage, bool write,
                             std::function<void()> resume) {
   auto& as = space(pid);
   auto& pt = as.page_table();
-  Pte& base = pt.at(vpage);
-  assert(base.slot != kNoSwapSlot && !base.present && !base.io_busy);
+  Pte base = pt.at(vpage);
+  assert(base.slot() != kNoSwapSlot && !base.present() && !base.io_busy());
 
   const auto frame0 = frames_.alloc(pid, vpage);
   if (!frame0) {
@@ -408,35 +494,35 @@ void Vmm::start_major_fault(Pid pid, VPage vpage, bool write,
     return;
   }
   ++as.stats_.major_faults;
-  if (base.evict_epoch == as.epoch_) ++as.stats_.false_evictions;
-  base.frame = *frame0;
-  base.io_busy = true;
+  if (base.evicted_this_epoch()) ++as.stats_.false_evictions;
+  base.set_frame(*frame0);
+  base.set_io_busy(true);
 
   // Swap read-ahead: extend the read over neighbouring virtual pages whose
   // swap slots are exactly consecutive with ours (forward first, then
   // backward), up to page_cluster pages, frames permitting.
   VPage lo = vpage;
   VPage hi = vpage;
-  const SwapSlot s0 = base.slot;
+  const SwapSlot s0 = base.slot();
   auto eligible = [&](VPage v) {
     if (!pt.valid(v)) return false;
-    const Pte& p = pt.at(v);
-    return !p.present && !p.io_busy && p.slot == s0 + (v - vpage);
+    const Pte p = pt.at(v);
+    return !p.present() && !p.io_busy() && p.slot() == s0 + (v - vpage);
   };
   while (hi - lo + 1 < params_.page_cluster && eligible(hi + 1)) {
     const auto f = frames_.alloc(pid, hi + 1);
     if (!f) break;
-    Pte& p = pt.at(hi + 1);
-    p.frame = *f;
-    p.io_busy = true;
+    Pte p = pt.at(hi + 1);
+    p.set_frame(*f);
+    p.set_io_busy(true);
     ++hi;
   }
   while (hi - lo + 1 < params_.page_cluster && eligible(lo - 1)) {
     const auto f = frames_.alloc(pid, lo - 1);
     if (!f) break;
-    Pte& p = pt.at(lo - 1);
-    p.frame = *f;
-    p.io_busy = true;
+    Pte p = pt.at(lo - 1);
+    p.set_frame(*f);
+    p.set_io_busy(true);
     --lo;
   }
 
@@ -466,14 +552,14 @@ void Vmm::issue_major_read(Pid pid, VPage lo, std::int64_t count, VPage vpage,
   auto abandon = [this, pid, lo, count](AddressSpace& as2) {
     auto& pt2 = as2.page_table();
     for (VPage v = lo; v < lo + count; ++v) {
-      Pte& p = pt2.at(v);
-      assert(p.io_busy && !p.present);
-      p.io_busy = false;
-      frames_.free(p.frame);
-      p.frame = kNoFrame;
-      if (!as2.alive_ && p.slot != kNoSwapSlot) {
-        swap_.free_slot(p.slot);
-        p.slot = kNoSwapSlot;
+      Pte p = pt2.at(v);
+      assert(p.io_busy() && !p.present());
+      p.set_io_busy(false);
+      frames_.free(p.frame());
+      p.set_frame(kNoFrame);
+      if (!as2.alive_ && p.slot() != kNoSwapSlot) {
+        swap_.free_slot(p.slot());
+        p.set_slot(kNoSwapSlot);
       }
       drop_io_waiters(pid, v);
     }
@@ -485,7 +571,7 @@ void Vmm::issue_major_read(Pid pid, VPage lo, std::int64_t count, VPage vpage,
     return;
   }
 
-  const SlotRun run{pt.at(lo).slot, count};
+  const SlotRun run{pt.at(lo).slot(), count};
   swap_read(
       run, IoPriority::kForeground,
       [this, pid, lo, count, vpage, write, resume = std::move(resume), attempt,
@@ -528,24 +614,24 @@ void Vmm::issue_major_read(Pid pid, VPage lo, std::int64_t count, VPage vpage,
           return;
         }
         for (VPage v = lo; v < lo + count; ++v) {
-          Pte& p = pt2.at(v);
-          assert(p.io_busy && !p.present);
-          p.io_busy = false;
+          Pte p = pt2.at(v);
+          assert(p.io_busy() && !p.present());
+          p.set_io_busy(false);
           if (!as2.alive_) {
-            frames_.free(p.frame);
-            p.frame = kNoFrame;
-            if (p.slot != kNoSwapSlot) {
-              swap_.free_slot(p.slot);
-              p.slot = kNoSwapSlot;
+            frames_.free(p.frame());
+            p.set_frame(kNoFrame);
+            if (p.slot() != kNoSwapSlot) {
+              swap_.free_slot(p.slot());
+              p.set_slot(kNoSwapSlot);
             }
             continue;
           }
-          p.present = true;
+          p.set_present(true);
           // Only the faulting page counts as referenced; read-ahead
           // pages age out if they go unused (Linux behaviour).
-          p.referenced = (v == vpage);
-          p.age = params_.age_initial;
-          p.last_ref = sim_.now();
+          p.set_referenced(v == vpage);
+          p.set_age(params_.age_initial);
+          p.set_last_ref(sim_.now());
           ++as2.resident_;
           as2.note_mapped(v);
           if (!stalled_retry_counts_.empty()) {
@@ -766,21 +852,21 @@ std::int64_t Vmm::evict_batch(std::span<const Victim> victims,
   writes.reserve(victims.size());
   for (const Victim& victim : victims) {
     auto& as = space(victim.pid);
-    Pte& pte = as.page_table().at(victim.vpage);
-    if (!pte.present || pte.io_busy) continue;  // duplicate or raced
+    Pte pte = as.page_table().at(victim.vpage);
+    if (!pte.present() || pte.io_busy()) continue;  // duplicate or raced
     if (pte.clean_drop_ok()) {
-      pte.present = false;
-      pte.referenced = false;
-      pte.evict_epoch = as.epoch_;
-      frames_.free(pte.frame);
-      pte.frame = kNoFrame;
+      pte.set_present(false);
+      pte.set_referenced(false);
+      pte.set_evicted_this_epoch();
+      frames_.free(pte.frame());
+      pte.set_frame(kNoFrame);
       --as.resident_;
       as.note_unmapped(victim.vpage);
       ++as.stats_.pages_clean_dropped;
       ++freed_now;
       note_evicted(victim.pid, victim.vpage);
     } else {
-      pte.io_busy = true;  // reserve
+      pte.set_io_busy(true);  // reserve
       writes.push_back(victim);
     }
   }
@@ -807,21 +893,21 @@ std::int64_t Vmm::evict_batch(std::span<const Victim> victims,
                    static_cast<long long>(remaining));
         // Un-reserve the pages we could not place.
         for (std::int64_t k = 0; k < remaining; ++k) {
-          pt.at(v + k).io_busy = false;
+          pt.at(v + k).set_io_busy(false);
         }
         break;
       }
       const VPage run_begin = v;
       for (std::int64_t k = 0; k < run->count; ++k, ++v) {
-        Pte& pte = pt.at(v);
-        assert(pte.present && pte.io_busy);
-        if (pte.slot != kNoSwapSlot) swap_.free_slot(pte.slot);  // stale copy
-        pte.slot = run->start + k;
-        if (pte.dirty) {
-          pte.dirty = false;
+        Pte pte = pt.at(v);
+        assert(pte.present() && pte.io_busy());
+        if (pte.slot() != kNoSwapSlot) swap_.free_slot(pte.slot());  // stale copy
+        pte.set_slot(run->start + k);
+        if (pte.dirty()) {
+          pte.set_dirty(false);
           --as.dirty_resident_;
         }
-        pte.evict_epoch = as.epoch_;
+        pte.set_evicted_this_epoch();
         note_evicted(pid, v);
       }
       remaining -= run->count;
@@ -846,50 +932,50 @@ std::int64_t Vmm::evict_batch(std::span<const Victim> victims,
                       reclaim_stalled_ = false;
                     }
                     for (VPage p = run_begin; p < run_begin + count; ++p) {
-                      Pte& pte = pt2.at(p);
-                      assert(pte.io_busy);
-                      pte.io_busy = false;
-                      if (!result.ok && pte.slot != kNoSwapSlot) {
+                      Pte pte = pt2.at(p);
+                      assert(pte.io_busy());
+                      pte.set_io_busy(false);
+                      if (!result.ok && pte.slot() != kNoSwapSlot) {
                         // The swap copy was never written; drop the slot.
-                        swap_.free_slot(pte.slot);
-                        pte.slot = kNoSwapSlot;
+                        swap_.free_slot(pte.slot());
+                        pte.set_slot(kNoSwapSlot);
                       }
                       if (!as2.alive_) {
-                        frames_.free(pte.frame);
-                        pte.frame = kNoFrame;
-                        pte.present = false;
+                        frames_.free(pte.frame());
+                        pte.set_frame(kNoFrame);
+                        pte.set_present(false);
                         --as2.resident_;
                         as2.note_unmapped(p);
-                        if (pte.dirty) {
-                          pte.dirty = false;
+                        if (pte.dirty()) {
+                          pte.set_dirty(false);
                           --as2.dirty_resident_;
                         }
-                        if (pte.slot != kNoSwapSlot) {
-                          swap_.free_slot(pte.slot);
-                          pte.slot = kNoSwapSlot;
+                        if (pte.slot() != kNoSwapSlot) {
+                          swap_.free_slot(pte.slot());
+                          pte.set_slot(kNoSwapSlot);
                         }
                         continue;
                       }
                       if (!result.ok) {
                         // The data exists only in memory: the page stays
                         // resident and is dirty again. kswapd retries later.
-                        if (!pte.dirty) {
-                          pte.dirty = true;
+                        if (!pte.dirty()) {
+                          pte.set_dirty(true);
                           ++as2.dirty_resident_;
                         }
                         continue;
                       }
-                      if (pte.dirty) {
+                      if (pte.dirty()) {
                         // Re-dirtied while the write was in flight: the just
                         // written copy is stale; the eviction is aborted.
-                        swap_.free_slot(pte.slot);
-                        pte.slot = kNoSwapSlot;
+                        swap_.free_slot(pte.slot());
+                        pte.set_slot(kNoSwapSlot);
                         continue;
                       }
-                      pte.present = false;
-                      pte.referenced = false;
-                      frames_.free(pte.frame);
-                      pte.frame = kNoFrame;
+                      pte.set_present(false);
+                      pte.set_referenced(false);
+                      frames_.free(pte.frame());
+                      pte.set_frame(kNoFrame);
                       --as2.resident_;
                       as2.note_unmapped(p);
                     }
@@ -947,25 +1033,25 @@ void Vmm::prefetch_pump(const std::shared_ptr<PrefetchJob>& job) {
       ++job->page_idx;
       continue;
     }
-    Pte& pte = pt.at(v);
-    if (pte.present || pte.io_busy || pte.slot == kNoSwapSlot) {
+    Pte pte = pt.at(v);
+    if (pte.present() || pte.io_busy() || pte.slot() == kNoSwapSlot) {
       ++job->page_idx;
       continue;
     }
 
     // Head of a read batch: extend while slots stay consecutive and frames
     // remain available.
-    const SwapSlot s0 = pte.slot;
+    const SwapSlot s0 = pte.slot();
     std::int64_t len = 0;
     while (job->page_idx + len < run.count && len < params_.max_prefetch_run) {
       const VPage vc = run.start + job->page_idx + len;
       if (!pt.valid(vc)) break;
-      Pte& pc = pt.at(vc);
-      if (pc.present || pc.io_busy || pc.slot != s0 + len) break;
+      Pte pc = pt.at(vc);
+      if (pc.present() || pc.io_busy() || pc.slot() != s0 + len) break;
       auto frame = frames_.alloc(job->pid, vc);
       if (!frame) break;
-      pc.frame = *frame;
-      pc.io_busy = true;
+      pc.set_frame(*frame);
+      pc.set_io_busy(true);
       ++len;
     }
     if (len == 0) {
@@ -990,8 +1076,8 @@ void Vmm::prefetch_pump(const std::shared_ptr<PrefetchJob>& job) {
                    ++stats_.io_read_failures;
                    ++stats_.prefetch_aborts;
                    for (VPage p = batch_begin; p < batch_begin + len; ++p) {
-                     Pte& pte = pt2.at(p);
-                     assert(pte.io_busy && !pte.present);
+                     Pte pte = pt2.at(p);
+                     assert(pte.io_busy() && !pte.present());
                      if (as2.alive_ && has_io_waiters(job->pid, p)) {
                        // A demand fault piggybacked on this prefetch read:
                        // escalate to a single-page foreground read with the
@@ -1002,12 +1088,12 @@ void Vmm::prefetch_pump(const std::shared_ptr<PrefetchJob>& job) {
                      }
                      // Release the frame but keep the swap slot (live owner):
                      // plain demand paging retries the page later.
-                     pte.io_busy = false;
-                     frames_.free(pte.frame);
-                     pte.frame = kNoFrame;
-                     if (!as2.alive_ && pte.slot != kNoSwapSlot) {
-                       swap_.free_slot(pte.slot);
-                       pte.slot = kNoSwapSlot;
+                     pte.set_io_busy(false);
+                     frames_.free(pte.frame());
+                     pte.set_frame(kNoFrame);
+                     if (!as2.alive_ && pte.slot() != kNoSwapSlot) {
+                       swap_.free_slot(pte.slot());
+                       pte.set_slot(kNoSwapSlot);
                      }
                    }
                    // Abandon the rest of the replay: the pager falls back to
@@ -1023,24 +1109,24 @@ void Vmm::prefetch_pump(const std::shared_ptr<PrefetchJob>& job) {
                    return;
                  }
                  for (VPage p = batch_begin; p < batch_begin + len; ++p) {
-                   Pte& pte = pt2.at(p);
-                   assert(pte.io_busy && !pte.present);
-                   pte.io_busy = false;
+                   Pte pte = pt2.at(p);
+                   assert(pte.io_busy() && !pte.present());
+                   pte.set_io_busy(false);
                    if (!as2.alive_) {
-                     frames_.free(pte.frame);
-                     pte.frame = kNoFrame;
-                     if (pte.slot != kNoSwapSlot) {
-                       swap_.free_slot(pte.slot);
-                       pte.slot = kNoSwapSlot;
+                     frames_.free(pte.frame());
+                     pte.set_frame(kNoFrame);
+                     if (pte.slot() != kNoSwapSlot) {
+                       swap_.free_slot(pte.slot());
+                       pte.set_slot(kNoSwapSlot);
                      }
                      continue;
                    }
-                   pte.present = true;
+                   pte.set_present(true);
                    // Recorded working-set pages: mapped hot so a concurrent
                    // sweep does not immediately reclaim them again.
-                   pte.referenced = true;
-                   pte.age = params_.age_initial;
-                   pte.last_ref = sim_.now();
+                   pte.set_referenced(true);
+                   pte.set_age(params_.age_initial);
+                   pte.set_last_ref(sim_.now());
                    ++as2.resident_;
                    as2.note_mapped(p);
                    fire_io_waiters(job->pid, p);
@@ -1076,21 +1162,37 @@ void Vmm::writeback_dirty(Pid pid, std::int64_t max_pages, IoPriority priority,
   }
 
   auto candidate = [&](VPage p) {
-    const Pte& e = pt.at(p);
-    return e.present && e.dirty && !e.io_busy;
+    const Pte e = pt.at(p);
+    return e.present() && e.dirty() && !e.io_busy();
   };
 
   // Sweep from the per-space hand in vpage order so successive calls cover
-  // the space and consecutive dirty pages get contiguous slots.
+  // the space and consecutive dirty pages get contiguous slots. Runs of
+  // non-candidates are skipped word-at-a-time via the dirty bitmap; the
+  // skipped pages still count against the scan budget so the final hand
+  // position — (old hand + scanned) mod npages — matches the page-at-a-time
+  // sweep exactly.
   const std::int64_t npages = pt.num_pages();
   std::int64_t started = 0;
   std::int64_t scanned = 0;
   VPage v = as.writeback_hand_ % npages;
   while (scanned < npages && started < max_pages) {
     if (!candidate(v)) {
-      v = (v + 1) % npages;
-      ++scanned;
-      continue;
+      const VPage nc = pt.next_dirty_candidate(v);  // >= v, npages if none
+      const std::int64_t skip = nc - v;             // non-candidates skipped
+      if (scanned + skip >= npages) {
+        // Scan budget exhausts mid-skip: the hand stops where the scalar
+        // sweep would have stopped.
+        v = (v + (npages - scanned)) % npages;
+        scanned = npages;
+        break;
+      }
+      scanned += skip;
+      v = nc;
+      if (v == npages) {
+        v = 0;  // wrap and keep sweeping from the bottom
+        continue;
+      }
     }
     // Extend a contiguous group without wrapping around the end.
     const VPage begin = v;
@@ -1113,11 +1215,11 @@ void Vmm::writeback_dirty(Pid pid, std::int64_t max_pages, IoPriority priority,
       }
       const VPage run_begin = gv;
       for (std::int64_t k = 0; k < run->count; ++k, ++gv) {
-        Pte& pte = pt.at(run_begin + k);
-        if (pte.slot != kNoSwapSlot) swap_.free_slot(pte.slot);
-        pte.slot = run->start + k;
-        pte.io_busy = true;
-        pte.dirty = false;
+        Pte pte = pt.at(run_begin + k);
+        if (pte.slot() != kNoSwapSlot) swap_.free_slot(pte.slot());
+        pte.set_slot(run->start + k);
+        pte.set_io_busy(true);
+        pte.set_dirty(false);
         --as.dirty_resident_;
       }
       remaining -= run->count;
@@ -1129,43 +1231,43 @@ void Vmm::writeback_dirty(Pid pid, std::int64_t max_pages, IoPriority priority,
         auto& pt2 = as2.page_table();
         if (!result.ok) ++stats_.io_write_failures;
         for (VPage p = run_begin; p < run_begin + count; ++p) {
-          Pte& pte = pt2.at(p);
-          assert(pte.io_busy && pte.present);
-          pte.io_busy = false;
-          if (!result.ok && pte.slot != kNoSwapSlot) {
+          Pte pte = pt2.at(p);
+          assert(pte.io_busy() && pte.present());
+          pte.set_io_busy(false);
+          if (!result.ok && pte.slot() != kNoSwapSlot) {
             // The swap copy was never written; drop the slot.
-            swap_.free_slot(pte.slot);
-            pte.slot = kNoSwapSlot;
+            swap_.free_slot(pte.slot());
+            pte.set_slot(kNoSwapSlot);
           }
           if (!as2.alive_) {
-            frames_.free(pte.frame);
-            pte.frame = kNoFrame;
-            pte.present = false;
+            frames_.free(pte.frame());
+            pte.set_frame(kNoFrame);
+            pte.set_present(false);
             --as2.resident_;
             as2.note_unmapped(p);
-            if (pte.dirty) {
-              pte.dirty = false;
+            if (pte.dirty()) {
+              pte.set_dirty(false);
               --as2.dirty_resident_;
             }
-            if (pte.slot != kNoSwapSlot) {
-              swap_.free_slot(pte.slot);
-              pte.slot = kNoSwapSlot;
+            if (pte.slot() != kNoSwapSlot) {
+              swap_.free_slot(pte.slot());
+              pte.set_slot(kNoSwapSlot);
             }
             continue;
           }
           if (!result.ok) {
             // The page is still dirty in memory only. No retry here — the
             // background writer's next tick tries again naturally.
-            if (!pte.dirty) {
-              pte.dirty = true;
+            if (!pte.dirty()) {
+              pte.set_dirty(true);
               ++as2.dirty_resident_;
             }
             continue;
           }
-          if (pte.dirty) {
+          if (pte.dirty()) {
             // Re-dirtied during the write: the swap copy is stale.
-            swap_.free_slot(pte.slot);
-            pte.slot = kNoSwapSlot;
+            swap_.free_slot(pte.slot());
+            pte.set_slot(kNoSwapSlot);
           }
           // Page stays mapped either way; cleaning it without unmapping is
           // the point of background writing.

@@ -48,6 +48,27 @@ void Histogram::add(double x) {
 double Histogram::quantile(double q) const {
   if (total_ == 0) return lo_;
   q = std::clamp(q, 0.0, 1.0);
+  // Occupied extent: quantiles of a sparse histogram should report edges of
+  // buckets that actually hold samples, not the [lo, hi) frame it was
+  // configured with.
+  std::size_t first = counts_.size();
+  std::size_t last = counts_.size();
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] > 0) {
+      if (first == counts_.size()) first = i;
+      last = i;
+    }
+  }
+  if (q == 0.0) {
+    // The 0-quantile is the smallest observed value's bucket edge: lo_ only
+    // when the underflow bin holds samples, else the first occupied bucket's
+    // lower edge (hi_ when every sample overflowed).
+    if (underflow_ > 0) return lo_;
+    if (first != counts_.size()) {
+      return lo_ + static_cast<double>(first) * width_;
+    }
+    return hi_;
+  }
   const double target = q * static_cast<double>(total_);
   double cum = static_cast<double>(underflow_);
   if (cum >= target) return lo_;
@@ -58,6 +79,12 @@ double Histogram::quantile(double q) const {
       return lo_ + (static_cast<double>(i) + frac) * width_;
     }
     cum = next;
+  }
+  // Target beyond the last occupied bucket: only the overflow bin can
+  // account for it. With nothing overflowed the answer is the upper edge of
+  // the last occupied bucket, not hi_.
+  if (overflow_ == 0 && last != counts_.size()) {
+    return lo_ + static_cast<double>(last + 1) * width_;
   }
   return hi_;
 }

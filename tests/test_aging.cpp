@@ -44,7 +44,7 @@ TEST_F(AgingFixture, FreshPagesStartWithInitialAge) {
   build(true);
   const Pid pid = vmm->create_process(32);
   populate(pid, 0, 4);
-  EXPECT_EQ(vmm->space(pid).page_table().at(0).age,
+  EXPECT_EQ(vmm->space(pid).page_table().at(0).age(),
             vmm->params().age_initial);
 }
 
@@ -61,9 +61,9 @@ TEST_F(AgingFixture, AgingProtectsPagesForSeveralSweeps) {
   // Pages it passed over lost age but survived.
   bool some_aged_down = false;
   for (VPage v = 0; v < 32; ++v) {
-    const Pte& pte = vmm->space(pid).page_table().at(v);
-    if (pte.present && !pte.referenced && pte.age > 0 &&
-        pte.age < vmm->params().age_initial + vmm->params().age_advance) {
+    const auto pte = vmm->space(pid).page_table().at(v);
+    if (pte.present() && !pte.referenced() && pte.age() > 0 &&
+        pte.age() < vmm->params().age_initial + vmm->params().age_advance) {
       some_aged_down = true;
     }
   }
@@ -85,11 +85,11 @@ TEST_F(AgingFixture, VictimSearchTakesManyMoreEncountersThanOneBitClock) {
   ASSERT_EQ(victims.size(), 1u);
   const auto& params = vmm->params();
   for (VPage v = 0; v < 16; ++v) {
-    const Pte& pte = vmm->space(pid).page_table().at(v);
-    if (!pte.present) continue;
-    EXPECT_FALSE(pte.referenced);  // the sweep consumed every bit
-    EXPECT_LE(pte.age, params.age_max);
-    EXPECT_LE(pte.age, params.age_decline)
+    const auto pte = vmm->space(pid).page_table().at(v);
+    if (!pte.present()) continue;
+    EXPECT_FALSE(pte.referenced());  // the sweep consumed every bit
+    EXPECT_LE(pte.age(), params.age_max);
+    EXPECT_LE(pte.age(), params.age_decline)
         << "survivors must be nearly aged out when the first victim falls";
   }
 }
@@ -104,7 +104,7 @@ TEST_F(AgingFixture, WithoutAgingSecondChanceIsOneBit) {
   auto victims = policy.select_victims(*vmm, 8);
   EXPECT_EQ(victims.size(), 8u);
   for (VPage v = 0; v < 32; ++v) {
-    EXPECT_EQ(vmm->space(pid).page_table().at(v).age,
+    EXPECT_EQ(vmm->space(pid).page_table().at(v).age(),
               vmm->params().age_initial)
         << "age must be inert when aging is disabled";
   }

@@ -299,12 +299,12 @@ struct GenPolicyFixture : ::testing::Test {
 
   void clear_referenced(Pid pid, VPage begin, VPage end) {
     for (VPage v = begin; v < end; ++v) {
-      vmm.space(pid).page_table().at(v).referenced = false;
+      vmm.space(pid).page_table().at(v).set_referenced(false);
     }
   }
 
   [[nodiscard]] bool present(Pid pid, VPage v) {
-    return vmm.space(pid).page_table().at(v).present;
+    return vmm.space(pid).page_table().at(v).present();
   }
 };
 

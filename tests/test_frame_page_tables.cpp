@@ -1,10 +1,17 @@
 // Unit tests for physical-frame accounting (incl. the mlock-style wiring
-// used by the experiments) and the page table / PTE invariants.
+// used by the experiments) and the page table / PTE invariants, plus a fuzz
+// section pitting the SoA bitmap view against a plain struct-per-page shadow
+// across the transition patterns of the VMM (fault-in, eviction, writeback,
+// prefetch, tiering, WS epochs) and the copy-on-write snapshot semantics.
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "mem/frame_table.hpp"
 #include "mem/page_table.hpp"
+#include "sim/rng.hpp"
 
 namespace apsim {
 namespace {
@@ -58,14 +65,16 @@ TEST(FrameTable, MbToPagesRoundTrip) {
 
 TEST(PageTable, DefaultPteIsEmpty) {
   PageTable pt(16);
-  const Pte& pte = pt.at(0);
-  EXPECT_FALSE(pte.present);
-  EXPECT_FALSE(pte.referenced);
-  EXPECT_FALSE(pte.dirty);
-  EXPECT_FALSE(pte.io_busy);
-  EXPECT_EQ(pte.frame, kNoFrame);
-  EXPECT_EQ(pte.slot, kNoSwapSlot);
-  EXPECT_FALSE(pte.ever_touched);
+  const auto pte = pt.at(0);
+  EXPECT_FALSE(pte.present());
+  EXPECT_FALSE(pte.referenced());
+  EXPECT_FALSE(pte.dirty());
+  EXPECT_FALSE(pte.io_busy());
+  EXPECT_EQ(pte.frame(), kNoFrame);
+  EXPECT_EQ(pte.slot(), kNoSwapSlot);
+  EXPECT_FALSE(pte.ever_touched());
+  EXPECT_FALSE(pte.ws_seen());
+  EXPECT_FALSE(pte.evicted_this_epoch());
 }
 
 TEST(PageTable, ValidBounds) {
@@ -86,14 +95,301 @@ TEST(PageTable, ClockHandWraps) {
 }
 
 TEST(Pte, CleanDropSemantics) {
-  Pte pte;
+  PageTable pt(8);
+  Pte pte = pt.at(3);
   EXPECT_FALSE(pte.clean_drop_ok());  // not present
-  pte.present = true;
+  pte.set_present(true);
   EXPECT_FALSE(pte.clean_drop_ok());  // no swap copy
-  pte.slot = 5;
+  pte.set_slot(5);
   EXPECT_TRUE(pte.clean_drop_ok());
-  pte.dirty = true;
+  pte.set_dirty(true);
   EXPECT_FALSE(pte.clean_drop_ok());  // dirty needs a write
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz: bitmap view vs a plain struct-per-page reference shadow
+
+/// The pre-migration layout, field for field: the ground truth the bitmap
+/// rows and the Pte accessor view must reproduce exactly.
+struct RefPte {
+  bool present = false;
+  bool referenced = false;
+  bool dirty = false;
+  bool io_busy = false;
+  bool ever_touched = false;
+  bool ws_seen = false;
+  bool evicted = false;
+  FrameNum frame = kNoFrame;
+  SwapSlot slot = kNoSwapSlot;
+  SimTime last_ref = 0;
+  std::uint8_t age = 0;
+};
+
+void expect_matches_shadow(const PageTable& pt,
+                           const std::vector<RefPte>& shadow) {
+  ASSERT_EQ(pt.num_pages(), std::ssize(shadow));
+  for (VPage v = 0; v < pt.num_pages(); ++v) {
+    const auto pte = pt.at(v);
+    const RefPte& ref = shadow[static_cast<std::size_t>(v)];
+    ASSERT_EQ(pte.present(), ref.present) << "page " << v;
+    ASSERT_EQ(pte.referenced(), ref.referenced) << "page " << v;
+    ASSERT_EQ(pte.dirty(), ref.dirty) << "page " << v;
+    ASSERT_EQ(pte.io_busy(), ref.io_busy) << "page " << v;
+    ASSERT_EQ(pte.ever_touched(), ref.ever_touched) << "page " << v;
+    ASSERT_EQ(pte.ws_seen(), ref.ws_seen) << "page " << v;
+    ASSERT_EQ(pte.evicted_this_epoch(), ref.evicted) << "page " << v;
+    ASSERT_EQ(pte.frame(), ref.frame) << "page " << v;
+    ASSERT_EQ(pte.slot(), ref.slot) << "page " << v;
+    ASSERT_EQ(pte.last_ref(), ref.last_ref) << "page " << v;
+    ASSERT_EQ(pte.age(), ref.age) << "page " << v;
+    ASSERT_EQ(pte.clean_drop_ok(),
+              ref.present && !ref.dirty && ref.slot != kNoSwapSlot)
+        << "page " << v;
+  }
+}
+
+/// Brute-force twin of the word scans, over the shadow.
+VPage ref_scan(const std::vector<RefPte>& shadow, VPage from,
+               bool (*want)(const RefPte&)) {
+  const auto n = static_cast<VPage>(shadow.size());
+  for (VPage v = std::max<VPage>(from, 0); v < n; ++v) {
+    if (want(shadow[static_cast<std::size_t>(v)])) return v;
+  }
+  return n;
+}
+
+void expect_scans_match(const PageTable& pt, const std::vector<RefPte>& shadow,
+                        Rng& rng) {
+  const std::int64_t n = pt.num_pages();
+  for (int probe = 0; probe < 16; ++probe) {
+    const VPage from = static_cast<VPage>(rng.next_below(
+        static_cast<std::uint64_t>(n) + 2));  // includes n and n+1
+    ASSERT_EQ(pt.next_present(from),
+              ref_scan(shadow, from, [](const RefPte& p) { return p.present; }))
+        << "from " << from;
+    ASSERT_EQ(pt.next_live(from),
+              ref_scan(shadow, from,
+                       [](const RefPte& p) {
+                         return p.present || p.slot != kNoSwapSlot;
+                       }))
+        << "from " << from;
+    ASSERT_EQ(pt.next_dirty_candidate(from),
+              ref_scan(shadow, from,
+                       [](const RefPte& p) {
+                         return p.present && p.dirty && !p.io_busy;
+                       }))
+        << "from " << from;
+    const VPage start = static_cast<VPage>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    const auto count = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(n - start) + 1));
+    std::int64_t expected = 0;
+    for (VPage v = start; v < start + count; ++v) {
+      expected += shadow[static_cast<std::size_t>(v)].present ? 1 : 0;
+    }
+    ASSERT_EQ(pt.count_present(start, count), expected)
+        << "start " << start << " count " << count;
+  }
+}
+
+/// Bits past num_pages() in the last word of every row must stay zero —
+/// the invariant all word scans rely on.
+void expect_tail_bits_zero(const PageTable& pt) {
+  const std::int64_t n = pt.num_pages();
+  if ((n & 63) == 0) return;
+  const std::uint64_t tail_mask = ~std::uint64_t{0} << (n & 63);
+  const PageTable::Meta& m = pt.ro();
+  for (const auto* row : {&m.present, &m.referenced, &m.dirty, &m.io_busy,
+                          &m.ever_touched, &m.has_slot, &m.ws_seen,
+                          &m.evicted}) {
+    ASSERT_EQ(row->back() & tail_mask, 0u);
+  }
+}
+
+TEST(PageTableFuzz, BitmapViewMatchesReferenceShadow) {
+  Rng rng(20240808);
+  for (const std::int64_t npages : {1, 63, 64, 65, 192, 517}) {
+    PageTable pt(npages);
+    std::vector<RefPte> shadow(static_cast<std::size_t>(npages));
+    SimTime now = 0;
+    for (int op = 0; op < 2000; ++op) {
+      const VPage v = static_cast<VPage>(
+          rng.next_below(static_cast<std::uint64_t>(npages)));
+      Pte pte = pt.at(v);
+      RefPte& ref = shadow[static_cast<std::size_t>(v)];
+      ++now;
+      // Composite transitions modelled on the VMM's fault / touch / evict /
+      // writeback / prefetch / tier paths, plus epoch resets.
+      switch (rng.next_below(10)) {
+        case 0: {  // fault-in (minor or major completion)
+          pte.set_present(true);
+          pte.set_frame(static_cast<FrameNum>(v));
+          pte.set_referenced(true);
+          pte.set_ever_touched(true);
+          pte.set_last_ref(now);
+          pte.set_age(3);
+          ref.present = true;
+          ref.frame = static_cast<FrameNum>(v);
+          ref.referenced = true;
+          ref.ever_touched = true;
+          ref.last_ref = now;
+          ref.age = 3;
+          break;
+        }
+        case 1: {  // write touch: dirty + drop the stale swap copy
+          if (!ref.present) break;
+          pte.set_referenced(true);
+          pte.set_dirty(true);
+          pte.set_last_ref(now);
+          pte.set_ws_seen();
+          ref.referenced = true;
+          ref.dirty = true;
+          ref.last_ref = now;
+          ref.ws_seen = true;
+          if (!ref.io_busy && ref.slot != kNoSwapSlot) {
+            pte.set_slot(kNoSwapSlot);
+            ref.slot = kNoSwapSlot;
+          }
+          break;
+        }
+        case 2: {  // eviction write-out start
+          if (!ref.present || ref.io_busy) break;
+          pte.set_io_busy(true);
+          pte.set_slot(static_cast<SwapSlot>(v) + 7);
+          ref.io_busy = true;
+          ref.slot = static_cast<SwapSlot>(v) + 7;
+          break;
+        }
+        case 3: {  // write-out completion: unmap, keep the swap copy
+          if (!ref.io_busy) break;
+          pte.set_io_busy(false);
+          pte.set_dirty(false);
+          pte.set_present(false);
+          pte.set_frame(kNoFrame);
+          pte.set_evicted_this_epoch();
+          ref.io_busy = false;
+          ref.dirty = false;
+          ref.present = false;
+          ref.frame = kNoFrame;
+          ref.evicted = true;
+          break;
+        }
+        case 4: {  // clean drop (swap copy already valid)
+          if (!(ref.present && !ref.dirty && ref.slot != kNoSwapSlot) ||
+              ref.io_busy) {
+            break;
+          }
+          pte.set_present(false);
+          pte.set_frame(kNoFrame);
+          pte.set_evicted_this_epoch();
+          ref.present = false;
+          ref.frame = kNoFrame;
+          ref.evicted = true;
+          break;
+        }
+        case 5: {  // prefetch / major-fault swap read landing
+          if (ref.present || ref.slot == kNoSwapSlot) break;
+          pte.set_present(true);
+          pte.set_frame(static_cast<FrameNum>(v) + 1);
+          pte.set_last_ref(now);
+          ref.present = true;
+          ref.frame = static_cast<FrameNum>(v) + 1;
+          ref.last_ref = now;
+          break;
+        }
+        case 6: {  // tier writeback probe: transient io_busy toggle
+          if (!ref.present) break;
+          pte.set_io_busy(!ref.io_busy);
+          ref.io_busy = !ref.io_busy;
+          break;
+        }
+        case 7: {  // clock sweep: clear the reference bit, age down
+          pte.set_referenced(false);
+          if (ref.age > 0) pte.set_age(ref.age - 1);
+          ref.referenced = false;
+          if (ref.age > 0) --ref.age;
+          break;
+        }
+        case 8: {  // new WS epoch
+          pt.clear_epoch_tags();
+          for (RefPte& r : shadow) {
+            r.ws_seen = false;
+            r.evicted = false;
+          }
+          break;
+        }
+        case 9: {  // ws tag on a touch
+          if (!ref.present) break;
+          pte.set_ws_seen();
+          pte.set_last_ref(now);
+          ref.ws_seen = true;
+          ref.last_ref = now;
+          break;
+        }
+      }
+      if (op % 100 == 99) {
+        expect_matches_shadow(pt, shadow);
+        expect_scans_match(pt, shadow, rng);
+        expect_tail_bits_zero(pt);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+TEST(PageTableFuzz, SnapshotIsImmutableAcrossCopyOnWriteDetach) {
+  Rng rng(77);
+  PageTable pt(130);
+  std::vector<RefPte> shadow(130);
+  // Scatter some initial state.
+  for (VPage v = 0; v < 130; v += 3) {
+    Pte pte = pt.at(v);
+    pte.set_present(true);
+    pte.set_frame(v);
+    pte.set_last_ref(v * 10);
+    auto& ref = shadow[static_cast<std::size_t>(v)];
+    ref.present = true;
+    ref.frame = v;
+    ref.last_ref = v * 10;
+    if (v % 6 == 0) {
+      pte.set_dirty(true);
+      ref.dirty = true;
+    }
+  }
+  const std::shared_ptr<const PageTable::Meta> snap = pt.share_meta();
+  const std::vector<RefPte> frozen = shadow;
+
+  // Mutate the live table heavily; the snapshot must not move.
+  for (int op = 0; op < 500; ++op) {
+    const VPage v = static_cast<VPage>(rng.next_below(130));
+    Pte pte = pt.at(v);
+    auto& ref = shadow[static_cast<std::size_t>(v)];
+    pte.set_present(!ref.present);
+    ref.present = !ref.present;
+    pte.set_slot(ref.slot == kNoSwapSlot ? v : kNoSwapSlot);
+    ref.slot = ref.slot == kNoSwapSlot ? v : kNoSwapSlot;
+    pte.set_last_ref(op);
+    ref.last_ref = op;
+  }
+  expect_matches_shadow(pt, shadow);
+  for (VPage v = 0; v < 130; ++v) {
+    const auto i = static_cast<std::size_t>(v);
+    ASSERT_EQ((snap->present[page_word(v)] & page_bit(v)) != 0,
+              frozen[i].present)
+        << "page " << v;
+    ASSERT_EQ((snap->dirty[page_word(v)] & page_bit(v)) != 0, frozen[i].dirty)
+        << "page " << v;
+    ASSERT_EQ(snap->frame[i], frozen[i].frame) << "page " << v;
+    ASSERT_EQ(snap->slot[i], frozen[i].slot) << "page " << v;
+    ASSERT_EQ(snap->last_ref[i], frozen[i].last_ref) << "page " << v;
+  }
+
+  // Adopting the snapshot rolls the table back to the frozen state, and the
+  // next mutation detaches again without touching the image.
+  pt.adopt_meta(snap);
+  expect_matches_shadow(pt, frozen);
+  pt.at(0).set_present(!frozen[0].present);
+  ASSERT_EQ((snap->present[0] & 1u) != 0, frozen[0].present);
 }
 
 }  // namespace

@@ -82,11 +82,11 @@ TEST_P(InvariantTest, RunFinishesAndConservesResources) {
     EXPECT_EQ(as.resident_pages(), 0);
     EXPECT_EQ(as.dirty_pages(), 0);
     for (VPage v = 0; v < as.page_table().num_pages(); ++v) {
-      const Pte& pte = as.page_table().at(v);
-      EXPECT_FALSE(pte.present);
-      EXPECT_FALSE(pte.io_busy);
-      EXPECT_EQ(pte.frame, kNoFrame);
-      EXPECT_EQ(pte.slot, kNoSwapSlot);
+      const auto pte = as.page_table().at(v);
+      EXPECT_FALSE(pte.present());
+      EXPECT_FALSE(pte.io_busy());
+      EXPECT_EQ(pte.frame(), kNoFrame);
+      EXPECT_EQ(pte.slot(), kNoSwapSlot);
     }
   }
 

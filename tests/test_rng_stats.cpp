@@ -145,6 +145,55 @@ TEST(Histogram, QuantileInterpolates) {
   EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
 }
 
+// Regression: the quantile edge cases — empty histograms, q=0, q=1 and
+// out-of-range q must report edges of buckets that actually hold samples,
+// not the configured [lo, hi) range.
+
+TEST(Histogram, QuantileOfEmptyHistogramIsLowerBound) {
+  Histogram h(5.0, 25.0, 10);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
+}
+
+TEST(Histogram, QuantileZeroReportsFirstOccupiedBucket) {
+  // All mass in one interior bucket: q=0 must not report lo.
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 7; ++i) h.add(45.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 40.0);  // lower edge of [40, 50)
+  // With underflow present, q=0 correctly falls back to lo.
+  h.add(-3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+}
+
+TEST(Histogram, QuantileZeroOfAllOverflowIsUpperBound) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(50.0);
+  h.add(60.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, QuantileOneReportsLastOccupiedBucketUpperEdge) {
+  // Empty tail and no overflow: q=1 must not report hi.
+  Histogram h(0.0, 100.0, 10);
+  h.add(12.0);
+  h.add(14.0);
+  h.add(37.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 40.0);  // upper edge of [30, 40)
+  // Overflow reintroduces mass above the buckets: q=1 is hi again.
+  h.add(1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(Histogram, QuantileClampsOutOfRangeQ) {
+  Histogram h(0.0, 100.0, 10);
+  h.add(12.0);
+  h.add(37.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(1.5), h.quantile(1.0));
+}
+
 TEST(TimeSeries, BucketsAccumulate) {
   TimeSeries ts(kSecond);
   ts.add(0, 1.0);

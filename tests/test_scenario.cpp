@@ -145,6 +145,59 @@ TEST(Scenario, RejectsBadBooleanAndNumber) {
                std::invalid_argument);
 }
 
+// Regression: number parsing is strict. "5x" is not 5, and the textual
+// non-finites ("inf", "nan") are not valid values for any knob.
+
+TEST(Scenario, RejectsTrailingJunkOnNumbers) {
+  EXPECT_THROW((void)parse_scenario("[run]\nmemory_mb = 512x\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario("[run]\nquantum_s = 120 s\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario("[run]\nbg_start_frac = 0.8.1\n"),
+               std::invalid_argument);
+}
+
+TEST(Scenario, RejectsNonFiniteNumbers) {
+  for (const char* bad : {"inf", "-inf", "nan", "Infinity", "NAN"}) {
+    EXPECT_THROW((void)parse_scenario(std::string("[run]\nmemory_mb = ") +
+                                      bad + "\n"),
+                 std::invalid_argument)
+        << bad;
+  }
+}
+
+TEST(Scenario, RejectsEmptyNumber) {
+  EXPECT_THROW((void)parse_scenario("[run]\nmemory_mb =\n"),
+               std::invalid_argument);
+}
+
+TEST(Scenario, BadNumberMessageNamesKeyAndValue) {
+  try {
+    (void)parse_scenario("[run]\nusable_mb = 5x\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad number"), std::string::npos) << what;
+    EXPECT_NE(what.find("usable_mb"), std::string::npos) << what;
+    EXPECT_NE(what.find("5x"), std::string::npos) << what;
+  }
+}
+
+TEST(Scenario, StrictNumbersStillAcceptValidForms) {
+  const auto configs = parse_scenario(R"(
+[run]
+memory_mb = 512.25
+usable_mb = 4e2
+bg_start_frac = -0.5
+iterations_scale = .75
+)");
+  ASSERT_EQ(configs.size(), 1u);
+  EXPECT_DOUBLE_EQ(configs[0].node_memory_mb, 512.25);
+  EXPECT_DOUBLE_EQ(configs[0].usable_memory_mb, 400.0);
+  EXPECT_DOUBLE_EQ(configs[0].bg_start_frac, -0.5);
+  EXPECT_DOUBLE_EQ(configs[0].iterations_scale, 0.75);
+}
+
 TEST(Scenario, ApplyKeyDirect) {
   ExperimentConfig config;
   apply_scenario_key(config, "policy", "so");

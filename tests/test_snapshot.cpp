@@ -1,0 +1,220 @@
+// Copy-on-write snapshot / prefix-fork determinism. A sweep point forked
+// from a MemSnapshot must be bit-identical — counters, clock, disk head AND
+// full page-table content — to running warmup + point from scratch, at any
+// worker-thread count, and one snapshot must support any number of forks.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hpp"
+#include "mem/page_table.hpp"
+#include "mem/vmm.hpp"
+
+namespace apsim {
+namespace {
+
+/// Sequential touch driver (every 8th touch a write); misses take the full
+/// fault path and the sweep self-schedules off each fault completion.
+void touch_sweep(Vmm& vmm, Pid pid, std::int64_t npages, std::int64_t total) {
+  auto& as = vmm.space(pid);
+  auto touched = std::make_shared<std::int64_t>(0);
+  auto step = std::make_shared<std::function<void()>>();
+  // The step function holds only a weak self-reference; the pending fault
+  // callback carries the strong one, so the chain frees itself when the
+  // last touch lands instead of leaking a shared_ptr cycle.
+  const std::weak_ptr<std::function<void()>> weak = step;
+  *step = [touched, weak, total, npages, pid, &vmm, &as] {
+    while (*touched < total) {
+      const VPage v = *touched % npages;
+      const bool write = (*touched & 7) == 0;
+      if (vmm.touch(as, v, write)) {
+        ++*touched;
+        continue;
+      }
+      vmm.fault(pid, v, write, [touched, strong = weak.lock()] {
+        ++*touched;
+        (*strong)();
+      });
+      return;
+    }
+  };
+  (*step)();
+}
+
+struct LabConfig {
+  MemLabParams params;
+  std::int64_t npages = 0;
+  std::int64_t warm_touches = 0;
+  std::int64_t point_touches = 0;
+};
+
+LabConfig test_config() {
+  LabConfig cfg;
+  cfg.params.frames = 256;
+  cfg.params.freepages_min = 16;
+  cfg.params.freepages_low = 24;
+  cfg.params.freepages_high = 32;
+  cfg.params.disk_blocks = 1 << 14;
+  cfg.params.swap_slots = 1 << 14;
+  cfg.npages = cfg.params.frames * 2;
+  cfg.warm_touches = cfg.npages * 3;
+  cfg.point_touches = cfg.npages / 2;
+  return cfg;
+}
+
+std::function<void(MemLab&)> make_warmup(const LabConfig& cfg) {
+  return [cfg](MemLab& lab) {
+    const Pid pid = lab.vmm().create_process(cfg.npages);
+    touch_sweep(lab.vmm(), pid, cfg.npages, cfg.warm_touches);
+  };
+}
+
+std::vector<SweepPoint> make_points(const LabConfig& cfg) {
+  std::vector<SweepPoint> points;
+  for (const std::int64_t batch : {8, 16, 32, 64}) {
+    SweepPoint p;
+    p.label = "reclaim_batch=" + std::to_string(batch);
+    p.apply = [batch](MemLab& lab) { lab.vmm().set_reclaim_batch(batch); };
+    p.body = [cfg](MemLab& lab) {
+      const Pid pid = lab.vmm().pids().front();
+      touch_sweep(lab.vmm(), pid, cfg.npages, cfg.point_touches);
+    };
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+/// Reference result: warmup + point run from scratch in a private lab.
+std::unique_ptr<MemLab> run_point_from_scratch(const LabConfig& cfg,
+                                               const SweepPoint& point) {
+  auto lab = std::make_unique<MemLab>(cfg.params);
+  const auto warmup = make_warmup(cfg);
+  lab->run([&] { warmup(*lab); });
+  if (point.apply) point.apply(*lab);
+  lab->run([&] { point.body(*lab); });
+  return lab;
+}
+
+void expect_labs_identical(MemLab& got, MemLab& want, const std::string& label) {
+  // Scalar outcome: counters, residency, clock, disk state.
+  const Pid pid = want.vmm().pids().front();
+  ASSERT_EQ(got.vmm().pids(), want.vmm().pids()) << label;
+  const auto& ga = got.vmm().space(pid);
+  const auto& wa = want.vmm().space(pid);
+  EXPECT_EQ(ga.stats().minor_faults, wa.stats().minor_faults) << label;
+  EXPECT_EQ(ga.stats().major_faults, wa.stats().major_faults) << label;
+  EXPECT_EQ(ga.stats().pages_swapped_in, wa.stats().pages_swapped_in) << label;
+  EXPECT_EQ(ga.stats().pages_swapped_out, wa.stats().pages_swapped_out)
+      << label;
+  EXPECT_EQ(ga.stats().pages_clean_dropped, wa.stats().pages_clean_dropped)
+      << label;
+  EXPECT_EQ(ga.stats().false_evictions, wa.stats().false_evictions) << label;
+  EXPECT_EQ(ga.resident_pages(), wa.resident_pages()) << label;
+  EXPECT_EQ(ga.dirty_pages(), wa.dirty_pages()) << label;
+  EXPECT_EQ(got.vmm().stats().reclaim_steps, want.vmm().stats().reclaim_steps)
+      << label;
+  EXPECT_EQ(got.vmm().free_frames(), want.vmm().free_frames()) << label;
+  EXPECT_EQ(got.swap().used_slots(), want.swap().used_slots()) << label;
+  EXPECT_EQ(got.sim().now(), want.sim().now()) << label;
+  EXPECT_EQ(got.disk().head(), want.disk().head()) << label;
+  EXPECT_EQ(got.disk().stats().blocks_read, want.disk().stats().blocks_read)
+      << label;
+  EXPECT_EQ(got.disk().stats().blocks_written,
+            want.disk().stats().blocks_written)
+      << label;
+
+  // Full page-table content, word for word.
+  const PageTable::Meta& gm = ga.page_table().ro();
+  const PageTable::Meta& wm = wa.page_table().ro();
+  ASSERT_EQ(gm.npages, wm.npages) << label;
+  EXPECT_EQ(gm.present, wm.present) << label;
+  EXPECT_EQ(gm.referenced, wm.referenced) << label;
+  EXPECT_EQ(gm.dirty, wm.dirty) << label;
+  EXPECT_EQ(gm.io_busy, wm.io_busy) << label;
+  EXPECT_EQ(gm.ever_touched, wm.ever_touched) << label;
+  EXPECT_EQ(gm.has_slot, wm.has_slot) << label;
+  EXPECT_EQ(gm.ws_seen, wm.ws_seen) << label;
+  EXPECT_EQ(gm.evicted, wm.evicted) << label;
+  EXPECT_EQ(gm.frame, wm.frame) << label;
+  EXPECT_EQ(gm.slot, wm.slot) << label;
+  EXPECT_EQ(gm.last_ref, wm.last_ref) << label;
+  EXPECT_EQ(gm.age, wm.age) << label;
+  EXPECT_EQ(ga.page_table().clock_hand(), wa.page_table().clock_hand())
+      << label;
+}
+
+TEST(SnapshotFork, ForkedPointsMatchScratchAtEveryThreadCount) {
+  const LabConfig cfg = test_config();
+  const std::vector<SweepPoint> points = make_points(cfg);
+
+  std::vector<std::unique_ptr<MemLab>> scratch;
+  scratch.reserve(points.size());
+  for (const SweepPoint& p : points) {
+    scratch.push_back(run_point_from_scratch(cfg, p));
+  }
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    std::vector<std::unique_ptr<MemLab>> forked =
+        run_forked_sweep(cfg.params, make_warmup(cfg), points, threads);
+    ASSERT_EQ(forked.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      expect_labs_identical(
+          *forked[i], *scratch[i],
+          points[i].label + " @" + std::to_string(threads) + " threads");
+    }
+  }
+}
+
+TEST(SnapshotFork, OneSnapshotForksManyTimes) {
+  const LabConfig cfg = test_config();
+  MemLab prefix(cfg.params);
+  const auto warmup = make_warmup(cfg);
+  prefix.run([&] { warmup(prefix); });
+  const MemSnapshot snap = prefix.checkpoint();
+
+  const SweepPoint point = make_points(cfg).front();
+  auto run_fork = [&] {
+    auto lab = MemLab::fork(cfg.params, snap);
+    if (point.apply) point.apply(*lab);
+    lab->run([&] { point.body(*lab); });
+    return lab;
+  };
+  auto first = run_fork();
+  auto second = run_fork();
+  expect_labs_identical(*second, *first, "second fork of one snapshot");
+
+  // The snapshot image itself must have stayed frozen: a third fork started
+  // after the first two mutated their copies still sees the capture state.
+  auto third = MemLab::fork(cfg.params, snap);
+  EXPECT_EQ(third->sim().now(), snap.when);
+  const Pid pid = third->vmm().pids().front();
+  EXPECT_EQ(third->vmm().space(pid).page_table().share_meta().get(),
+            snap.spaces.front().meta.get());
+}
+
+TEST(SnapshotFork, CaptureDoesNotPerturbTheCapturedRun) {
+  const LabConfig cfg = test_config();
+  const auto warmup = make_warmup(cfg);
+
+  MemLab plain(cfg.params);
+  plain.run([&] { warmup(plain); });
+
+  MemLab captured(cfg.params);
+  captured.run([&] { warmup(captured); });
+  const MemSnapshot snap = captured.checkpoint();
+
+  // Continue both labs identically; the captured one now copy-on-writes.
+  const SweepPoint point = make_points(cfg).front();
+  for (MemLab* lab : {&plain, &captured}) {
+    if (point.apply) point.apply(*lab);
+    lab->run([&] { point.body(*lab); });
+  }
+  expect_labs_identical(captured, plain, "continuation after a capture");
+}
+
+}  // namespace
+}  // namespace apsim

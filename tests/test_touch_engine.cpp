@@ -160,7 +160,7 @@ struct Stack {
 bool scan_fully_resident(const AddressSpace& as, VPage start,
                          std::int64_t pages) {
   for (VPage v = start; v < start + pages; ++v) {
-    if (!as.page_table().at(v).present) return false;
+    if (!as.page_table().at(v).present()) return false;
   }
   return true;
 }
@@ -177,16 +177,16 @@ void expect_equal_spaces(const AddressSpace& a, const AddressSpace& b) {
   EXPECT_EQ(a.stats().pages_clean_dropped, b.stats().pages_clean_dropped);
   EXPECT_EQ(a.stats().false_evictions, b.stats().false_evictions);
   for (VPage v = 0; v < a.num_pages(); ++v) {
-    const Pte& x = a.page_table().at(v);
-    const Pte& y = b.page_table().at(v);
-    ASSERT_EQ(x.present, y.present) << "page " << v;
-    ASSERT_EQ(x.frame, y.frame) << "page " << v;
-    ASSERT_EQ(x.slot, y.slot) << "page " << v;
-    ASSERT_EQ(x.last_ref, y.last_ref) << "page " << v;
-    ASSERT_EQ(x.epoch, y.epoch) << "page " << v;
-    ASSERT_EQ(x.referenced, y.referenced) << "page " << v;
-    ASSERT_EQ(x.dirty, y.dirty) << "page " << v;
-    ASSERT_EQ(x.age, y.age) << "page " << v;
+    const auto x = a.page_table().at(v);
+    const auto y = b.page_table().at(v);
+    ASSERT_EQ(x.present(), y.present()) << "page " << v;
+    ASSERT_EQ(x.frame(), y.frame()) << "page " << v;
+    ASSERT_EQ(x.slot(), y.slot()) << "page " << v;
+    ASSERT_EQ(x.last_ref(), y.last_ref()) << "page " << v;
+    ASSERT_EQ(x.ws_seen(), y.ws_seen()) << "page " << v;
+    ASSERT_EQ(x.referenced(), y.referenced()) << "page " << v;
+    ASSERT_EQ(x.dirty(), y.dirty()) << "page " << v;
+    ASSERT_EQ(x.age(), y.age()) << "page " << v;
   }
 }
 

@@ -55,10 +55,10 @@ TEST_F(VmmFixture, MinorFaultPopulatesPage) {
   const Pid pid = vmm.create_process(64);
   ASSERT_TRUE(sync_fault(pid, 5, false));
   const auto& as = vmm.space(pid);
-  const Pte& pte = as.page_table().at(5);
-  EXPECT_TRUE(pte.present);
-  EXPECT_TRUE(pte.dirty);  // anonymous pages are born dirty
-  EXPECT_TRUE(pte.ever_touched);
+  const auto pte = as.page_table().at(5);
+  EXPECT_TRUE(pte.present());
+  EXPECT_TRUE(pte.dirty());  // anonymous pages are born dirty
+  EXPECT_TRUE(pte.ever_touched());
   EXPECT_EQ(as.resident_pages(), 1);
   EXPECT_EQ(as.dirty_pages(), 1);
   EXPECT_EQ(as.stats().minor_faults, 1u);
@@ -74,8 +74,8 @@ TEST_F(VmmFixture, TouchHitUpdatesBits) {
   const Pid pid = vmm.create_process(64);
   ASSERT_TRUE(sync_fault(pid, 0, false));
   EXPECT_TRUE(vmm.touch(pid, 0, false));
-  const Pte& pte = vmm.space(pid).page_table().at(0);
-  EXPECT_TRUE(pte.referenced);
+  const auto pte = vmm.space(pid).page_table().at(0);
+  EXPECT_TRUE(pte.referenced());
 }
 
 TEST_F(VmmFixture, EvictionWritesDirtyPagesAndUnmaps) {
@@ -96,18 +96,18 @@ TEST_F(VmmFixture, MajorFaultRestoresEvictedPage) {
   // Find an evicted page.
   VPage victim = -1;
   for (VPage v = 0; v < 120; ++v) {
-    const Pte& pte = vmm.space(pid).page_table().at(v);
-    if (!pte.present && pte.slot != kNoSwapSlot) {
+    const auto pte = vmm.space(pid).page_table().at(v);
+    if (!pte.present() && pte.slot() != kNoSwapSlot) {
       victim = v;
       break;
     }
   }
   ASSERT_GE(victim, 0);
   ASSERT_TRUE(sync_fault(pid, victim, false));
-  const Pte& pte = vmm.space(pid).page_table().at(victim);
-  EXPECT_TRUE(pte.present);
-  EXPECT_FALSE(pte.dirty);                 // clean copy from swap
-  EXPECT_NE(pte.slot, kNoSwapSlot);        // swap-cache copy retained
+  const auto pte = vmm.space(pid).page_table().at(victim);
+  EXPECT_TRUE(pte.present());
+  EXPECT_FALSE(pte.dirty());                 // clean copy from swap
+  EXPECT_NE(pte.slot(), kNoSwapSlot);        // swap-cache copy retained
   EXPECT_GT(vmm.space(pid).stats().major_faults, 0u);
   EXPECT_GT(vmm.space(pid).stats().pages_swapped_in, 0u);
 }
@@ -124,7 +124,7 @@ TEST_F(VmmFixture, ReadAheadBringsNeighbours) {
   EXPECT_GE(as.stats().pages_swapped_in - in_before, 4u);
   EXPECT_GT(as.resident_pages(), 1);
   // Only the faulting page is referenced.
-  EXPECT_TRUE(as.page_table().at(30).referenced);
+  EXPECT_TRUE(as.page_table().at(30).referenced());
 }
 
 TEST_F(VmmFixture, WriteTouchInvalidatesSwapCopy) {
@@ -133,20 +133,20 @@ TEST_F(VmmFixture, WriteTouchInvalidatesSwapCopy) {
   force_free(64);
   VPage victim = -1;
   for (VPage v = 0; v < 100; ++v) {
-    if (!vmm.space(pid).page_table().at(v).present) {
+    if (!vmm.space(pid).page_table().at(v).present()) {
       victim = v;
       break;
     }
   }
   ASSERT_GE(victim, 0);
   ASSERT_TRUE(sync_fault(pid, victim, false));
-  const SwapSlot slot = vmm.space(pid).page_table().at(victim).slot;
+  const SwapSlot slot = vmm.space(pid).page_table().at(victim).slot();
   ASSERT_NE(slot, kNoSwapSlot);
   ASSERT_TRUE(swap.is_allocated(slot));
   EXPECT_TRUE(vmm.touch(pid, victim, true));  // dirty it
-  const Pte& pte = vmm.space(pid).page_table().at(victim);
-  EXPECT_TRUE(pte.dirty);
-  EXPECT_EQ(pte.slot, kNoSwapSlot);
+  const auto pte = vmm.space(pid).page_table().at(victim);
+  EXPECT_TRUE(pte.dirty());
+  EXPECT_EQ(pte.slot(), kNoSwapSlot);
   EXPECT_FALSE(swap.is_allocated(slot));  // slot was released
 }
 
@@ -157,7 +157,7 @@ TEST_F(VmmFixture, CleanPagesDropWithoutDiskWrites) {
   ASSERT_EQ(vmm.space(pid).resident_pages(), 0);
   // Fault half of them back in, read-only: resident but clean.
   for (VPage v = 0; v < 50; ++v) {
-    if (!vmm.space(pid).page_table().at(v).present) {
+    if (!vmm.space(pid).page_table().at(v).present()) {
       ASSERT_TRUE(sync_fault(pid, v, false));
     }
   }
@@ -181,7 +181,7 @@ TEST_F(VmmFixture, PrefetchMapsRecordedRuns) {
   EXPECT_TRUE(done);
   EXPECT_EQ(vmm.space(pid).resident_pages(), 50);
   for (VPage v = 0; v < 50; ++v) {
-    EXPECT_TRUE(vmm.space(pid).page_table().at(v).present) << v;
+    EXPECT_TRUE(vmm.space(pid).page_table().at(v).present()) << v;
   }
 }
 
@@ -225,8 +225,8 @@ TEST_F(VmmFixture, WritebackCleansWithoutUnmapping) {
   EXPECT_EQ(as.stats().pages_swapped_out, 16u);
   std::int64_t with_slots = 0;
   for (VPage v = 0; v < 40; ++v) {
-    const Pte& pte = as.page_table().at(v);
-    if (pte.present && !pte.dirty && pte.slot != kNoSwapSlot) ++with_slots;
+    const auto pte = as.page_table().at(v);
+    if (pte.present() && !pte.dirty() && pte.slot() != kNoSwapSlot) ++with_slots;
   }
   EXPECT_EQ(with_slots, 16);
 }
@@ -238,13 +238,13 @@ TEST_F(VmmFixture, RedirtyDuringWritebackInvalidatesCopy) {
   // The writes are now in flight; re-dirty page 3 before they complete.
   EXPECT_TRUE(vmm.touch(pid, 3, true));
   sim.run();
-  const Pte& pte = vmm.space(pid).page_table().at(3);
-  EXPECT_TRUE(pte.present);
-  EXPECT_TRUE(pte.dirty);
-  EXPECT_EQ(pte.slot, kNoSwapSlot);  // stale copy released
+  const auto pte = vmm.space(pid).page_table().at(3);
+  EXPECT_TRUE(pte.present());
+  EXPECT_TRUE(pte.dirty());
+  EXPECT_EQ(pte.slot(), kNoSwapSlot);  // stale copy released
   // Its neighbours were cleaned normally.
-  EXPECT_FALSE(vmm.space(pid).page_table().at(4).dirty);
-  EXPECT_NE(vmm.space(pid).page_table().at(4).slot, kNoSwapSlot);
+  EXPECT_FALSE(vmm.space(pid).page_table().at(4).dirty());
+  EXPECT_NE(vmm.space(pid).page_table().at(4).slot(), kNoSwapSlot);
 }
 
 TEST_F(VmmFixture, WsEpochCountsDistinctPages) {
@@ -277,7 +277,7 @@ TEST_F(VmmFixture, FalseEvictionDetectedWithinEpoch) {
   force_free(64);  // evicts within the current epoch
   VPage victim = -1;
   for (VPage v = 0; v < 120; ++v) {
-    if (!vmm.space(pid).page_table().at(v).present) {
+    if (!vmm.space(pid).page_table().at(v).present()) {
       victim = v;
       break;
     }
@@ -290,8 +290,8 @@ TEST_F(VmmFixture, FalseEvictionDetectedWithinEpoch) {
   vmm.begin_ws_epoch(pid);
   VPage victim2 = -1;
   for (VPage v = 0; v < 120; ++v) {
-    if (!vmm.space(pid).page_table().at(v).present &&
-        vmm.space(pid).page_table().at(v).slot != kNoSwapSlot) {
+    if (!vmm.space(pid).page_table().at(v).present() &&
+        vmm.space(pid).page_table().at(v).slot() != kNoSwapSlot) {
       victim2 = v;
       break;
     }
@@ -327,7 +327,7 @@ TEST_F(VmmFixture, ConcurrentFaultsOnSamePagePiggyback) {
   const Pid pid = vmm.create_process(256);
   populate(pid, 0, 64);
   force_free(128);
-  ASSERT_FALSE(vmm.space(pid).page_table().at(10).present);
+  ASSERT_FALSE(vmm.space(pid).page_table().at(10).present());
   int resumed = 0;
   const auto reads_before = disk.stats().blocks_read;
   vmm.fault(pid, 10, false, [&] { ++resumed; });
@@ -366,14 +366,14 @@ TEST_F(VmmFixture, ReadAheadDoesNotCrossNonContiguousSlots) {
   // (frees its slot), evict again — it gets a fresh, distant-ish slot.
   ASSERT_TRUE(sync_fault(pid, 20, true));
   force_free(128);
-  const Pte& p19 = vmm.space(pid).page_table().at(19);
-  const Pte& p20 = vmm.space(pid).page_table().at(20);
-  ASSERT_NE(p19.slot, kNoSwapSlot);
-  ASSERT_NE(p20.slot, kNoSwapSlot);
-  ASSERT_NE(p20.slot, p19.slot + 1);
+  const auto p19 = vmm.space(pid).page_table().at(19);
+  const auto p20 = vmm.space(pid).page_table().at(20);
+  ASSERT_NE(p19.slot(), kNoSwapSlot);
+  ASSERT_NE(p20.slot(), kNoSwapSlot);
+  ASSERT_NE(p20.slot(), p19.slot() + 1);
   // Fault page 16: the read-ahead cluster must stop before page 20.
   ASSERT_TRUE(sync_fault(pid, 16, false));
-  EXPECT_FALSE(vmm.space(pid).page_table().at(20).present);
+  EXPECT_FALSE(vmm.space(pid).page_table().at(20).present());
 }
 
 TEST_F(VmmFixture, WatermarkKeepsMinimumFreePool) {
