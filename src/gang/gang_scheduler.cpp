@@ -3,16 +3,28 @@
 #include <algorithm>
 #include <cassert>
 
+#include "gang/policy_registry.hpp"
+#include "net/mpi.hpp"
+
 namespace apsim {
 
 GangScheduler::GangScheduler(Cluster& cluster, GangParams params)
-    : cluster_(cluster), params_(params), matrix_(cluster.size()) {
+    : cluster_(cluster), params_(std::move(params)), matrix_(cluster.size()) {
+  // The legacy admission fields stay authoritative: admission_control
+  // upgrades the default policy, admission_margin seeds the shared options.
+  params_.policy_opts.admission_margin = params_.admission_margin;
+  std::string policy_name = params_.sched_policy;
+  if (policy_name == "matrix" && params_.admission_control) {
+    policy_name = "admission";
+  }
+  policy_ = make_sched_policy(policy_name);
+  policy_->bind(*this);
   pagers_.reserve(static_cast<std::size_t>(cluster.size()));
   for (int n = 0; n < cluster.size(); ++n) {
     pagers_.push_back(
         std::make_unique<AdaptivePager>(cluster.node(n), params_.pager));
   }
-  running_job_.assign(static_cast<std::size_t>(cluster.size()), nullptr);
+  running_jobs_.assign(static_cast<std::size_t>(cluster.size()), {});
   switch_applied_.assign(static_cast<std::size_t>(cluster.size()), 0);
   switch_action_.assign(static_cast<std::size_t>(cluster.size()), nullptr);
   switch_retries_.assign(static_cast<std::size_t>(cluster.size()), 0);
@@ -34,29 +46,44 @@ GangScheduler::~GangScheduler() {
   }
 }
 
+SimTime GangScheduler::sim_now() const { return cluster_.sim().now(); }
+
+std::int64_t GangScheduler::usable_frames(int node) const {
+  return cluster_.node(node).vmm().frames().usable_frames();
+}
+
 Job& GangScheduler::create_job(std::string name) {
-  assert(!started_ && "cannot add jobs after start()");
+  assert(!started_ && "cannot add jobs after start(); use submit_job()");
   jobs_.push_back(
       std::make_unique<Job>(static_cast<int>(jobs_.size()), std::move(name)));
   return *jobs_.back();
 }
 
+Job& GangScheduler::submit_job(std::string name) {
+  jobs_.push_back(
+      std::make_unique<Job>(static_cast<int>(jobs_.size()), std::move(name)));
+  return *jobs_.back();
+}
+
+void GangScheduler::wire_job(Job& job) {
+  for (const auto& placement : job.processes()) {
+    pagers_[static_cast<std::size_t>(placement.node)]->register_process(
+        placement.process->pid());
+    Job* job_ptr = &job;
+    placement.process->on_finish = [this, job_ptr](Process&) {
+      if (job_ptr->finished()) on_job_finished(*job_ptr);
+    };
+  }
+}
+
 void GangScheduler::start() {
   assert(!started_);
   started_ = true;
-  admitted_.assign(jobs_.size(), false);
   for (auto& job : jobs_) {
     assert(!job->processes().empty() && "job has no processes");
-    for (const auto& placement : job->processes()) {
-      pagers_[static_cast<std::size_t>(placement.node)]->register_process(
-          placement.process->pid());
-      Job* job_ptr = job.get();
-      placement.process->on_finish = [this, job_ptr](Process&) {
-        if (job_ptr->finished()) on_job_finished(*job_ptr);
-      };
-    }
+    wire_job(*job);
   }
-  try_admit();
+  for (auto& job : jobs_) policy_->admit(*job);
   // A node may have crashed before start (a t=0 planned fault): its jobs are
   // lost before they ever run.
   for (int n = 0; n < cluster_.size(); ++n) {
@@ -65,54 +92,62 @@ void GangScheduler::start() {
       if (!job->done() && job->process_on(n) != nullptr) fail_job(*job);
     }
   }
-  if (matrix_.num_slots() == 0) return;  // everything failed already
+  if (policy_->num_slots() == 0) return;  // everything failed already
   current_slot_ = 0;
   activate_slot(0);
   schedule_switch_timer(0);
   schedule_bg_start(0);
 }
 
-bool GangScheduler::fits_in_memory(const Job& job) const {
-  // Per node: the declared working sets of every admitted job on that node
-  // plus this one must fit in admission_margin of usable memory. Jobs
-  // without a declaration are assumed to need their full address space.
-  auto demand = [](const Job& j, int node) -> std::int64_t {
-    // Sum per placement: a restarted job may hold several ranks on a node.
-    std::int64_t total = 0;
-    for (const auto& pl : j.processes()) {
-      if (pl.node != node) continue;
-      // The address-space size is the upper bound; the declaration refines it.
-      total += j.declared_ws_pages ? *j.declared_ws_pages : 0;
+void GangScheduler::start_job(Job& job) {
+  assert(started_ && "start_job() is for arrivals after start()");
+  assert(!job.processes().empty() && "job has no processes");
+  wire_job(job);
+  job.arrival = cluster_.sim().now();
+  // A job placed on an already-dead node is lost on arrival.
+  for (const auto& placement : job.processes()) {
+    if (node_dead_[static_cast<std::size_t>(placement.node)]) {
+      fail_job(job);
+      return;
     }
-    return total;
-  };
-  for (int node : job.nodes()) {
-    std::int64_t total = demand(job, node);
-    for (std::size_t i = 0; i < jobs_.size(); ++i) {
-      if (!admitted_[i] || jobs_[i]->done()) continue;
-      total += demand(*jobs_[i], node);
-    }
-    const auto& frames = cluster_.node(node).vmm().frames();
-    const auto budget = static_cast<std::int64_t>(
-        params_.admission_margin *
-        static_cast<double>(frames.usable_frames()));
-    if (total > budget) return false;
   }
-  return true;
-}
-
-void GangScheduler::try_admit() {
-  for (std::size_t i = 0; i < jobs_.size(); ++i) {
-    if (admitted_[i] || jobs_[i]->done()) continue;
-    if (params_.admission_control && !fits_in_memory(*jobs_[i])) continue;
-    admitted_[i] = true;
-    matrix_.assign(jobs_[i]->id(), jobs_[i]->nodes());
+  const int slots_before = policy_->num_slots();
+  policy_->admit(job);
+  const int slots_now = policy_->num_slots();
+  if (slots_now == 0) return;  // queued (admission/backfill gate)
+  if (slots_before == 0 || current_slot_ < 0) {
+    // The rotation was empty (or never started): this arrival revives it.
+    current_slot_ = 0;
+    activate_slot(0);
+    schedule_switch_timer(0);
+    schedule_bg_start(0);
+    return;
+  }
+  current_slot_ = policy_->resolve_slot(current_slot_);
+  // If the arrival landed in the active slot on any of its nodes, deliver
+  // the switch signals now rather than after the remaining quantum.
+  bool in_active = false;
+  std::vector<int> cell;
+  for (int node : job.nodes()) {
+    if (node_dead_[static_cast<std::size_t>(node)]) continue;
+    cell.clear();
+    policy_->jobs_at(current_slot_, node, cell);
+    if (std::find(cell.begin(), cell.end(), job.id()) != cell.end()) {
+      in_active = true;
+      break;
+    }
+  }
+  if (in_active) activate_slot(current_slot_);
+  if (slots_before == 1 && slots_now > 1) {
+    // The rotation just grew past one slot: the quantum timers were idle.
+    schedule_switch_timer(current_slot_);
+    schedule_bg_start(current_slot_);
   }
 }
 
 SimDuration GangScheduler::slot_quantum(int slot) const {
   SimDuration q = params_.quantum;
-  for (int job_id : matrix_.jobs_in_slot(slot)) {
+  for (int job_id : policy_->jobs_in_slot(slot)) {
     const auto& job = *jobs_[static_cast<std::size_t>(job_id)];
     if (job.quantum_override) q = std::max(q, *job.quantum_override);
   }
@@ -120,22 +155,26 @@ SimDuration GangScheduler::slot_quantum(int slot) const {
 }
 
 void GangScheduler::activate_slot(int to_slot) {
-  assert(to_slot >= 0 && to_slot < matrix_.num_slots());
+  assert(to_slot >= 0 && to_slot < policy_->num_slots());
+  policy_->note_active(to_slot);
   const std::uint64_t gen = ++switch_gen_;
   bool any_pending = false;
+  std::vector<int> cell;
   for (int node = 0; node < cluster_.size(); ++node) {
     const auto ni = static_cast<std::size_t>(node);
     switch_action_[ni] = nullptr;
     if (node_dead_[ni]) continue;
-    const int in_job_id = matrix_.job_at(to_slot, node);
-    Job* in_job = in_job_id >= 0 ? jobs_[static_cast<std::size_t>(in_job_id)].get()
-                                 : nullptr;
-    // running_job_ is delivery-time truth: it only changes when a switch
+    cell.clear();
+    policy_->jobs_at(to_slot, node, cell);
+    std::vector<Job*> in_jobs;
+    in_jobs.reserve(cell.size());
+    for (int id : cell) in_jobs.push_back(jobs_[static_cast<std::size_t>(id)].get());
+    // running_jobs_ is delivery-time truth: it only changes when a switch
     // action actually runs on the node. Skip the signal only when the node
-    // both runs the right job and has no older action still in flight —
-    // otherwise a dropped cont could leave the job stopped forever while the
+    // both runs the right jobs and has no older action still in flight —
+    // otherwise a dropped cont could leave a job stopped forever while the
     // bookkeeping claims it is running.
-    if (in_job == running_job_[ni] && switch_applied_[ni] == gen - 1) {
+    if (in_jobs == running_jobs_[ni] && switch_applied_[ni] == gen - 1) {
       switch_applied_[ni] = gen;  // nothing to apply on this node
       continue;
     }
@@ -144,8 +183,10 @@ void GangScheduler::activate_slot(int to_slot) {
     auto& cpu = cluster_.node(node).cpu();
 
     std::int64_t ws_hint = -1;
-    if (params_.pass_ws_hint && in_job && in_job->declared_ws_pages) {
-      ws_hint = *in_job->declared_ws_pages;
+    Job* in_primary = in_jobs.empty() ? nullptr : in_jobs.front();
+    if (params_.pass_ws_hint && in_primary != nullptr &&
+        in_primary->declared_ws_pages) {
+      ws_hint = *in_primary->declared_ws_pages;
     }
 
     // The per-node switch sequence, run when the control message arrives,
@@ -153,27 +194,35 @@ void GangScheduler::activate_slot(int to_slot) {
     // Applying is idempotent per generation — a watchdog retransmission that
     // races a late original delivery runs the body only once — and a stale
     // generation is skipped once a newer switch has been applied. The
-    // outgoing job, its placements on this node and liveness (dead()) are
-    // all evaluated at delivery time, not send time: a process may finish,
-    // be killed, or be re-placed here by a checkpoint restart while this
-    // signal is in flight (a restarted job may also put several of its
-    // ranks on one node, hence the placement loops).
-    switch_action_[ni] = [this, node, ni, gen, pager, &cpu, in_job, ws_hint] {
+    // outgoing jobs, their placements on this node and liveness (dead())
+    // are all evaluated at delivery time, not send time: a process may
+    // finish, be killed, or be re-placed here by a checkpoint restart while
+    // this signal is in flight (a restarted job may also put several of its
+    // ranks on one node, hence the placement loops). Under co-scheduling
+    // policies a cell holds several jobs: members present in both the
+    // outgoing and incoming sets keep running untouched.
+    switch_action_[ni] = [this, node, ni, gen, pager, &cpu,
+                          in_jobs = std::move(in_jobs), ws_hint] {
       if (switch_applied_[ni] >= gen || node_dead_[ni]) return;
       switch_applied_[ni] = gen;
-      Job* out_job = running_job_[ni];
-      if (out_job == in_job) return;  // already running the right job
-      running_job_[ni] = in_job;
+      std::vector<Job*> out_jobs = running_jobs_[ni];
+      if (out_jobs == in_jobs) return;  // already running the right jobs
+      running_jobs_[ni] = in_jobs;
+      auto contains = [](const std::vector<Job*>& v, Job* j) {
+        return std::find(v.begin(), v.end(), j) != v.end();
+      };
       auto live_on_node = [node](Job* job, std::vector<Process*>& out) {
-        out.clear();
-        if (job == nullptr) return;
         for (const auto& pl : job->processes()) {
           if (pl.node == node && !pl.process->dead()) out.push_back(pl.process);
         }
       };
       std::vector<Process*> outs, ins;
-      live_on_node(out_job, outs);
-      live_on_node(in_job, ins);
+      for (Job* job : out_jobs) {
+        if (!contains(in_jobs, job)) live_on_node(job, outs);
+      }
+      for (Job* job : in_jobs) {
+        if (!contains(out_jobs, job)) live_on_node(job, ins);
+      }
       const bool out_live = !outs.empty();
       const int st = trace_track(node, kTrackSched);
       // The enclosing switch span is async: it ends only when the adaptive
@@ -181,11 +230,13 @@ void GangScheduler::activate_slot(int to_slot) {
       // phases below are synchronous markers nested inside it.
       std::shared_ptr<TraceSpan> switch_span;
       if (tracer_ != nullptr) {
+        Job* out_first = out_jobs.empty() ? nullptr : out_jobs.front();
+        Job* in_first = in_jobs.empty() ? nullptr : in_jobs.front();
         switch_span = std::make_shared<TraceSpan>(tracer_->async_span(
             st, "switch", "switch",
             {{"gen", static_cast<double>(gen)},
-             {"out", out_job ? static_cast<double>(out_job->id()) : -1.0},
-             {"in", in_job ? static_cast<double>(in_job->id()) : -1.0}}));
+             {"out", out_first ? static_cast<double>(out_first->id()) : -1.0},
+             {"in", in_first ? static_cast<double>(in_first->id()) : -1.0}}));
       }
       {
         TraceSpan s;
@@ -201,17 +252,17 @@ void GangScheduler::activate_slot(int to_slot) {
         }
       }
       if (!ins.empty()) {
-        Process* in_primary = ins.front();
+        Process* in_primary_proc = ins.front();
         if (out_live) {
-          pager->adaptive_page_out(outs.front()->pid(), in_primary->pid(),
+          pager->adaptive_page_out(outs.front()->pid(), in_primary_proc->pid(),
                                    ws_hint);
         }
         for (Process* in_proc : ins) pager->on_quantum_start(in_proc->pid());
         if (switch_span) {
-          pager->adaptive_page_in(in_primary->pid(),
+          pager->adaptive_page_in(in_primary_proc->pid(),
                                   [switch_span] { switch_span->end(); });
         } else {
-          pager->adaptive_page_in(in_primary->pid());
+          pager->adaptive_page_in(in_primary_proc->pid());
         }
         for (std::size_t i = 1; i < ins.size(); ++i) {
           pager->adaptive_page_in(ins[i]->pid());
@@ -278,7 +329,7 @@ void GangScheduler::check_watchdog(std::uint64_t gen) {
 
 void GangScheduler::schedule_switch_timer(int slot) {
   cluster_.sim().cancel(switch_event_);
-  if (matrix_.num_slots() <= 1) return;  // nothing to switch to
+  if (policy_->num_slots() <= 1) return;  // nothing to switch to
   switch_event_ =
       cluster_.sim().after(slot_quantum(slot), [this] { do_switch(); });
 }
@@ -286,29 +337,36 @@ void GangScheduler::schedule_switch_timer(int slot) {
 void GangScheduler::schedule_bg_start(int slot) {
   cluster_.sim().cancel(bg_event_);
   if (!params_.pager.policy.bg_write) return;
-  if (matrix_.num_slots() <= 1) return;  // no upcoming switch to prepare for
+  if (policy_->num_slots() <= 1) return;  // no upcoming switch to prepare for
   const auto delay = static_cast<SimDuration>(
       params_.bg_start_frac * static_cast<double>(slot_quantum(slot)));
   bg_event_ = cluster_.sim().after(delay, [this, slot] {
-    if (current_slot_ != slot || matrix_.num_slots() <= slot) return;
+    if (current_slot_ != slot || policy_->num_slots() <= slot) return;
+    std::vector<int> cell;
     for (int node = 0; node < cluster_.size(); ++node) {
       if (node_dead_[static_cast<std::size_t>(node)]) continue;
-      const int job_id = matrix_.job_at(slot, node);
-      if (job_id < 0) continue;
-      for (const auto& pl : jobs_[static_cast<std::size_t>(job_id)]->processes()) {
-        if (pl.node != node || pl.process->dead()) continue;
-        pagers_[static_cast<std::size_t>(node)]->start_bgwrite(
-            pl.process->pid());
-        break;  // one background writer per node is enough
+      cell.clear();
+      policy_->jobs_at(slot, node, cell);
+      bool started = false;
+      for (int job_id : cell) {
+        for (const auto& pl :
+             jobs_[static_cast<std::size_t>(job_id)]->processes()) {
+          if (pl.node != node || pl.process->dead()) continue;
+          pagers_[static_cast<std::size_t>(node)]->start_bgwrite(
+              pl.process->pid());
+          started = true;
+          break;  // one background writer per node is enough
+        }
+        if (started) break;
       }
     }
   });
 }
 
 void GangScheduler::do_switch() {
-  if (matrix_.num_slots() == 0) return;
+  if (policy_->num_slots() == 0) return;
   ++switch_count_;
-  const int next = (current_slot_ + 1) % matrix_.num_slots();
+  const int next = policy_->next_slot(current_slot_);
   current_slot_ = next;
   activate_slot(next);
   schedule_switch_timer(next);
@@ -323,12 +381,10 @@ void GangScheduler::on_job_finished(Job& job) {
   for (const auto& placement : job.processes()) {
     cluster_.node(placement.node).vmm().release_process(
         placement.process->pid());
-    if (running_job_[static_cast<std::size_t>(placement.node)] == &job) {
-      running_job_[static_cast<std::size_t>(placement.node)] = nullptr;
-    }
+    std::erase(running_jobs_[static_cast<std::size_t>(placement.node)], &job);
   }
-  matrix_.remove(job.id());
-  try_admit();  // freed memory may let a waiting job in (admission control)
+  policy_->remove(job);  // freed resources may let a queued job in
+  policy_->on_departure();
   reschedule();
 }
 
@@ -345,10 +401,9 @@ void GangScheduler::fail_job(Job& job) {
         node.vmm().release_process(placement.process->pid());
       }
     }
-    if (running_job_[ni] == &job) running_job_[ni] = nullptr;
+    std::erase(running_jobs_[ni], &job);
   }
-  matrix_.remove(job.id());
-  try_admit();  // freed memory may admit a waiting job
+  policy_->remove(job);  // freed resources may admit a queued job
 }
 
 void GangScheduler::on_page_unrecoverable(int node, Pid pid) {
@@ -379,7 +434,7 @@ void GangScheduler::handle_node_failure(int node) {
   if (node_dead_[ni]) return;
   node_dead_[ni] = true;
   ++stats_.nodes_failed;
-  running_job_[ni] = nullptr;
+  running_jobs_[ni].clear();
   switch_action_[ni] = nullptr;
   if (!started_) return;  // start() fails the affected jobs itself
   for (auto& job : jobs_) {
@@ -390,6 +445,7 @@ void GangScheduler::handle_node_failure(int node) {
     }
     fail_job(*job);
   }
+  policy_->on_node_failed(node);
   reschedule();
 }
 
@@ -404,9 +460,9 @@ void GangScheduler::suspend_job(Job& job) {
         node.vmm().release_process(placement.process->pid());
       }
     }
-    if (running_job_[ni] == &job) running_job_[ni] = nullptr;
+    std::erase(running_jobs_[ni], &job);
   }
-  matrix_.remove(job.id());
+  policy_->detach(job);
 }
 
 void GangScheduler::resume_restarted_job(Job& job) {
@@ -416,10 +472,7 @@ void GangScheduler::resume_restarted_job(Job& job) {
     pagers_[static_cast<std::size_t>(placement.node)]->register_process(
         placement.process->pid());
   }
-  std::vector<int> nodes = job.nodes();
-  std::sort(nodes.begin(), nodes.end());
-  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
-  matrix_.assign(job.id(), nodes);
+  policy_->readmit(job);
   reschedule();
 }
 
@@ -443,13 +496,181 @@ void GangScheduler::reschedule() {
   cluster_.sim().cancel(switch_event_);
   cluster_.sim().cancel(bg_event_);
   cluster_.sim().cancel(watchdog_event_);
-  if (matrix_.num_slots() == 0) return;  // all done
+  if (policy_->num_slots() == 0) return;  // all done
 
-  // Promote whatever should run now (compaction may have shifted slots).
-  current_slot_ = current_slot_ % matrix_.num_slots();
+  // Promote whatever should run now. The policy re-derives the active
+  // slot's index (compaction may have shifted it; matrix-backed policies
+  // follow the row's stable identity).
+  current_slot_ = policy_->resolve_slot(current_slot_);
   activate_slot(current_slot_);
   schedule_switch_timer(current_slot_);
   schedule_bg_start(current_slot_);
+}
+
+// ---------------------------------------------------------------------------
+// Inter-node job migration
+
+bool GangScheduler::migrate_job(Job& job, const std::vector<int>& targets) {
+  if (!started_ || job.done() || migrations_.contains(job.id())) return false;
+  const auto& placements = job.processes();
+  if (placements.empty() || targets.size() != placements.size()) return false;
+  // A parallel job needs its communicator re-homed; without a resolver only
+  // single-rank jobs are safe to move.
+  if (placements.size() > 1 && !comm_of_) return false;
+  for (int target : targets) {
+    if (target < 0 || target >= cluster_.size()) return false;
+    if (node_dead_[static_cast<std::size_t>(target)]) return false;
+  }
+  for (const auto& pl : placements) {
+    if (node_dead_[static_cast<std::size_t>(pl.node)]) return false;
+    // Only a fully SIGSTOPped gang moves: a running or fault/comm-blocked
+    // rank may hold a partially entered collective or in-flight I/O whose
+    // completion would target the torn-down incarnation.
+    if (pl.process->dead() ||
+        pl.process->state() != ProcState::kStopped) {
+      return false;
+    }
+  }
+  // Snapshot the live images and check the targets can hold them before
+  // tearing anything down.
+  auto mig = std::make_shared<Migration>();
+  mig->to = targets;
+  std::vector<Vmm::ImageSnapshot> snaps;
+  std::vector<std::int64_t> num_pages;
+  snaps.reserve(placements.size());
+  std::vector<std::int64_t> swap_need(
+      static_cast<std::size_t>(cluster_.size()), 0);
+  for (const auto& pl : placements) {
+    mig->from.push_back(pl.node);
+    const Pid pid = pl.process->pid();
+    auto& vmm = cluster_.node(pl.node).vmm();
+    num_pages.push_back(vmm.space(pid).num_pages());
+    snaps.push_back(vmm.snapshot_image(pid));
+    swap_need[static_cast<std::size_t>(
+        targets[snaps.size() - 1])] += snaps.back().live_pages;
+  }
+  for (int n = 0; n < cluster_.size(); ++n) {
+    if (swap_need[static_cast<std::size_t>(n)] == 0) continue;
+    if (cluster_.node(n).swap().free_slots() <
+        swap_need[static_cast<std::size_t>(n)]) {
+      return false;
+    }
+  }
+  // Point of no return: take the job out of the rotation (kills the stopped
+  // processes and releases the source spaces) and ship the images.
+  suspend_job(job);
+  migrations_[job.id()] = mig;
+  mig->pid.assign(placements.size(), kNoPid);
+  mig->slots.resize(placements.size());
+  mig->outstanding = 1;  // submission sentinel
+  const int job_id = job.id();
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    auto& node = cluster_.node(targets[i]);
+    mig->pid[i] = node.vmm().create_process(num_pages[i]);
+    const auto& snap = snaps[i];
+    if (snap.live_pages > 0) {
+      mig->slots[i] = node.swap().alloc_pages(snap.live_pages, 64);
+      node.vmm().bind_swap_image(mig->pid[i], snap.live, mig->slots[i]);
+    }
+    stats_.migrated_pages += static_cast<std::uint64_t>(snap.live_pages);
+    // The image crosses the network as one transfer per rank (page data
+    // plus one page of metadata), then lands in the target swap partition
+    // as real foreground I/O.
+    const std::int64_t bytes = (snap.live_pages + 1) * kPageBytes;
+    stats_.migration_bytes += static_cast<std::uint64_t>(bytes);
+    ++mig->outstanding;
+    const int target = targets[i];
+    const std::size_t rank = i;
+    cluster_.network().send(
+        mig->from[i], target, bytes, [this, job_id, mig, target, rank] {
+          // Delivered: write the staged runs to the target swap.
+          if (node_dead_[static_cast<std::size_t>(target)] ||
+              mig->slots[rank].empty()) {
+            migration_step_done(job_id);
+            return;
+          }
+          for (const SlotRun& run : mig->slots[rank]) {
+            ++mig->outstanding;
+            cluster_.node(target).swap().write(
+                run, IoPriority::kForeground,
+                [this, job_id, mig](IoResult result) {
+                  if (!result.ok) mig->failed = true;
+                  migration_step_done(job_id);
+                });
+          }
+          migration_step_done(job_id);  // drop the delivery token
+        });
+  }
+  migration_step_done(job_id);  // drop the submission sentinel
+  return true;
+}
+
+void GangScheduler::migration_step_done(int job_id) {
+  const auto it = migrations_.find(job_id);
+  if (it == migrations_.end()) return;
+  const std::shared_ptr<Migration> mig = it->second;
+  if (--mig->outstanding > 0) return;
+  migrations_.erase(it);
+  Job& job = *jobs_[static_cast<std::size_t>(job_id)];
+  if (job.done()) {
+    // The job was failed while its image was in flight (e.g. a source-node
+    // crash handled by handle_node_failure): drop the staged spaces.
+    release_migration_staging(*mig);
+    ++stats_.migrations_failed;
+    return;
+  }
+  for (int target : mig->to) {
+    if (node_dead_[static_cast<std::size_t>(target)]) {
+      // A target died mid-flight: the image is gone; the job cannot resume.
+      release_migration_staging(*mig);
+      ++stats_.migrations_failed;
+      fail_job(job);
+      reschedule();
+      return;
+    }
+  }
+  if (mig->failed) {
+    release_migration_staging(*mig);
+    ++stats_.migrations_failed;
+    fail_job(job);
+    reschedule();
+    return;
+  }
+  finish_migration(job, *mig);
+}
+
+void GangScheduler::release_migration_staging(const Migration& mig) {
+  for (std::size_t i = 0; i < mig.pid.size(); ++i) {
+    if (mig.pid[i] == kNoPid) continue;
+    const int node_index = mig.to[i];
+    if (node_dead_[static_cast<std::size_t>(node_index)]) continue;
+    auto& vmm = cluster_.node(node_index).vmm();
+    if (vmm.space(mig.pid[i]).alive()) vmm.release_process(mig.pid[i]);
+  }
+}
+
+void GangScheduler::finish_migration(Job& job, const Migration& mig) {
+  MpiComm* comm = comm_of_ ? comm_of_(job.id()) : nullptr;
+  const auto& placements = job.processes();
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    Process& p = *placements[i].process;
+    // Re-home the process: off the old CPU, onto its target, under the
+    // staged address space. adopt() leaves the op cursor untouched — unlike
+    // a checkpoint restart nothing rewinds; the job continues exactly where
+    // its SIGSTOP left it, paying major faults to pull its pages back in.
+    cluster_.node(placements[i].node).cpu().detach(p);
+    job.move_process(i, mig.to[i]);
+    cluster_.node(mig.to[i]).cpu().adopt(p, mig.pid[i]);
+    pagers_[static_cast<std::size_t>(mig.to[i])]->register_process(mig.pid[i]);
+    if (comm != nullptr) comm->rebind_node(p.rank, mig.to[i]);
+  }
+  ++stats_.jobs_migrated;
+  cluster_.node(mig.to.front())
+      .vmm()
+      .log()
+      .info("job %d migrated onto node %d; resuming", job.id(), mig.to.front());
+  policy_->readmit(job);
+  reschedule();
 }
 
 bool GangScheduler::all_finished() const {

@@ -2,23 +2,32 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cluster/cluster.hpp"
 #include "core/adaptive_pager.hpp"
 #include "gang/job.hpp"
 #include "gang/matrix.hpp"
+#include "gang/sched_policy.hpp"
 
 /// \file gang_scheduler.hpp
 /// The user-level gang scheduler of the paper's Figure 5: a controller that,
 /// at every quantum boundary, sends SIGSTOP to the current slot's processes
 /// and SIGCONT to the next slot's on every node, invoking the adaptive
 /// paging API (adaptive_page_out / adaptive_page_in / start_bgwrite /
-/// stop_bgwrite) around the signals. Also provides the batch baseline used
-/// by the evaluation (jobs run back to back, no switching).
+/// stop_bgwrite) around the signals. *What* runs in each slot is decided by
+/// a pluggable SchedulerPolicy (sched_policy.hpp, resolved by name through
+/// policy_registry.hpp); the default "matrix" policy reproduces the paper's
+/// Ousterhout rotation bit-identically. Also provides the batch baseline
+/// used by the evaluation (jobs run back to back, no switching).
 
 namespace apsim {
+
+class MpiComm;
 
 /// Recovery delegate consulted before the scheduler gives up on a job. The
 /// checkpoint manager (src/recover) implements it; the interface lives here
@@ -69,14 +78,26 @@ struct GangParams {
   bool admission_control = false;
   double admission_margin = 0.9;
 
+  /// Scheduler policy, resolved through policy_registry.hpp ("matrix",
+  /// "admission", "backfill", "gang-edf", "dfrs", ...). For backward
+  /// compatibility, admission_control=true upgrades the default "matrix" to
+  /// "admission"; an explicit non-matrix name wins over the legacy flag.
+  std::string sched_policy = "matrix";
+
+  /// Tunables shared by the registered policies. admission_margin above is
+  /// the authoritative legacy field: the engine copies it into
+  /// policy_opts.admission_margin on construction.
+  SchedPolicyOptions policy_opts;
+
   /// Per-node adaptive pager configuration (incl. the PolicySet).
   AdaptivePagerParams pager;
 };
 
-class GangScheduler {
+class GangScheduler : private SchedContext {
  public:
+  /// Throws std::invalid_argument if params.sched_policy is unknown.
   GangScheduler(Cluster& cluster, GangParams params);
-  ~GangScheduler();
+  ~GangScheduler() override;
 
   GangScheduler(const GangScheduler&) = delete;
   GangScheduler& operator=(const GangScheduler&) = delete;
@@ -87,6 +108,18 @@ class GangScheduler {
 
   /// Begin gang scheduling: slot 0 starts immediately.
   void start();
+
+  // ---- open arrivals ----
+
+  /// Create a job after start() (an open arrival). Attach its processes via
+  /// Job::add_process, then hand it to start_job().
+  Job& submit_job(std::string name);
+
+  /// Admit a job created by submit_job() into the live schedule: register
+  /// its processes with the pagers, stamp its arrival time, and — if the
+  /// policy schedules it immediately — deliver the switch signals without
+  /// waiting for the next quantum boundary.
+  void start_job(Job& job);
 
   /// Every job reached a terminal state (finished or failed).
   [[nodiscard]] bool all_finished() const;
@@ -109,12 +142,18 @@ class GangScheduler {
   void set_bg_start_frac(double frac) {
     params_.bg_start_frac = std::clamp(frac, 0.0, 1.0);
   }
+  /// The engine-owned Ousterhout matrix (meaningful under matrix-backed
+  /// policies; backfill/dfrs keep their own structures and leave it empty).
   [[nodiscard]] const ScheduleMatrix& matrix() const { return matrix_; }
 
+  /// The active scheduler policy.
+  [[nodiscard]] SchedulerPolicy& policy() { return *policy_; }
+  [[nodiscard]] const SchedulerPolicy& policy() const { return *policy_; }
+
   /// True once the job has been admitted to the rotation (always true
-  /// without admission control).
+  /// without admission control / queueing policies).
   [[nodiscard]] bool admitted(const Job& job) const {
-    return admitted_[static_cast<std::size_t>(job.id())];
+    return policy_->is_admitted(job);
   }
 
   /// React to a crashed node: fail every job placed there, drop the node
@@ -153,6 +192,32 @@ class GangScheduler {
 
   [[nodiscard]] std::uint64_t switch_generation() const { return switch_gen_; }
 
+  // ---- inter-node job migration ----
+
+  /// Resolver from job id to the job's communicator, so migration can
+  /// re-home ranks (mirrors CheckpointManager::set_comm_resolver). Without
+  /// one, only single-rank jobs migrate.
+  void set_comm_resolver(std::function<MpiComm*(int)> resolver) {
+    comm_of_ = std::move(resolver);
+  }
+
+  /// Migrate \p job so placement i lands on targets[i]: snapshot each
+  /// rank's live pages, take the job out of the rotation (suspend), ship
+  /// the images through the network model, stage them into the target swap
+  /// partitions as foreground I/O, re-home the processes (Cpu::adopt) and
+  /// hand the job back to the policy (readmit). Demand paging then pays the
+  /// major faults as the job re-touches its pages — the realistic cost of a
+  /// migration. Returns false (and does nothing) unless every process is
+  /// SIGSTOPped with no collective partially entered, all nodes involved
+  /// are alive, and the targets have swap room; policies call this through
+  /// SchedContext::request_migration.
+  bool migrate_job(Job& job, const std::vector<int>& targets);
+
+  /// True while a migration of \p job is in flight.
+  [[nodiscard]] bool migrating(const Job& job) const {
+    return migrations_.contains(job.id());
+  }
+
   /// Attach the run's tracer (nullptr = untraced). Each delivered switch
   /// action emits, on the owning node's scheduler track, an async "switch"
   /// span (ending when the adaptive page-in replay drains) containing the
@@ -169,10 +234,42 @@ class GangScheduler {
     int jobs_recovered = 0;  ///< restarts that made it back into the rotation
     std::uint64_t lost_pages_fatal = 0;      ///< page losses that failed a job
     std::uint64_t lost_pages_recovered = 0;  ///< page losses a restart absorbed
+    int jobs_migrated = 0;             ///< completed inter-node migrations
+    int migrations_failed = 0;         ///< migrations aborted mid-flight
+    std::uint64_t migrated_pages = 0;  ///< live pages shipped by migrations
+    std::uint64_t migration_bytes = 0; ///< network bytes spent on migrations
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
+  // ---- SchedContext (the policy's view of the engine) ----
+  [[nodiscard]] ScheduleMatrix& shared_matrix() override { return matrix_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Job>>& all_jobs()
+      const override {
+    return jobs_;
+  }
+  [[nodiscard]] int num_nodes() const override { return cluster_.size(); }
+  [[nodiscard]] SimTime sim_now() const override;
+  [[nodiscard]] std::int64_t usable_frames(int node) const override;
+  [[nodiscard]] const SchedPolicyOptions& sched_options() const override {
+    return params_.policy_opts;
+  }
+  bool request_migration(Job& job, const std::vector<int>& targets) override {
+    return migrate_job(job, targets);
+  }
+
+  /// In-flight migration of one job (mirrors the checkpoint manager's
+  /// staging attempt: spaces created and swap slots bound up front, image
+  /// writes counted down, finalization re-homes the processes).
+  struct Migration {
+    std::vector<int> from;
+    std::vector<int> to;
+    std::vector<Pid> pid;                        ///< staged target pids
+    std::vector<std::vector<SlotRun>> slots;     ///< per-rank staged runs
+    int outstanding = 0;                         ///< network + I/O countdown
+    bool failed = false;
+  };
+
   void activate_slot(int to_slot);
   void do_switch();
   /// Deliver \p action to \p node after the (possibly disturbed) signal
@@ -185,24 +282,29 @@ class GangScheduler {
   void fail_job(Job& job);
   /// A page of (node, pid) became unrecoverable: abort the owning job.
   void on_page_unrecoverable(int node, Pid pid);
-  /// Re-activate the current slot after the matrix changed.
+  /// Re-activate the current slot after the schedule changed.
   void reschedule();
-  /// Admit every waiting job whose memory demand fits (no-op without
-  /// admission control, which admits everything up front).
-  void try_admit();
-  [[nodiscard]] bool fits_in_memory(const Job& job) const;
+  /// Register a job's processes with the pagers and wire on_finish.
+  void wire_job(Job& job);
   void schedule_switch_timer(int slot);
   void schedule_bg_start(int slot);
   void on_job_finished(Job& job);
+  void migration_step_done(int job_id);
+  void finish_migration(Job& job, const Migration& mig);
+  void release_migration_staging(const Migration& mig);
   [[nodiscard]] SimDuration slot_quantum(int slot) const;
 
   Cluster& cluster_;
   GangParams params_;
+  std::unique_ptr<SchedulerPolicy> policy_;
   std::vector<std::unique_ptr<AdaptivePager>> pagers_;
   std::vector<std::unique_ptr<Job>> jobs_;
-  std::vector<bool> admitted_;
-  std::vector<Job*> running_job_;  ///< job currently holding each node
+  /// Jobs currently holding each node (delivery-time truth; more than one
+  /// under co-scheduling policies).
+  std::vector<std::vector<Job*>> running_jobs_;
   ScheduleMatrix matrix_;
+  std::map<int, std::shared_ptr<Migration>> migrations_;  ///< by job id
+  std::function<MpiComm*(int)> comm_of_;
   int current_slot_ = -1;
   EventHandle switch_event_;
   EventHandle bg_event_;

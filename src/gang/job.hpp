@@ -91,6 +91,15 @@ class Job {
   /// configured to supply it; otherwise the kernel estimate is used.
   std::optional<std::int64_t> declared_ws_pages;
 
+  /// Open-arrival metadata (set by the open-arrival driver; the defaults
+  /// keep fixed-set runs unchanged). arrival feeds the per-job slowdown
+  /// metric, deadline orders gang-EDF, estimated_runtime sizes conservative
+  /// backfilling reservations, tenant labels multi-tenant mixes.
+  SimTime arrival = 0;
+  std::optional<SimTime> deadline;
+  std::optional<SimDuration> estimated_runtime;
+  int tenant = 0;
+
  private:
   int id_;
   std::string name_;

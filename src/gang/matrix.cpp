@@ -26,6 +26,7 @@ int ScheduleMatrix::assign(int job_id, const std::vector<int>& nodes) {
     }
   }
   slots_.emplace_back(static_cast<std::size_t>(num_nodes_), -1);
+  ids_.push_back(next_id_++);
   for (int n : nodes) slots_.back()[static_cast<std::size_t>(n)] = job_id;
   return num_slots() - 1;
 }
@@ -36,10 +37,33 @@ void ScheduleMatrix::remove(int job_id) {
       if (cell == job_id) cell = -1;
     }
   }
-  std::erase_if(slots_, [](const std::vector<int>& row) {
-    return std::all_of(row.begin(), row.end(),
-                       [](int cell) { return cell == -1; });
-  });
+  // Compact empty rows, keeping slots_ and ids_ in lockstep so surviving
+  // rows retain their stable identities.
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < slots_.size(); ++r) {
+    const bool empty = std::all_of(slots_[r].begin(), slots_[r].end(),
+                                   [](int cell) { return cell == -1; });
+    if (empty) continue;
+    if (w != r) {
+      slots_[w] = std::move(slots_[r]);
+      ids_[w] = ids_[r];
+    }
+    ++w;
+  }
+  slots_.resize(w);
+  ids_.resize(w);
+}
+
+std::uint64_t ScheduleMatrix::slot_id(int slot) const {
+  assert(slot >= 0 && slot < num_slots());
+  return ids_[static_cast<std::size_t>(slot)];
+}
+
+std::optional<int> ScheduleMatrix::slot_index(std::uint64_t id) const {
+  for (int s = 0; s < num_slots(); ++s) {
+    if (ids_[static_cast<std::size_t>(s)] == id) return s;
+  }
+  return std::nullopt;
 }
 
 int ScheduleMatrix::job_at(int slot, int node) const {

@@ -24,8 +24,18 @@ class ScheduleMatrix {
   /// free, appending a new slot if necessary. Returns the slot index.
   int assign(int job_id, const std::vector<int>& nodes);
 
-  /// Remove a job everywhere; empty slots are dropped (compaction).
+  /// Remove a job everywhere; empty slots are dropped (compaction). Slot
+  /// indices shift, but slot identities (slot_id) survive — a caller holding
+  /// the active slot's id can re-find its row after arrivals and removals
+  /// instead of trusting a stale index.
   void remove(int job_id);
+
+  /// Stable identity of the slot currently at \p slot: assigned when the row
+  /// is created, never reused, unaffected by compaction. Always > 0.
+  [[nodiscard]] std::uint64_t slot_id(int slot) const;
+
+  /// Current index of the row with stable id \p id, if it still exists.
+  [[nodiscard]] std::optional<int> slot_index(std::uint64_t id) const;
 
   /// Job occupying (slot, node), or -1.
   [[nodiscard]] int job_at(int slot, int node) const;
@@ -42,6 +52,8 @@ class ScheduleMatrix {
  private:
   int num_nodes_;
   std::vector<std::vector<int>> slots_;  ///< slots_[slot][node] = job id or -1
+  std::vector<std::uint64_t> ids_;       ///< ids_[slot] = stable row identity
+  std::uint64_t next_id_ = 1;
 };
 
 }  // namespace apsim

@@ -1,0 +1,94 @@
+#include "gang/policy_registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "gang/sched_policies.hpp"
+
+namespace apsim {
+
+namespace {
+
+struct Entry {
+  std::string name;
+  SchedPolicyFactory factory;
+  bool builtin = false;
+};
+
+std::vector<Entry>& registry() {
+  static std::vector<Entry> entries = [] {
+    std::vector<Entry> e;
+    e.push_back({"matrix", [] { return std::make_unique<MatrixPolicy>(); },
+                 true});
+    e.push_back({"admission",
+                 [] { return std::make_unique<AdmissionPolicy>(); }, true});
+    e.push_back({"backfill",
+                 [] { return std::make_unique<BackfillPolicy>(); }, true});
+    e.push_back({"gang-edf",
+                 [] { return std::make_unique<GangEdfPolicy>(); }, true});
+    e.push_back({"dfrs", [] { return std::make_unique<DfrsPolicy>(); }, true});
+    return e;
+  }();
+  return entries;
+}
+
+}  // namespace
+
+std::vector<std::string> sched_policy_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const Entry& e : registry()) names.push_back(e.name);
+  return names;
+}
+
+bool is_sched_policy(std::string_view name) {
+  for (const Entry& e : registry()) {
+    if (e.name == name) return true;
+  }
+  return false;
+}
+
+std::string sched_policy_names_hint() {
+  std::string hint = "valid policies are:";
+  for (const Entry& e : registry()) {
+    hint += ' ';
+    hint += e.name;
+  }
+  return hint;
+}
+
+std::unique_ptr<SchedulerPolicy> make_sched_policy(std::string_view name) {
+  for (const Entry& e : registry()) {
+    if (e.name == name) return e.factory();
+  }
+  throw std::invalid_argument("unknown scheduler policy '" +
+                              std::string(name) + "'; " +
+                              sched_policy_names_hint());
+}
+
+void register_sched_policy(std::string name, SchedPolicyFactory factory) {
+  if (name.empty()) {
+    throw std::invalid_argument("scheduler policy name must be non-empty");
+  }
+  if (!factory) {
+    throw std::invalid_argument("scheduler policy factory must be callable");
+  }
+  if (is_sched_policy(name)) {
+    throw std::invalid_argument("scheduler policy '" + name +
+                                "' is already registered");
+  }
+  registry().push_back({std::move(name), std::move(factory), false});
+}
+
+bool unregister_sched_policy(std::string_view name) {
+  auto& entries = registry();
+  for (auto it = entries.begin(); it != entries.end(); ++it) {
+    if (it->name == name && !it->builtin) {
+      entries.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace apsim

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gang/sched_policy.hpp"
+
+/// \file policy_registry.hpp
+/// Name-keyed factory over the scheduler-policy zoo, mirroring the reclaim
+/// registry in src/mem: config validation, the scenario parser and the gang
+/// engine all resolve policies through here, so adding one means a single
+/// registration and nothing else. "matrix" is the paper's default: the gang
+/// engine behaves bit-identically to the pre-extraction scheduler under it.
+
+namespace apsim {
+
+using SchedPolicyFactory = std::function<std::unique_ptr<SchedulerPolicy>()>;
+
+/// Valid policy names, in registration order: matrix, admission, backfill,
+/// gang-edf, dfrs, then any register_sched_policy() additions. Returned by
+/// value (threaded sweeps may consult the registry concurrently).
+[[nodiscard]] std::vector<std::string> sched_policy_names();
+
+[[nodiscard]] bool is_sched_policy(std::string_view name);
+
+/// One-line "valid policies are: ..." suffix for error messages.
+[[nodiscard]] std::string sched_policy_names_hint();
+
+/// Construct the named policy. Throws std::invalid_argument naming the
+/// valid policies when \p name is unknown.
+[[nodiscard]] std::unique_ptr<SchedulerPolicy> make_sched_policy(
+    std::string_view name);
+
+/// Register an out-of-tree policy (tests, experiments). Throws
+/// std::invalid_argument on an empty name or a duplicate registration —
+/// built-ins included, so a test cannot shadow "matrix".
+void register_sched_policy(std::string name, SchedPolicyFactory factory);
+
+/// Drop a registration added by register_sched_policy (test teardown).
+/// Built-ins cannot be unregistered; returns false if \p name was not a
+/// dynamic registration.
+bool unregister_sched_policy(std::string_view name);
+
+}  // namespace apsim

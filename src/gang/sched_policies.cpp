@@ -1,0 +1,458 @@
+#include "gang/sched_policies.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace apsim {
+
+namespace {
+
+std::vector<int> deduped_nodes(const Job& job) {
+  std::vector<int> nodes = job.nodes();
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MatrixPolicy
+
+void MatrixPolicy::assign_deduped(Job& job) {
+  ctx_->shared_matrix().assign(job.id(), deduped_nodes(job));
+  admitted_.insert(job.id());
+}
+
+void MatrixPolicy::admit(Job& job) {
+  if (job.done()) return;
+  // Raw (non-deduplicated) node list, exactly like the legacy try_admit;
+  // fresh jobs hold one placement per node.
+  ctx_->shared_matrix().assign(job.id(), job.nodes());
+  admitted_.insert(job.id());
+}
+
+void MatrixPolicy::remove(Job& job) {
+  // admitted_ records *ever admitted* (legacy GangScheduler::admitted
+  // stayed true after completion), so only the matrix changes here.
+  ctx_->shared_matrix().remove(job.id());
+}
+
+void MatrixPolicy::readmit(Job& job) {
+  // A restarted or migrated job may hold several ranks on one node.
+  assign_deduped(job);
+}
+
+bool MatrixPolicy::is_admitted(const Job& job) const {
+  return admitted_.contains(job.id());
+}
+
+int MatrixPolicy::num_slots() const {
+  return ctx_->shared_matrix().num_slots();
+}
+
+void MatrixPolicy::jobs_at(int slot, int node, std::vector<int>& out) const {
+  const int id = ctx_->shared_matrix().job_at(slot, node);
+  if (id >= 0) out.push_back(id);
+}
+
+std::vector<int> MatrixPolicy::jobs_in_slot(int slot) const {
+  return ctx_->shared_matrix().jobs_in_slot(slot);
+}
+
+int MatrixPolicy::next_slot(int current) const {
+  return (current + 1) % ctx_->shared_matrix().num_slots();
+}
+
+void MatrixPolicy::note_active(int slot) {
+  active_row_ = ctx_->shared_matrix().slot_id(slot);
+}
+
+int MatrixPolicy::resolve_slot(int current) const {
+  const int n = num_slots();
+  if (n <= 0) return -1;
+  // Follow the active row's stable identity across compaction: an arrival
+  // or an unrelated removal must not silently re-point the live quantum at
+  // a different row. Only when the active row itself is gone does the
+  // legacy index fallback apply (the next row slides into its place).
+  if (active_row_ != 0) {
+    if (const auto idx = ctx_->shared_matrix().slot_index(active_row_)) {
+      return *idx;
+    }
+  }
+  return current % n;
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionPolicy
+
+bool AdmissionPolicy::fits_in_memory(const Job& job) const {
+  // Per node: the declared working sets of every admitted job on that node
+  // plus this one must fit in admission_margin of usable memory. Jobs
+  // without a declaration are assumed to need their full address space.
+  auto demand = [](const Job& j, int node) -> std::int64_t {
+    std::int64_t total = 0;
+    for (const auto& pl : j.processes()) {
+      if (pl.node != node) continue;
+      total += j.declared_ws_pages ? *j.declared_ws_pages : 0;
+    }
+    return total;
+  };
+  const auto& jobs = ctx_->all_jobs();
+  for (int node : job.nodes()) {
+    std::int64_t total = demand(job, node);
+    for (const auto& other : jobs) {
+      if (!admitted_.contains(other->id()) || other->done()) continue;
+      total += demand(*other, node);
+    }
+    const auto budget = static_cast<std::int64_t>(
+        ctx_->sched_options().admission_margin *
+        static_cast<double>(ctx_->usable_frames(node)));
+    if (total > budget) return false;
+  }
+  return true;
+}
+
+void AdmissionPolicy::drain_waiting() {
+  for (const auto& job : ctx_->all_jobs()) {
+    if (admitted_.contains(job->id()) || job->done()) continue;
+    if (!fits_in_memory(*job)) continue;
+    ctx_->shared_matrix().assign(job->id(), job->nodes());
+    admitted_.insert(job->id());
+  }
+}
+
+void AdmissionPolicy::admit(Job& job) {
+  if (job.done()) return;
+  if (!fits_in_memory(job)) return;  // waits for a departure
+  ctx_->shared_matrix().assign(job.id(), job.nodes());
+  admitted_.insert(job.id());
+}
+
+void AdmissionPolicy::remove(Job& job) {
+  ctx_->shared_matrix().remove(job.id());
+  drain_waiting();  // freed memory may let a waiting job in
+}
+
+void AdmissionPolicy::detach(Job& job) {
+  // Suspension (checkpoint restart, migration): the job is expected back,
+  // so its memory claim stays counted and nobody is admitted in its place.
+  ctx_->shared_matrix().remove(job.id());
+}
+
+void AdmissionPolicy::readmit(Job& job) {
+  // Legacy resume semantics: a restarted job re-enters unconditionally —
+  // the planner already sized its placement against surviving memory.
+  assign_deduped(job);
+}
+
+// ---------------------------------------------------------------------------
+// GangEdfPolicy
+
+int GangEdfPolicy::next_slot(int current) const {
+  const auto& matrix = ctx_->shared_matrix();
+  const int n = matrix.num_slots();
+  if (n <= 1) return 0;
+  // Earliest deadline first over whole rows: a row's key is the earliest
+  // member deadline (rows without deadlines sort last); ties fall to the
+  // least recently activated row so deadline-free workloads degrade to a
+  // fair rotation instead of starving high-index rows.
+  int best = -1;
+  SimTime best_deadline = 0;
+  std::uint64_t best_last = 0;
+  for (int s = 0; s < n; ++s) {
+    if (s == current) continue;
+    SimTime deadline = std::numeric_limits<SimTime>::max();
+    for (int id : matrix.jobs_in_slot(s)) {
+      const Job& job = *ctx_->all_jobs()[static_cast<std::size_t>(id)];
+      if (job.deadline && *job.deadline < deadline) deadline = *job.deadline;
+    }
+    const auto it = last_run_.find(matrix.slot_id(s));
+    const std::uint64_t last = it == last_run_.end() ? 0 : it->second;
+    if (best < 0 || deadline < best_deadline ||
+        (deadline == best_deadline && last < best_last)) {
+      best = s;
+      best_deadline = deadline;
+      best_last = last;
+    }
+  }
+  return best;
+}
+
+void GangEdfPolicy::note_active(int slot) {
+  MatrixPolicy::note_active(slot);
+  last_run_[ctx_->shared_matrix().slot_id(slot)] = ++tick_;
+}
+
+// ---------------------------------------------------------------------------
+// BackfillPolicy
+
+SimDuration BackfillPolicy::estimate(const Job& job) const {
+  const SimDuration est = job.estimated_runtime
+                              ? *job.estimated_runtime
+                              : ctx_->sched_options().backfill_estimate_default;
+  return std::max<SimDuration>(est, 1);
+}
+
+void BackfillPolicy::start_job(Job& job) {
+  running_.insert(job.id());
+  started_.insert(job.id());
+  est_finish_[job.id()] = ctx_->sim_now() + estimate(job);
+}
+
+void BackfillPolicy::schedule_pass() {
+  const SimTime now = ctx_->sim_now();
+  // When each node frees up, by the running jobs' estimated completions.
+  std::vector<SimTime> free_at(static_cast<std::size_t>(ctx_->num_nodes()),
+                               now);
+  for (int id : running_) {
+    const Job& job = *ctx_->all_jobs()[static_cast<std::size_t>(id)];
+    const SimTime fin = est_finish_.at(id);
+    for (int n : deduped_nodes(job)) {
+      auto& t = free_at[static_cast<std::size_t>(n)];
+      t = std::max(t, fin);
+    }
+  }
+  struct Reservation {
+    SimTime start = 0;
+    SimTime end = 0;
+    std::vector<int> nodes;
+  };
+  std::vector<Reservation> reservations;
+  const std::vector<int> pending = queue_;
+  for (int id : pending) {
+    Job& job = *ctx_->all_jobs()[static_cast<std::size_t>(id)];
+    if (job.done()) continue;  // the engine's remove() is on its way
+    const std::vector<int> nodes = deduped_nodes(job);
+    if (std::any_of(nodes.begin(), nodes.end(),
+                    [&](int n) { return !ctx_->node_alive(n); })) {
+      continue;  // placed on a fenced node; the engine fails it
+    }
+    const SimDuration est = estimate(job);
+    auto overlaps = [&nodes](const Reservation& r) {
+      return std::any_of(nodes.begin(), nodes.end(), [&](int n) {
+        return std::find(r.nodes.begin(), r.nodes.end(), n) != r.nodes.end();
+      });
+    };
+    bool can_now = std::all_of(nodes.begin(), nodes.end(), [&](int n) {
+      return free_at[static_cast<std::size_t>(n)] <= now;
+    });
+    if (can_now) {
+      // Conservative: starting now must not push past any earlier job's
+      // reservation on a shared node.
+      for (const Reservation& r : reservations) {
+        if (overlaps(r) && now + est > r.start) {
+          can_now = false;
+          break;
+        }
+      }
+    }
+    if (can_now) {
+      start_job(job);
+      std::erase(queue_, id);
+      for (int n : nodes) free_at[static_cast<std::size_t>(n)] = now + est;
+      continue;
+    }
+    Reservation r;
+    r.start = now;
+    for (int n : nodes) {
+      r.start = std::max(r.start, free_at[static_cast<std::size_t>(n)]);
+    }
+    for (const Reservation& prev : reservations) {
+      if (overlaps(prev)) r.start = std::max(r.start, prev.end);
+    }
+    r.end = r.start + est;
+    r.nodes = nodes;
+    reservations.push_back(std::move(r));
+  }
+}
+
+void BackfillPolicy::admit(Job& job) {
+  if (job.done()) return;
+  queue_.push_back(job.id());
+  schedule_pass();
+}
+
+void BackfillPolicy::remove(Job& job) {
+  running_.erase(job.id());
+  est_finish_.erase(job.id());
+  std::erase(queue_, job.id());
+  schedule_pass();
+}
+
+void BackfillPolicy::detach(Job& job) {
+  running_.erase(job.id());
+  est_finish_.erase(job.id());
+  std::erase(queue_, job.id());
+}
+
+void BackfillPolicy::readmit(Job& job) {
+  if (job.done()) return;
+  start_job(job);
+}
+
+bool BackfillPolicy::is_admitted(const Job& job) const {
+  return started_.contains(job.id());
+}
+
+int BackfillPolicy::num_slots() const { return running_.empty() ? 0 : 1; }
+
+void BackfillPolicy::jobs_at(int slot, int node, std::vector<int>& out) const {
+  assert(slot == 0);
+  (void)slot;
+  for (int id : running_) {
+    const Job& job = *ctx_->all_jobs()[static_cast<std::size_t>(id)];
+    if (!job.done() && job.process_on(node) != nullptr) out.push_back(id);
+  }
+}
+
+std::vector<int> BackfillPolicy::jobs_in_slot(int slot) const {
+  assert(slot == 0);
+  (void)slot;
+  return {running_.begin(), running_.end()};
+}
+
+// ---------------------------------------------------------------------------
+// DfrsPolicy
+
+int DfrsPolicy::max_coscheduled() const {
+  return ctx_ != nullptr ? ctx_->sched_options().dfrs_max_share : 2;
+}
+
+std::int64_t DfrsPolicy::demand(const Job& job, int node) const {
+  // A job that declares nothing is assumed to need its whole address space:
+  // it never co-resides (sentinel larger than any node's memory).
+  if (!job.declared_ws_pages) return std::int64_t{1} << 50;
+  std::int64_t total = 0;
+  for (const auto& pl : job.processes()) {
+    if (pl.node == node) total += *job.declared_ws_pages;
+  }
+  return total;
+}
+
+bool DfrsPolicy::fits_group(const Group& g, const Job& job) const {
+  const auto& opts = ctx_->sched_options();
+  for (int node : deduped_nodes(job)) {
+    int count = 0;
+    std::int64_t resident = 0;
+    for (int id : g.members) {
+      const Job& member = *ctx_->all_jobs()[static_cast<std::size_t>(id)];
+      if (member.done() || member.process_on(node) == nullptr) continue;
+      ++count;
+      resident += demand(member, node);
+    }
+    if (count == 0) continue;  // pure space sharing on this node
+    if (count >= opts.dfrs_max_share) return false;
+    const auto budget = static_cast<std::int64_t>(
+        opts.dfrs_mem_frac * static_cast<double>(ctx_->usable_frames(node)));
+    if (resident + demand(job, node) > budget) return false;
+  }
+  return true;
+}
+
+void DfrsPolicy::drop_member(int job_id) {
+  for (Group& g : groups_) std::erase(g.members, job_id);
+  std::erase_if(groups_, [](const Group& g) { return g.members.empty(); });
+}
+
+void DfrsPolicy::admit(Job& job) {
+  if (job.done()) return;
+  drop_member(job.id());  // idempotent (readmit re-places a member)
+  for (Group& g : groups_) {
+    if (fits_group(g, job)) {
+      g.members.push_back(job.id());
+      admitted_.insert(job.id());
+      return;
+    }
+  }
+  groups_.push_back(Group{next_group_++, {job.id()}});
+  admitted_.insert(job.id());
+}
+
+void DfrsPolicy::remove(Job& job) { drop_member(job.id()); }
+
+void DfrsPolicy::readmit(Job& job) { admit(job); }
+
+bool DfrsPolicy::is_admitted(const Job& job) const {
+  return admitted_.contains(job.id());
+}
+
+int DfrsPolicy::num_slots() const { return static_cast<int>(groups_.size()); }
+
+void DfrsPolicy::jobs_at(int slot, int node, std::vector<int>& out) const {
+  const Group& g = groups_[static_cast<std::size_t>(slot)];
+  for (int id : g.members) {
+    const Job& job = *ctx_->all_jobs()[static_cast<std::size_t>(id)];
+    if (!job.done() && job.process_on(node) != nullptr) out.push_back(id);
+  }
+}
+
+std::vector<int> DfrsPolicy::jobs_in_slot(int slot) const {
+  return groups_[static_cast<std::size_t>(slot)].members;
+}
+
+int DfrsPolicy::next_slot(int current) const {
+  return (current + 1) % static_cast<int>(groups_.size());
+}
+
+void DfrsPolicy::note_active(int slot) {
+  active_group_ = groups_[static_cast<std::size_t>(slot)].id;
+}
+
+int DfrsPolicy::resolve_slot(int current) const {
+  const int n = num_slots();
+  if (n <= 0) return -1;
+  for (int s = 0; s < n; ++s) {
+    if (groups_[static_cast<std::size_t>(s)].id == active_group_) return s;
+  }
+  return current % n;
+}
+
+void DfrsPolicy::on_departure() {
+  const auto& opts = ctx_->sched_options();
+  if (!opts.auto_migrate) return;
+  // Consolidation: a lone memory-light single-rank gang whose node blocks
+  // co-residency gets moved (once) onto a node where it can share an
+  // existing group's quantum, shrinking the rotation by one slot.
+  for (const Group& src : groups_) {
+    if (src.members.size() != 1) continue;
+    Job& job = *ctx_->all_jobs()[static_cast<std::size_t>(src.members[0])];
+    if (job.done() || migrated_.contains(job.id())) continue;
+    if (job.processes().size() != 1) continue;
+    if (!job.declared_ws_pages ||
+        *job.declared_ws_pages > opts.migrate_max_pages) {
+      continue;
+    }
+    const int home = job.processes().front().node;
+    for (const Group& dst : groups_) {
+      if (dst.id == src.id) continue;
+      for (int node = 0; node < ctx_->num_nodes(); ++node) {
+        if (node == home || !ctx_->node_alive(node)) continue;
+        // Would the job fit dst if its single rank lived on this node?
+        int count = 0;
+        std::int64_t resident = 0;
+        bool dst_uses_node = false;
+        for (int id : dst.members) {
+          const Job& member = *ctx_->all_jobs()[static_cast<std::size_t>(id)];
+          if (member.done() || member.process_on(node) == nullptr) continue;
+          dst_uses_node = true;
+          ++count;
+          resident += demand(member, node);
+        }
+        if (!dst_uses_node) continue;  // no consolidation win there
+        if (count >= opts.dfrs_max_share) continue;
+        const auto budget = static_cast<std::int64_t>(
+            opts.dfrs_mem_frac *
+            static_cast<double>(ctx_->usable_frames(node)));
+        if (resident + *job.declared_ws_pages > budget) continue;
+        if (ctx_->request_migration(job, {node})) {
+          migrated_.insert(job.id());
+          return;  // at most one migration per departure
+        }
+      }
+    }
+  }
+}
+
+}  // namespace apsim

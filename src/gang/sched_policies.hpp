@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "gang/sched_policy.hpp"
+
+/// \file sched_policies.hpp
+/// The built-in scheduler policies behind policy_registry.hpp:
+///   matrix     — the paper's Ousterhout round-robin rotation (default;
+///                bit-identical to the pre-extraction scheduler).
+///   admission  — matrix plus the Batat & Feitelson memory-aware gate: a
+///                job joins only while declared working sets fit.
+///   backfill   — conservative backfilling: space-sharing run-to-completion
+///                with an FCFS queue and runtime-estimate reservations.
+///   gang-edf   — the matrix rotation with deadline-ordered slot selection.
+///   dfrs       — DFRS-style fractional co-scheduling: memory-light gangs
+///                share one node's quantum (the CPU executor time-slices
+///                them round-robin), optionally consolidating via migration.
+
+namespace apsim {
+
+class MatrixPolicy : public SchedulerPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "matrix"; }
+  void admit(Job& job) override;
+  void remove(Job& job) override;
+  void readmit(Job& job) override;
+  [[nodiscard]] bool is_admitted(const Job& job) const override;
+  [[nodiscard]] int num_slots() const override;
+  void jobs_at(int slot, int node, std::vector<int>& out) const override;
+  [[nodiscard]] std::vector<int> jobs_in_slot(int slot) const override;
+  [[nodiscard]] int next_slot(int current) const override;
+  void note_active(int slot) override;
+  [[nodiscard]] int resolve_slot(int current) const override;
+
+ protected:
+  /// Assign the job's (deduplicated) node set in the matrix.
+  void assign_deduped(Job& job);
+
+  std::set<int> admitted_;          ///< ever-admitted job ids
+  std::uint64_t active_row_ = 0;    ///< stable id of the last activated row
+};
+
+class AdmissionPolicy : public MatrixPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "admission"; }
+  void admit(Job& job) override;
+  void remove(Job& job) override;
+  void detach(Job& job) override;
+  void readmit(Job& job) override;
+
+ private:
+  [[nodiscard]] bool fits_in_memory(const Job& job) const;
+  /// Admit every waiting job whose declared memory demand fits, in job-id
+  /// order (the legacy try_admit scan).
+  void drain_waiting();
+};
+
+class GangEdfPolicy : public MatrixPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "gang-edf"; }
+  [[nodiscard]] int next_slot(int current) const override;
+  void note_active(int slot) override;
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> last_run_;  ///< row id -> tick
+  std::uint64_t tick_ = 0;
+};
+
+class BackfillPolicy : public SchedulerPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "backfill"; }
+  void admit(Job& job) override;
+  void remove(Job& job) override;
+  void detach(Job& job) override;
+  void readmit(Job& job) override;
+  [[nodiscard]] bool is_admitted(const Job& job) const override;
+  [[nodiscard]] int num_slots() const override;
+  void jobs_at(int slot, int node, std::vector<int>& out) const override;
+  [[nodiscard]] std::vector<int> jobs_in_slot(int slot) const override;
+  [[nodiscard]] int next_slot(int /*current*/) const override { return 0; }
+  [[nodiscard]] int resolve_slot(int /*current*/) const override {
+    return num_slots() > 0 ? 0 : -1;
+  }
+
+ private:
+  [[nodiscard]] SimDuration estimate(const Job& job) const;
+  void start_job(Job& job);
+  /// Conservative backfilling pass: walk the FCFS queue; start a job when
+  /// its nodes are free now and running it would not push past any earlier
+  /// job's reservation, otherwise book the earliest consistent reservation.
+  void schedule_pass();
+
+  std::vector<int> queue_;               ///< FCFS arrival order (job ids)
+  std::set<int> running_;                ///< space-sharing, run-to-completion
+  std::map<int, SimTime> est_finish_;    ///< running job -> estimated finish
+  std::set<int> started_;                ///< ever-started job ids
+};
+
+class DfrsPolicy : public SchedulerPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "dfrs"; }
+  [[nodiscard]] int max_coscheduled() const override;
+  void admit(Job& job) override;
+  void remove(Job& job) override;
+  void readmit(Job& job) override;
+  [[nodiscard]] bool is_admitted(const Job& job) const override;
+  [[nodiscard]] int num_slots() const override;
+  void jobs_at(int slot, int node, std::vector<int>& out) const override;
+  [[nodiscard]] std::vector<int> jobs_in_slot(int slot) const override;
+  [[nodiscard]] int next_slot(int current) const override;
+  void note_active(int slot) override;
+  [[nodiscard]] int resolve_slot(int current) const override;
+  void on_departure() override;
+
+ private:
+  struct Group {
+    std::uint64_t id = 0;
+    std::vector<int> members;  ///< job ids, insertion order
+  };
+
+  /// Declared per-node demand; jobs without a declaration never co-reside.
+  [[nodiscard]] std::int64_t demand(const Job& job, int node) const;
+  [[nodiscard]] bool fits_group(const Group& g, const Job& job) const;
+  void drop_member(int job_id);
+
+  std::vector<Group> groups_;
+  std::uint64_t next_group_ = 1;
+  std::uint64_t active_group_ = 0;
+  std::set<int> admitted_;
+  std::set<int> migrated_;  ///< one consolidation migration per job
+};
+
+}  // namespace apsim

@@ -5,7 +5,9 @@
 #include <string>
 
 #include "control/controller.hpp"
+#include "gang/policy_registry.hpp"
 #include "mem/reclaim_registry.hpp"
+#include "workloads/generator.hpp"
 
 namespace apsim {
 
@@ -111,6 +113,63 @@ void ExperimentConfig::validate() const {
     fail("max_prefetch_run must be >= 1, got " +
          std::to_string(max_prefetch_run));
   }
+  if (!is_sched_policy(sched_policy)) {
+    fail("unknown sched_policy '" + sched_policy + "'; " +
+         sched_policy_names_hint());
+  }
+  if (dfrs_mem_frac <= 0.0 || dfrs_mem_frac > 1.0) {
+    fail("dfrs_mem_frac must be in (0, 1], got " +
+         std::to_string(dfrs_mem_frac));
+  }
+  if (dfrs_max_share < 1) {
+    fail("dfrs_max_share must be >= 1, got " + std::to_string(dfrs_max_share));
+  }
+  if (arrival_process != "none") {
+    // Throws with the valid names on a bad value.
+    static_cast<void>(parse_arrival_process(arrival_process));
+    if (arrival_mean_s <= 0.0) {
+      fail("arrival_mean_s must be positive, got " +
+           std::to_string(arrival_mean_s));
+    }
+    if (diurnal_period_s <= 0.0) {
+      fail("diurnal_period_s must be positive, got " +
+           std::to_string(diurnal_period_s));
+    }
+    if (diurnal_low_frac <= 0.0 || diurnal_low_frac > 1.0) {
+      fail("diurnal_low_frac must be in (0, 1], got " +
+           std::to_string(diurnal_low_frac));
+    }
+    if (num_tenants < 1) {
+      fail("num_tenants must be >= 1, got " + std::to_string(num_tenants));
+    }
+    if (straggler_fraction < 0.0 || straggler_fraction > 1.0) {
+      fail("straggler_fraction must be in [0, 1], got " +
+           std::to_string(straggler_fraction));
+    }
+    if (straggler_slowdown < 1.0) {
+      fail("straggler_slowdown must be >= 1, got " +
+           std::to_string(straggler_slowdown));
+    }
+    if (deadline_slack < 0.0) {
+      fail("deadline_slack must be >= 0, got " +
+           std::to_string(deadline_slack));
+    }
+    if (open_max_width < 1 || open_max_width > nodes) {
+      fail("open_max_width must be in [1, nodes], got " +
+           std::to_string(open_max_width));
+    }
+    if (open_min_pages < 1 || open_min_pages > open_max_pages) {
+      fail("open page bounds must satisfy 1 <= min <= max, got [" +
+           std::to_string(open_min_pages) + ", " +
+           std::to_string(open_max_pages) + "]");
+    }
+    if (open_min_iterations < 1 || open_min_iterations > open_max_iterations) {
+      fail("open iteration bounds must satisfy 1 <= min <= max, got [" +
+           std::to_string(open_min_iterations) + ", " +
+           std::to_string(open_max_iterations) + "]");
+    }
+    if (batch_mode) fail("open arrivals have no batch baseline mode");
+  }
   if (!is_controller(autotune_controller)) {
     fail("unknown autotune_controller '" + autotune_controller + "'; " +
          controller_names_hint());
@@ -124,6 +183,16 @@ void ExperimentConfig::validate() const {
 std::string ExperimentConfig::describe() const {
   if (!label.empty()) return label;
   std::string out;
+  if (arrival_process != "none") {
+    out += arrival_process;
+    out += " x";
+    out += std::to_string(instances);
+    out += " on ";
+    out += std::to_string(nodes);
+    out += " node(s), ";
+    out += sched_policy;
+    return out;
+  }
   out += to_string(app);
   out += '.';
   out += to_string(cls);
@@ -158,6 +227,11 @@ NodeParams ExperimentConfig::make_node_params() const {
   node.tier.writeback = tier_writeback;
   if (swap_mb > 0.0) {
     node.swap_slots = mb_to_pages(swap_mb);
+  } else if (arrival_process != "none") {
+    // Open streams have no NPB footprint to size against; give every node
+    // room for 1.5x the largest possible rank image per in-flight job.
+    node.swap_slots = std::max<std::int64_t>(
+        (3 * open_max_pages * instances) / 2, mb_to_pages(512.0));
   } else {
     // Swap partition sized like a 2002 installation: ~1.5x the anonymous
     // memory it must hold. Tight enough that slot churn from partially

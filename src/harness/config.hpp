@@ -128,6 +128,40 @@ struct ExperimentConfig {
   std::int64_t reclaim_batch = 32;
   std::int64_t max_prefetch_run = 512;
 
+  /// Gang scheduler policy, by registry name (see gang/policy_registry.hpp):
+  /// matrix (the paper's rotation, the default), admission, backfill,
+  /// gang-edf, dfrs. "matrix" reproduces the pre-registry scheduler
+  /// bit-identically (the golden suites pin this).
+  std::string sched_policy = "matrix";
+
+  /// dfrs tuning: co-resident declared working sets may fill this fraction
+  /// of usable memory, and at most dfrs_max_share gangs share one node.
+  double dfrs_mem_frac = 0.85;
+  int dfrs_max_share = 2;
+
+  /// dfrs: allow one consolidation migration (costed through the network
+  /// model) per clean job departure.
+  bool auto_migrate = false;
+
+  /// Open-arrival mode: "none" (the default) runs the classic fixed job
+  /// set; "poisson" / "diurnal" stream `instances` synthetic jobs onto the
+  /// cluster over time (see workloads/generator.hpp), with `nodes` acting
+  /// as the cluster size and each job's width sampled in
+  /// [1, open_max_width]. The NPB app/class knobs are ignored in this mode.
+  std::string arrival_process = "none";
+  double arrival_mean_s = 60.0;     ///< mean interarrival at the peak rate
+  double diurnal_period_s = 3600.0;
+  double diurnal_low_frac = 0.2;
+  int num_tenants = 1;
+  double straggler_fraction = 0.0;
+  double straggler_slowdown = 4.0;
+  double deadline_slack = 0.0;      ///< 0 = no deadlines
+  int open_max_width = 1;
+  std::int64_t open_min_pages = 2048;   ///< per-rank footprint bounds
+  std::int64_t open_max_pages = 8192;
+  std::int64_t open_min_iterations = 4;
+  std::int64_t open_max_iterations = 12;
+
   /// Adaptive control plane (src/control). Off (the default) constructs no
   /// ControlPlane at all: runs are bit-identical to builds without the
   /// subsystem. On, `autotune_controller` names the decision maker

@@ -1,0 +1,189 @@
+#include "harness/open_arrival.hpp"
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "gang/gang_scheduler.hpp"
+#include "net/mpi.hpp"
+#include "workloads/generator.hpp"
+
+namespace apsim {
+
+namespace {
+
+[[nodiscard]] OpenArrivalOptions open_options(const ExperimentConfig& c) {
+  OpenArrivalOptions o;
+  o.process = parse_arrival_process(c.arrival_process);
+  o.num_jobs = c.instances;
+  o.mean_interarrival_s = c.arrival_mean_s;
+  o.diurnal_period_s = c.diurnal_period_s;
+  o.diurnal_low_frac = c.diurnal_low_frac;
+  o.num_tenants = c.num_tenants;
+  o.straggler_fraction = c.straggler_fraction;
+  o.straggler_slowdown = c.straggler_slowdown;
+  o.max_width = c.open_max_width;
+  o.min_pages = c.open_min_pages;
+  o.max_pages = c.open_max_pages;
+  o.min_iterations = c.open_min_iterations;
+  o.max_iterations = c.open_max_iterations;
+  o.deadline_slack = c.deadline_slack;
+  o.seed = c.seed;
+  return o;
+}
+
+}  // namespace
+
+RunOutcome run_open(const ExperimentConfig& config) {
+  config.validate();
+  if (config.arrival_process == "none") {
+    throw std::invalid_argument(
+        "run_open: config.arrival_process is 'none' (use run_gang)");
+  }
+
+  Cluster cluster(config.nodes, config.make_node_params(),
+                  config.make_net_params(), config.seed, config.faults);
+
+  GangParams params;
+  params.quantum = config.quantum;
+  params.bg_start_frac = config.bg_start_frac;
+  params.pass_ws_hint = config.pass_ws_hint;
+  params.pager.policy = config.policy;
+  params.pager.reclaim_policy = config.reclaim_policy;
+  params.sched_policy = config.sched_policy;
+  params.policy_opts.dfrs_mem_frac = config.dfrs_mem_frac;
+  params.policy_opts.dfrs_max_share = config.dfrs_max_share;
+  params.policy_opts.auto_migrate = config.auto_migrate;
+  if (config.switch_watchdog > 0) {
+    params.switch_watchdog = config.switch_watchdog;
+  } else if (config.switch_watchdog == 0 &&
+             config.faults.disturbs_control_plane()) {
+    params.switch_watchdog = 50 * kMillisecond;
+  }
+  GangScheduler scheduler(cluster, params);
+
+  std::vector<std::unique_ptr<Process>> processes;
+  std::map<int, std::unique_ptr<MpiComm>> comm_by_job;
+
+  // Any node may host a rank of any parallel job, so every CPU dispatches
+  // collective entries through the (job id -> communicator) map.
+  auto* comms = &comm_by_job;
+  for (int n = 0; n < cluster.size(); ++n) {
+    cluster.node(n).cpu().set_comm_handler(
+        [comms](Process& p, const CommOp& op, std::function<void()> resume) {
+          comms->at(p.job_id)->enter(p, op, std::move(resume));
+        });
+  }
+  scheduler.set_comm_resolver([comms](int job_id) -> MpiComm* {
+    const auto it = comms->find(job_id);
+    return it == comms->end() ? nullptr : it->second.get();
+  });
+
+  const std::vector<OpenJobSpec> specs =
+      make_open_arrivals(open_options(config), config.nodes);
+  std::size_t submitted = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const OpenJobSpec* spec = &specs[i];
+    const std::string name = "t" + std::to_string(spec->tenant) + ".open#" +
+                             std::to_string(i);
+    cluster.sim().at(spec->arrival, [&, spec, name] {
+      const std::vector<int> nodes = spec->placement(config.nodes);
+      Job& job = scheduler.submit_job(name);
+      job.declared_ws_pages = spec->pages;
+      job.deadline = spec->deadline;
+      job.estimated_runtime = spec->estimated_runtime;
+      job.tenant = spec->tenant;
+      if (config.quantum_override) {
+        job.quantum_override = config.quantum_override;
+      }
+      std::unique_ptr<MpiComm> comm;
+      if (spec->width > 1) {
+        comm = std::make_unique<MpiComm>(cluster.sim(), cluster.network(),
+                                         spec->width);
+      }
+      for (int r = 0; r < spec->width; ++r) {
+        auto& node = cluster.node(nodes[static_cast<std::size_t>(r)]);
+        const Pid pid = node.vmm().create_process(spec->pages);
+        auto process = std::make_unique<Process>(
+            name + ":r" + std::to_string(r), pid,
+            make_open_job_program(*spec, r));
+        node.cpu().attach(*process);
+        if (comm) comm->bind(r, *process, nodes[static_cast<std::size_t>(r)]);
+        job.add_process(nodes[static_cast<std::size_t>(r)], *process);
+        processes.push_back(std::move(process));
+      }
+      if (comm) comm_by_job.emplace(job.id(), std::move(comm));
+      scheduler.start_job(job);
+      ++submitted;
+    });
+  }
+
+  scheduler.start();
+  const bool finished = cluster.sim().run_until(
+      [&] { return submitted == specs.size() && scheduler.all_finished(); },
+      config.horizon);
+
+  RunOutcome out;
+  out.label = config.describe();
+  out.policy = config.sched_policy;
+  out.makespan = finished ? scheduler.makespan() : -1;
+  for (const auto& job : scheduler.jobs()) {
+    JobOutcome jo;
+    jo.name = job->name();
+    jo.completion = job->finished_at();
+    jo.failed = job->failed();
+    jo.arrival = job->arrival;
+    if (jo.failed) ++out.jobs_failed;
+    if (!jo.failed && jo.completion >= 0) {
+      jo.slowdown = bounded_slowdown(job->arrival, jo.completion,
+                                     job->estimated_runtime.value_or(0));
+    }
+    for (const auto& placement : job->processes()) {
+      const auto& proc = *placement.process;
+      const auto& space =
+          cluster.node(placement.node).vmm().space(proc.pid());
+      jo.major_faults += space.stats().major_faults;
+      jo.minor_faults += space.stats().minor_faults;
+      jo.pages_swapped_in += space.stats().pages_swapped_in;
+      jo.pages_swapped_out += space.stats().pages_swapped_out;
+      jo.false_evictions += space.stats().false_evictions;
+      jo.cpu_time += proc.stats().cpu_time;
+      jo.fault_wait += proc.stats().fault_wait;
+      jo.comm_wait += proc.stats().comm_wait;
+    }
+    out.pages_swapped_in += jo.pages_swapped_in;
+    out.pages_swapped_out += jo.pages_swapped_out;
+    out.major_faults += jo.major_faults;
+    out.false_evictions += jo.false_evictions;
+    out.jobs.push_back(std::move(jo));
+  }
+  finalize_slowdowns(out);
+  out.switches = scheduler.switches();
+  for (int n = 0; n < cluster.size(); ++n) {
+    const auto& pstats = scheduler.pager(n).stats();
+    out.pages_recorded += pstats.pages_recorded;
+    out.pages_replayed += pstats.pages_replayed;
+    out.bg_pages_written += pstats.bg_pages_written;
+    auto& node = cluster.node(n);
+    out.io_errors += node.disk().stats().io_errors;
+    out.disk_blocks_written += node.disk().stats().blocks_written;
+    out.disk_blocks_read += node.disk().stats().blocks_read;
+    const auto& vstats = node.vmm().stats();
+    out.io_retries += vstats.io_retries;
+    out.pages_unrecoverable +=
+        vstats.pages_unrecoverable + vstats.out_of_swap_faults;
+  }
+  out.nodes_failed = scheduler.stats().nodes_failed;
+  out.signal_retransmits = scheduler.stats().signal_retransmits;
+  out.jobs_recovered = scheduler.stats().jobs_recovered;
+  out.lost_pages_recovered = scheduler.stats().lost_pages_recovered;
+  out.lost_pages_fatal = scheduler.stats().lost_pages_fatal;
+  out.jobs_migrated = scheduler.stats().jobs_migrated;
+  out.migration_bytes = scheduler.stats().migration_bytes;
+  return out;
+}
+
+}  // namespace apsim

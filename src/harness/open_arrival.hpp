@@ -1,0 +1,22 @@
+#pragma once
+
+#include "harness/config.hpp"
+#include "metrics/experiment.hpp"
+
+/// \file open_arrival.hpp
+/// The open-arrival driver: streams synthetic jobs (Poisson or diurnal
+/// interarrivals, multi-tenant mixes, optional stragglers — see
+/// workloads/generator.hpp) onto a gang-scheduled cluster. Jobs are created
+/// at their arrival instant and handed to GangScheduler::submit_job /
+/// start_job, so the configured SchedulerPolicy sees a live, changing job
+/// set instead of the classic fixed one. Slowdown metrics come out per job.
+
+namespace apsim {
+
+/// Run \p config as an open-arrival experiment. Requires
+/// config.arrival_process != "none"; `nodes` is the cluster size and
+/// `instances` the number of streamed jobs. run_config() dispatches here
+/// automatically.
+[[nodiscard]] RunOutcome run_open(const ExperimentConfig& config);
+
+}  // namespace apsim

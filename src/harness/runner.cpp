@@ -11,6 +11,7 @@
 
 #include "cluster/cluster.hpp"
 #include "control/control_plane.hpp"
+#include "harness/open_arrival.hpp"
 #include "gang/gang_scheduler.hpp"
 #include "mem/reclaim_registry.hpp"
 #include "metrics/tracer.hpp"
@@ -230,6 +231,10 @@ RunOutcome run_gang(const ExperimentConfig& config) {
   params.pass_ws_hint = config.pass_ws_hint;
   params.pager.policy = config.policy;
   params.pager.reclaim_policy = config.reclaim_policy;
+  params.sched_policy = config.sched_policy;
+  params.policy_opts.dfrs_mem_frac = config.dfrs_mem_frac;
+  params.policy_opts.dfrs_max_share = config.dfrs_max_share;
+  params.policy_opts.auto_migrate = config.auto_migrate;
   if (config.switch_watchdog > 0) {
     params.switch_watchdog = config.switch_watchdog;
   } else if (config.switch_watchdog == 0 &&
@@ -240,6 +245,10 @@ RunOutcome run_gang(const ExperimentConfig& config) {
   }
   GangScheduler scheduler(*built.cluster, params);
   build_jobs(built, config, scheduler);
+  scheduler.set_comm_resolver([&built](int job_id) -> MpiComm* {
+    const auto it = built.comm_by_job.find(job_id);
+    return it == built.comm_by_job.end() ? nullptr : it->second.get();
+  });
   std::shared_ptr<Tracer> tracer = wire_tracer(built, scheduler, config);
 
   // Coordinated checkpoint/restart. interval = 0 constructs nothing at all:
@@ -350,7 +359,9 @@ RunOutcome run_batch(const ExperimentConfig& config) {
 }
 
 RunOutcome run_config(const ExperimentConfig& config) {
-  return config.batch_mode ? run_batch(config) : run_gang(config);
+  if (config.batch_mode) return run_batch(config);
+  if (config.arrival_process != "none") return run_open(config);
+  return run_gang(config);
 }
 
 EvaluatedRun evaluate(const ExperimentConfig& config) {

@@ -155,6 +155,41 @@ void apply_scenario_key(ExperimentConfig& config, std::string_view key,
     config.reclaim_batch = parse_int(value, key);
   } else if (key == "max_prefetch_run") {
     config.max_prefetch_run = parse_int(value, key);
+  } else if (key == "sched_policy") {
+    config.sched_policy = std::string(value);
+  } else if (key == "dfrs_mem_frac") {
+    config.dfrs_mem_frac = parse_double(value, key);
+  } else if (key == "dfrs_max_share") {
+    config.dfrs_max_share = static_cast<int>(parse_int(value, key));
+  } else if (key == "auto_migrate") {
+    config.auto_migrate = parse_bool(value, key);
+  } else if (key == "arrival") {
+    // "none" (fixed job set), "poisson" or "diurnal" (open stream).
+    config.arrival_process = std::string(value);
+  } else if (key == "arrival_mean_s") {
+    config.arrival_mean_s = parse_double(value, key);
+  } else if (key == "diurnal_period_s") {
+    config.diurnal_period_s = parse_double(value, key);
+  } else if (key == "diurnal_low_frac") {
+    config.diurnal_low_frac = parse_double(value, key);
+  } else if (key == "tenants") {
+    config.num_tenants = static_cast<int>(parse_int(value, key));
+  } else if (key == "straggler_fraction") {
+    config.straggler_fraction = parse_double(value, key);
+  } else if (key == "straggler_slowdown") {
+    config.straggler_slowdown = parse_double(value, key);
+  } else if (key == "deadline_slack") {
+    config.deadline_slack = parse_double(value, key);
+  } else if (key == "job_width_max") {
+    config.open_max_width = static_cast<int>(parse_int(value, key));
+  } else if (key == "job_pages_min") {
+    config.open_min_pages = parse_int(value, key);
+  } else if (key == "job_pages_max") {
+    config.open_max_pages = parse_int(value, key);
+  } else if (key == "job_iterations_min") {
+    config.open_min_iterations = parse_int(value, key);
+  } else if (key == "job_iterations_max") {
+    config.open_max_iterations = parse_int(value, key);
   } else if (key == "autotune") {
     config.autotune = parse_bool(value, key);
   } else if (key == "autotune_controller") {

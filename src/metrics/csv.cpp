@@ -32,7 +32,9 @@ void write_outcomes_csv(std::ostream& os,
            "tier_pool_hits", "tier_pool_misses", "tier_comp_ratio",
            "tier_writeback_pages", "failed", "recovered", "checkpoints",
            "ckpt_bytes", "jobs_recovered", "lost_work_ms", "autotune_ticks",
-           "autotune_adjustments", "autotune_policy_switches"});
+           "autotune_adjustments", "autotune_policy_switches", "arrival_s",
+           "slowdown", "mean_slowdown", "p99_slowdown", "jobs_migrated",
+           "migration_bytes"});
   for (const auto& outcome : outcomes) {
     for (const auto& job : outcome.jobs) {
       csv.row({outcome.label, outcome.policy,
@@ -63,7 +65,15 @@ void write_outcomes_csv(std::ostream& os,
                // Control plane: cluster-wide totals, zero with autotune off.
                std::to_string(outcome.autotune_ticks),
                std::to_string(outcome.autotune_adjustments),
-               std::to_string(outcome.autotune_policy_switches)});
+               std::to_string(outcome.autotune_policy_switches),
+               // Open-arrival columns: arrival/slowdown are per job, the
+               // rest repeat run-level totals (all zero on fixed-set runs).
+               std::to_string(to_seconds(job.arrival)),
+               std::to_string(job.slowdown),
+               std::to_string(outcome.mean_slowdown),
+               std::to_string(outcome.p99_slowdown),
+               std::to_string(outcome.jobs_migrated),
+               std::to_string(outcome.migration_bytes)});
     }
   }
 }

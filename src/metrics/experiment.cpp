@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "mem/page.hpp"
 
@@ -26,6 +27,37 @@ double RunOutcome::tier_compression_ratio() const {
   return static_cast<double>(tier_bytes_stored) /
          (static_cast<double>(tier_pages_stored) *
           static_cast<double>(kPageBytes));
+}
+
+double bounded_slowdown(SimTime arrival, SimTime completion,
+                        SimDuration estimated_runtime) {
+  assert(completion >= arrival);
+  const double reference = static_cast<double>(
+      std::max<SimDuration>(estimated_runtime, 10 * kSecond));
+  const double response = static_cast<double>(completion - arrival);
+  return std::max(1.0, response / reference);
+}
+
+void finalize_slowdowns(RunOutcome& outcome) {
+  std::vector<double> slowdowns;
+  slowdowns.reserve(outcome.jobs.size());
+  for (const auto& job : outcome.jobs) {
+    if (job.slowdown > 0.0) slowdowns.push_back(job.slowdown);
+  }
+  if (slowdowns.empty()) {
+    outcome.mean_slowdown = 0.0;
+    outcome.p99_slowdown = 0.0;
+    return;
+  }
+  std::sort(slowdowns.begin(), slowdowns.end());
+  double sum = 0.0;
+  for (double s : slowdowns) sum += s;
+  outcome.mean_slowdown = sum / static_cast<double>(slowdowns.size());
+  // Nearest-rank p99: ceil(0.99 n) in 1-based rank terms.
+  const auto n = slowdowns.size();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(0.99 * static_cast<double>(n)));
+  outcome.p99_slowdown = slowdowns[std::min(n, std::max<std::size_t>(rank, 1)) - 1];
 }
 
 double mean_completion_s(const RunOutcome& outcome) {

@@ -32,6 +32,13 @@ struct JobOutcome {
   SimDuration cpu_time = 0;
   SimDuration fault_wait = 0;
   SimDuration comm_wait = 0;
+
+  // Open-arrival metrics (zero on fixed-set runs, where every job is
+  // present from t = 0 and has no runtime estimate).
+  SimTime arrival = 0;
+  /// Bounded slowdown: max(1, response / max(estimated runtime, 10 s)).
+  /// 0 until the job completes.
+  double slowdown = 0.0;
 };
 
 struct RunOutcome {
@@ -93,6 +100,13 @@ struct RunOutcome {
   std::uint64_t disk_blocks_written = 0;  ///< cluster-wide (incl. checkpoint region)
   std::uint64_t disk_blocks_read = 0;
 
+  // Open-arrival statistics (all zero on fixed-set runs). Slowdown moments
+  // cover completed jobs only; see finalize_slowdowns().
+  double mean_slowdown = 0.0;
+  double p99_slowdown = 0.0;
+  int jobs_migrated = 0;                 ///< completed inter-node migrations
+  std::uint64_t migration_bytes = 0;     ///< network bytes spent migrating
+
   // Adaptive control plane statistics (all zero with autotune off).
   std::uint64_t autotune_ticks = 0;           ///< control-plane tick events
   std::uint64_t autotune_adjustments = 0;     ///< knob writes that changed a value
@@ -113,5 +127,15 @@ struct RunOutcome {
 
 /// Mean completion time across jobs, seconds.
 [[nodiscard]] double mean_completion_s(const RunOutcome& outcome);
+
+/// Bounded slowdown of one completed job: max(1, response / reference)
+/// with reference = max(estimate, 10 s) so short jobs do not dominate.
+[[nodiscard]] double bounded_slowdown(SimTime arrival, SimTime completion,
+                                      SimDuration estimated_runtime);
+
+/// Fill RunOutcome::mean_slowdown / p99_slowdown from the per-job
+/// slowdowns (jobs with slowdown == 0, i.e. failed or unfinished, are
+/// excluded). p99 is the nearest-rank percentile.
+void finalize_slowdowns(RunOutcome& outcome);
 
 }  // namespace apsim

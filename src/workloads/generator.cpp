@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "sim/rng.hpp"
 
 namespace apsim {
 
@@ -104,6 +109,154 @@ std::unique_ptr<Program> make_random_program(const RandomOptions& options) {
   return std::make_unique<IterativeProgram>(init_prologue(options.pages),
                                             std::move(cycle),
                                             options.iterations, options.seed);
+}
+
+// ---- open-arrival job streams ----
+
+ArrivalProcess parse_arrival_process(std::string_view text) {
+  if (text == "poisson") return ArrivalProcess::kPoisson;
+  if (text == "diurnal") return ArrivalProcess::kDiurnal;
+  throw std::invalid_argument("unknown arrival process '" + std::string(text) +
+                              "'; valid: poisson, diurnal");
+}
+
+std::string_view to_string(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kDiurnal: return "diurnal";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Diurnal rate envelope in [low_frac, 1]: trough at t = 0, crest at P/2.
+[[nodiscard]] double diurnal_envelope(double t_s, double period_s,
+                                      double low_frac) {
+  const double phase = 2.0 * 3.14159265358979323846 * (t_s / period_s);
+  const double wave = 0.5 * (1.0 - std::cos(phase));  // [0, 1]
+  return low_frac + (1.0 - low_frac) * wave;
+}
+
+/// Next arrival after \p t_s. Poisson draws one exponential; diurnal thins
+/// a peak-rate Poisson stream against the envelope (Lewis & Shedler).
+[[nodiscard]] double next_arrival_s(double t_s, const OpenArrivalOptions& o,
+                                    Rng& rng) {
+  if (o.process == ArrivalProcess::kPoisson) {
+    return t_s + rng.exponential(o.mean_interarrival_s);
+  }
+  for (;;) {
+    t_s += rng.exponential(o.mean_interarrival_s);
+    const double keep =
+        diurnal_envelope(t_s, o.diurnal_period_s, o.diurnal_low_frac);
+    if (rng.uniform() < keep) return t_s;
+  }
+}
+
+[[nodiscard]] int pick_tenant(const OpenArrivalOptions& o, Rng& rng) {
+  if (o.num_tenants <= 1) return 0;
+  if (o.tenant_weights.empty()) {
+    return static_cast<int>(rng.uniform_int(0, o.num_tenants - 1));
+  }
+  double total = 0.0;
+  for (int t = 0; t < o.num_tenants; ++t) {
+    total += t < static_cast<int>(o.tenant_weights.size())
+                 ? o.tenant_weights[static_cast<std::size_t>(t)]
+                 : 0.0;
+  }
+  if (total <= 0.0) return 0;
+  double u = rng.uniform() * total;
+  for (int t = 0; t < o.num_tenants; ++t) {
+    const double w = t < static_cast<int>(o.tenant_weights.size())
+                         ? o.tenant_weights[static_cast<std::size_t>(t)]
+                         : 0.0;
+    if (u < w) return t;
+    u -= w;
+  }
+  return o.num_tenants - 1;
+}
+
+}  // namespace
+
+std::vector<int> OpenJobSpec::placement(int cluster_nodes) const {
+  assert(cluster_nodes > 0 && width <= cluster_nodes);
+  std::vector<int> nodes;
+  nodes.reserve(static_cast<std::size_t>(width));
+  for (int r = 0; r < width; ++r) {
+    nodes.push_back((first_node + r) % cluster_nodes);
+  }
+  return nodes;
+}
+
+std::vector<OpenJobSpec> make_open_arrivals(const OpenArrivalOptions& options,
+                                            int cluster_nodes) {
+  assert(cluster_nodes > 0);
+  assert(options.num_jobs >= 0);
+  assert(options.mean_interarrival_s > 0.0);
+  assert(options.min_pages > 0 && options.min_pages <= options.max_pages);
+  assert(options.min_iterations > 0 &&
+         options.min_iterations <= options.max_iterations);
+  Rng rng(options.seed * 0x9E3779B97F4A7C15ULL + 1);
+
+  std::vector<OpenJobSpec> jobs;
+  jobs.reserve(static_cast<std::size_t>(options.num_jobs));
+  double t_s = 0.0;
+  const int max_width = std::max(1, std::min(options.max_width, cluster_nodes));
+  for (int j = 0; j < options.num_jobs; ++j) {
+    t_s = next_arrival_s(t_s, options, rng);
+    OpenJobSpec job;
+    job.arrival = static_cast<SimTime>(t_s * static_cast<double>(kSecond));
+    job.tenant = pick_tenant(options, rng);
+    job.width = static_cast<int>(rng.uniform_int(1, max_width));
+    job.first_node = static_cast<int>(rng.uniform_int(0, cluster_nodes - 1));
+    job.pages = rng.uniform_int(options.min_pages, options.max_pages);
+    job.iterations =
+        rng.uniform_int(options.min_iterations, options.max_iterations);
+    job.compute_per_touch = options.compute_per_touch;
+    if (options.straggler_fraction > 0.0 &&
+        rng.bernoulli(options.straggler_fraction)) {
+      job.straggler_rank = static_cast<int>(rng.uniform_int(0, job.width - 1));
+    }
+    // The analytic runtime of the reference string on warm memory: the
+    // zero-fill prologue plus `iterations` passes of `pages` touches.
+    job.estimated_runtime =
+        job.pages * (2 * kMicrosecond) +
+        job.iterations * job.pages * job.compute_per_touch;
+    if (options.deadline_slack > 0.0) {
+      job.deadline = job.arrival +
+                     static_cast<SimTime>(options.deadline_slack *
+                                          static_cast<double>(
+                                              job.estimated_runtime));
+    }
+    job.straggler_slowdown = options.straggler_slowdown;
+    job.seed = rng();
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+std::unique_ptr<Program> make_open_job_program(const OpenJobSpec& job,
+                                               int rank) {
+  assert(rank >= 0 && rank < job.width);
+  const SimDuration cpt =
+      rank == job.straggler_rank
+          ? static_cast<SimDuration>(static_cast<double>(job.compute_per_touch) *
+                                     job.straggler_slowdown)
+          : job.compute_per_touch;
+  if (job.tenant % 2 == 0) {
+    SweepOptions sweep;
+    sweep.pages = job.pages;
+    sweep.iterations = job.iterations;
+    sweep.compute_per_touch = cpt;
+    return make_sweep_program(sweep);
+  }
+  HotColdOptions hc;
+  hc.pages = job.pages;
+  hc.iterations = job.iterations;
+  hc.touches_per_iteration = job.pages;  // same touch volume as the sweep
+  hc.compute_per_touch = cpt;
+  hc.seed = job.seed;
+  return make_hot_cold_program(hc);
 }
 
 }  // namespace apsim

@@ -2,13 +2,17 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
 
 #include "proc/access.hpp"
 
 /// \file generator.hpp
 /// Generic synthetic workload builders used by tests, examples and the
 /// motivation benchmark — simple, fully-parameterized reference strings
-/// independent of the NPB specs.
+/// independent of the NPB specs — plus the open-arrival job streams
+/// (Poisson and diurnal) that feed the scheduler-policy benchmarks.
 
 namespace apsim {
 
@@ -52,5 +56,90 @@ struct RandomOptions {
 /// Uniform random touches over the footprint.
 [[nodiscard]] std::unique_ptr<Program> make_random_program(
     const RandomOptions& options);
+
+// ---- open-arrival job streams ----
+
+/// Stochastic arrival process driving an open workload.
+enum class ArrivalProcess {
+  kPoisson,  ///< homogeneous: exponential interarrivals at a fixed rate
+  kDiurnal,  ///< non-homogeneous: raised-cosine day/night rate envelope
+};
+
+/// Parses "poisson" / "diurnal"; throws std::invalid_argument otherwise.
+[[nodiscard]] ArrivalProcess parse_arrival_process(std::string_view text);
+[[nodiscard]] std::string_view to_string(ArrivalProcess process);
+
+/// Knobs for one open-arrival job stream. All randomness derives from
+/// `seed` through the simulator's Rng, so a stream is bit-reproducible.
+struct OpenArrivalOptions {
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  int num_jobs = 16;
+
+  /// Mean interarrival at the peak rate, seconds. Poisson runs at the peak
+  /// rate throughout; diurnal modulates it with the envelope below.
+  double mean_interarrival_s = 60.0;
+
+  /// Diurnal envelope: rate(t) = peak * (low + (1-low) * (1 - cos(2*pi*t/P))/2)
+  /// with period P — arrivals start in the trough and crest mid-period.
+  double diurnal_period_s = 3600.0;
+  double diurnal_low_frac = 0.2;  ///< trough rate as a fraction of peak, (0, 1]
+
+  /// Tenants cycle access patterns (even = sequential sweep, odd = hot/cold)
+  /// so a multi-tenant stream is a genuine workload mix. Arrival shares
+  /// follow tenant_weights (empty = uniform).
+  int num_tenants = 1;
+  std::vector<double> tenant_weights;
+
+  /// With this probability a job carries one straggler rank whose
+  /// compute-per-touch is inflated by straggler_slowdown.
+  double straggler_fraction = 0.0;
+  double straggler_slowdown = 4.0;
+
+  // Job shape, sampled uniformly per job.
+  int max_width = 1;  ///< ranks per job, in [1, min(max_width, cluster)]
+  std::int64_t min_pages = 2048;   ///< per-rank footprint
+  std::int64_t max_pages = 8192;
+  std::int64_t min_iterations = 4;
+  std::int64_t max_iterations = 12;
+  SimDuration compute_per_touch = 10 * kMicrosecond;
+
+  /// When > 0, every job gets deadline = arrival + slack * estimated
+  /// runtime (feeds the gang-edf policy). 0 = no deadlines.
+  double deadline_slack = 0.0;
+
+  std::uint64_t seed = 1;
+};
+
+/// One sampled job of an open stream: when it arrives, where it lands, and
+/// what its ranks execute. The placement is `width` consecutive nodes
+/// starting at first_node (mod cluster size).
+struct OpenJobSpec {
+  SimTime arrival = 0;
+  int tenant = 0;
+  int width = 1;
+  int first_node = 0;
+  std::int64_t pages = 0;  ///< per-rank footprint
+  std::int64_t iterations = 0;
+  SimDuration compute_per_touch = 0;
+  int straggler_rank = -1;  ///< -1 = none
+  double straggler_slowdown = 4.0;
+  /// Analytic runtime of the job's reference string on an unloaded,
+  /// memory-resident node (no straggler correction — estimates are
+  /// user-supplied, and users do not know about stragglers).
+  SimDuration estimated_runtime = 0;
+  std::optional<SimTime> deadline;
+  std::uint64_t seed = 0;  ///< per-job program seed
+
+  [[nodiscard]] std::vector<int> placement(int cluster_nodes) const;
+};
+
+/// Sample \p options.num_jobs arrivals onto a cluster of \p cluster_nodes
+/// nodes, in nondecreasing arrival order.
+[[nodiscard]] std::vector<OpenJobSpec> make_open_arrivals(
+    const OpenArrivalOptions& options, int cluster_nodes);
+
+/// The reference string rank \p rank of \p job executes (straggler-aware).
+[[nodiscard]] std::unique_ptr<Program> make_open_job_program(
+    const OpenJobSpec& job, int rank);
 
 }  // namespace apsim

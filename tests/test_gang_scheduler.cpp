@@ -188,5 +188,62 @@ TEST_F(GangFixture, PagersExistPerNode) {
   EXPECT_EQ(scheduler.pager(1).policy(), PolicySet::all());
 }
 
+TEST_F(GangFixture, JobAdmittedMidSwitchDoesNotCorruptTheRotation) {
+  // Regression for the job-set-immutability assumption the open-arrival work
+  // removed: a job admitted via submit_job()/start_job() while a switch
+  // generation is still settling (signals sent, paging in flight) must slot
+  // into the rotation without invalidating the live matrix rows — the
+  // in-flight switch actions still name the rows captured when the signal
+  // was sent.
+  GangParams params;
+  params.quantum = 2 * kSecond;
+  GangScheduler scheduler(cluster, params);
+  // Footprints that overcommit the 512-frame nodes jointly, so every switch
+  // has to page and the settle window is wide.
+  add_sweep_job(scheduler, "a", 300, 2000);
+  add_sweep_job(scheduler, "b", 300, 2000);
+  scheduler.start();
+
+  // Poll at millisecond grain; the first time a switch generation is in
+  // flight but not yet settled, inject a third job into the rotation.
+  bool injected = false;
+  std::uint64_t injected_at_gen = 0;
+  std::function<void()> poll = [&] {
+    if (!injected && scheduler.switch_generation() > 0 &&
+        !scheduler.switch_settled()) {
+      injected = true;
+      injected_at_gen = scheduler.switch_generation();
+      Job& job = scheduler.submit_job("late");
+      for (int n = 0; n < cluster.size(); ++n) {
+        SweepOptions options;
+        options.pages = 200;
+        options.iterations = 500;
+        options.compute_per_touch = 20 * kMicrosecond;
+        const Pid pid = cluster.node(n).vmm().create_process(options.pages);
+        procs.push_back(std::make_unique<Process>(
+            "late:" + std::to_string(n), pid, make_sweep_program(options)));
+        cluster.node(n).cpu().attach(*procs.back());
+        job.add_process(n, *procs.back());
+      }
+      scheduler.start_job(job);
+      return;
+    }
+    if (!injected) (void)cluster.sim().after(kMillisecond, poll);
+  };
+  (void)cluster.sim().after(kMillisecond, poll);
+
+  const bool finished = cluster.sim().run_until(
+      [&] { return injected && scheduler.all_finished(); }, 60 * kMinute);
+  ASSERT_TRUE(finished);
+  ASSERT_TRUE(injected) << "no switch window was observed";
+  EXPECT_GT(injected_at_gen, 0u);
+  for (const auto& job : scheduler.jobs()) {
+    EXPECT_TRUE(job->finished()) << job->name();
+    EXPECT_FALSE(job->failed()) << job->name();
+  }
+  // The rotation kept time-sharing after the admission.
+  EXPECT_GT(scheduler.switches(), 2);
+}
+
 }  // namespace
 }  // namespace apsim

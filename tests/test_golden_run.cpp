@@ -117,6 +117,31 @@ TEST(GoldenRun, Fig7SmallCountersPinnedPerPolicy) {
   }
 }
 
+TEST(GoldenRun, ExtractedMatrixPolicyMatchesPreRefactorGolden) {
+  // Differential pin for the SchedulerPolicy extraction: selecting the
+  // paper's rotation by name through the policy registry must reproduce the
+  // pre-extraction golden counters bit for bit. Two cases bracket the
+  // spectrum: the no-optimization baseline and the full paper stack.
+  for (const GoldenCase& golden : {kGolden[0], kGolden[5]}) {
+    SCOPED_TRACE(std::string("policy ") + golden.policy);
+    ExperimentConfig config = golden_config(golden.policy);
+    config.sched_policy = "matrix";  // explicit, resolved via the registry
+    const RunOutcome out = run_gang(config);
+    EXPECT_EQ(out.makespan, golden.want.makespan);
+    EXPECT_EQ(out.major_faults, golden.want.major_faults);
+    EXPECT_EQ(out.pages_swapped_in, golden.want.pages_swapped_in);
+    EXPECT_EQ(out.pages_swapped_out, golden.want.pages_swapped_out);
+    EXPECT_EQ(out.false_evictions, golden.want.false_evictions);
+    EXPECT_EQ(out.switches, golden.want.switches);
+    ASSERT_EQ(out.jobs.size(), 2u);
+    for (int j = 0; j < 2; ++j) {
+      EXPECT_EQ(out.jobs[static_cast<std::size_t>(j)].completion,
+                golden.want.job_completion[j])
+          << "job " << j;
+    }
+  }
+}
+
 TEST(GoldenRun, TracingDoesNotPerturbTheCounters) {
   // A traced run must be semantically identical to an untraced one: the
   // tracer records but never feeds back. Re-run one golden case with the

@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gang/policy_registry.hpp"
 #include "harness/scenario.hpp"
+#include "sim/rng.hpp"
 
 namespace apsim {
 namespace {
@@ -203,6 +209,146 @@ TEST(Scenario, ApplyKeyDirect) {
   apply_scenario_key(config, "policy", "so");
   EXPECT_TRUE(config.policy.selective_out);
   EXPECT_THROW(apply_scenario_key(config, "nope", "1"), std::invalid_argument);
+}
+
+TEST(Scenario, OpenArrivalKeysParse) {
+  const auto configs = parse_scenario(R"(
+[run]
+sched_policy = backfill
+dfrs_mem_frac = 0.7
+dfrs_max_share = 3
+auto_migrate = true
+arrival = diurnal
+arrival_mean_s = 2.5
+diurnal_period_s = 120
+diurnal_low_frac = 0.3
+tenants = 4
+straggler_fraction = 0.1
+straggler_slowdown = 6
+deadline_slack = 2
+job_width_max = 2
+job_pages_min = 100
+job_pages_max = 900
+job_iterations_min = 3
+job_iterations_max = 9
+)");
+  ASSERT_EQ(configs.size(), 1u);
+  const auto& c = configs[0];
+  EXPECT_EQ(c.sched_policy, "backfill");
+  EXPECT_DOUBLE_EQ(c.dfrs_mem_frac, 0.7);
+  EXPECT_EQ(c.dfrs_max_share, 3);
+  EXPECT_TRUE(c.auto_migrate);
+  EXPECT_EQ(c.arrival_process, "diurnal");
+  EXPECT_DOUBLE_EQ(c.arrival_mean_s, 2.5);
+  EXPECT_DOUBLE_EQ(c.diurnal_period_s, 120.0);
+  EXPECT_DOUBLE_EQ(c.diurnal_low_frac, 0.3);
+  EXPECT_EQ(c.num_tenants, 4);
+  EXPECT_DOUBLE_EQ(c.straggler_fraction, 0.1);
+  EXPECT_DOUBLE_EQ(c.straggler_slowdown, 6.0);
+  EXPECT_DOUBLE_EQ(c.deadline_slack, 2.0);
+  EXPECT_EQ(c.open_max_width, 2);
+  EXPECT_EQ(c.open_min_pages, 100);
+  EXPECT_EQ(c.open_max_pages, 900);
+  EXPECT_EQ(c.open_min_iterations, 3);
+  EXPECT_EQ(c.open_max_iterations, 9);
+}
+
+// Registry fuzz: config validation resolves sched_policy through the policy
+// registry, so mangled names must be rejected with a hint naming the valid
+// set, and the dynamic-registration API must hold its invariants (no
+// shadowing built-ins, duplicates rejected, teardown removes exactly the
+// dynamic entry) no matter the registration order a test happens to use.
+
+TEST(Scenario, UnknownSchedPolicyRejectedWithHint) {
+  ExperimentConfig config;
+  config.sched_policy = "lottery";
+  try {
+    config.validate();
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("lottery"), std::string::npos) << what;
+    for (const std::string& name : sched_policy_names()) {
+      EXPECT_NE(what.find(name), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(Scenario, FuzzedSchedPolicyNamesNeverValidateSilently) {
+  // Seeded mutation fuzz: take valid names, mangle them (case flip, byte
+  // twiddle, truncation, suffix), and check the registry either recognises
+  // the exact original or throws — never accepts a near-miss.
+  Rng rng(0xfeedface);
+  const std::vector<std::string> names = sched_policy_names();
+  auto index = [&rng](std::size_t size) {
+    return static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(size) - 1));
+  };
+  for (int round = 0; round < 200; ++round) {
+    std::string name = names[index(names.size())];
+    switch (rng.uniform_int(0, 3)) {
+      case 0:  // flip the case of one character
+        name[index(name.size())] ^= 0x20;
+        break;
+      case 1:  // twiddle one byte out of the printable-lowercase range
+        name[index(name.size())] =
+            static_cast<char>(rng.uniform_int('{', '~'));
+        break;
+      case 2:  // truncate
+        name.resize(index(name.size()));
+        break;
+      default:  // append a suffix
+        name += static_cast<char>(rng.uniform_int('a', 'z'));
+        break;
+    }
+    if (is_sched_policy(name)) {
+      // The mangling happened to reproduce a registered name; fine.
+      EXPECT_NE(std::find(names.begin(), names.end(), name), names.end())
+          << name;
+      continue;
+    }
+    EXPECT_THROW((void)make_sched_policy(name), std::invalid_argument) << name;
+    ExperimentConfig config;
+    config.sched_policy = name;
+    EXPECT_THROW(config.validate(), std::invalid_argument) << name;
+  }
+}
+
+TEST(Scenario, DynamicPolicyRegistrationLifecycle) {
+  const auto before = sched_policy_names();
+  // A dynamic registration becomes visible, resolvable and valid in configs.
+  register_sched_policy("test-dynamic", [] { return make_sched_policy("matrix"); });
+  EXPECT_TRUE(is_sched_policy("test-dynamic"));
+  EXPECT_NE(make_sched_policy("test-dynamic"), nullptr);
+  ExperimentConfig config;
+  config.sched_policy = "test-dynamic";
+  EXPECT_NO_THROW(config.validate());
+  // Duplicates are rejected, for dynamic names and built-ins alike.
+  EXPECT_THROW(register_sched_policy(
+                   "test-dynamic", [] { return make_sched_policy("matrix"); }),
+               std::invalid_argument);
+  EXPECT_THROW(register_sched_policy(
+                   "matrix", [] { return make_sched_policy("matrix"); }),
+               std::invalid_argument);
+  EXPECT_THROW(register_sched_policy(
+                   "", [] { return make_sched_policy("matrix"); }),
+               std::invalid_argument);
+  // Teardown removes exactly the dynamic entry; built-ins are immovable.
+  EXPECT_TRUE(unregister_sched_policy("test-dynamic"));
+  EXPECT_FALSE(unregister_sched_policy("test-dynamic"));
+  EXPECT_FALSE(unregister_sched_policy("matrix"));
+  EXPECT_EQ(sched_policy_names(), before);
+}
+
+TEST(Scenario, OpenArrivalConfigRejectsBatchMode) {
+  ExperimentConfig config;
+  config.arrival_process = "poisson";
+  config.batch_mode = true;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.batch_mode = false;
+  EXPECT_NO_THROW(config.validate());
+  config.arrival_process = "weibull";
+  EXPECT_THROW(config.validate(), std::invalid_argument);
 }
 
 }  // namespace

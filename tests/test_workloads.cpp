@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <set>
+#include <vector>
 
 #include "workloads/generator.hpp"
 #include "workloads/npb.hpp"
@@ -183,6 +186,190 @@ TEST(Generators, HotColdConcentratesTouches) {
   EXPECT_EQ(hot.access.touches, 900);
   EXPECT_EQ(cold.access.region_start, 100);
   EXPECT_EQ(cold.access.touches, 100);
+}
+
+// --- Open-arrival stream statistics ---------------------------------------
+//
+// The open-arrival generator claims specific distributions; these tests hold
+// it to them statistically (fixed seeds, so deterministic) rather than just
+// checking field ranges.
+
+double seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+TEST(OpenArrivals, PoissonInterarrivalsPassKolmogorovSmirnov) {
+  for (std::uint64_t seed : {1u, 7u, 1234u}) {
+    OpenArrivalOptions options;
+    options.process = ArrivalProcess::kPoisson;
+    options.num_jobs = 2000;
+    options.mean_interarrival_s = 10.0;
+    options.seed = seed;
+    const auto jobs = make_open_arrivals(options, 4);
+    ASSERT_EQ(jobs.size(), 2000u);
+
+    std::vector<double> gaps;
+    SimTime prev = 0;
+    double sum = 0.0;
+    for (const OpenJobSpec& job : jobs) {
+      ASSERT_GE(job.arrival, prev) << "arrivals must be nondecreasing";
+      gaps.push_back(seconds(job.arrival - prev));
+      sum += gaps.back();
+      prev = job.arrival;
+    }
+    std::sort(gaps.begin(), gaps.end());
+
+    // One-sample KS against Exp(10 s). Critical value at alpha ~ 0.001 is
+    // 1.95 / sqrt(n); a correct sampler with these seeds sits well under it.
+    const double n = static_cast<double>(gaps.size());
+    double d = 0.0;
+    for (std::size_t i = 0; i < gaps.size(); ++i) {
+      const double cdf = 1.0 - std::exp(-gaps[i] / 10.0);
+      d = std::max(d, std::abs(cdf - static_cast<double>(i + 1) / n));
+      d = std::max(d, std::abs(cdf - static_cast<double>(i) / n));
+    }
+    EXPECT_LT(d, 1.95 / std::sqrt(n)) << "seed " << seed;
+
+    // Sample mean within 5 standard errors of the nominal 10 s.
+    EXPECT_NEAR(sum / n, 10.0, 5.0 * 10.0 / std::sqrt(n)) << "seed " << seed;
+  }
+}
+
+TEST(OpenArrivals, DiurnalPhasesFollowTheEnvelope) {
+  // Conditional on the count, the arrival phases of a thinned
+  // non-homogeneous Poisson process are iid with density proportional to
+  // the rate envelope low + (1 - low) * (1 - cos(2*pi*t/P)) / 2. Chi-squared
+  // over 8 phase bins against the envelope integral, across seeds.
+  const double period = 100.0;
+  const double low = 0.2;
+  const int bins = 8;
+  for (std::uint64_t seed : {3u, 42u, 909u}) {
+    OpenArrivalOptions options;
+    options.process = ArrivalProcess::kDiurnal;
+    options.num_jobs = 4000;
+    options.mean_interarrival_s = 0.5;  // many arrivals per period
+    options.diurnal_period_s = period;
+    options.diurnal_low_frac = low;
+    options.seed = seed;
+    const auto jobs = make_open_arrivals(options, 4);
+
+    std::vector<double> observed(bins, 0.0);
+    for (const OpenJobSpec& job : jobs) {
+      const double phase = std::fmod(seconds(job.arrival), period);
+      observed[static_cast<std::size_t>(phase / period * bins)] += 1.0;
+    }
+
+    // Expected bin mass: numeric integral of the envelope over each bin.
+    std::vector<double> weight(bins, 0.0);
+    double total = 0.0;
+    const int grid = 1000;
+    for (int g = 0; g < grid; ++g) {
+      const double t = (g + 0.5) / grid * period;
+      const double rate =
+          low + (1.0 - low) * (1.0 - std::cos(2.0 * M_PI * t / period)) / 2.0;
+      weight[static_cast<std::size_t>(static_cast<double>(g) * bins / grid)] +=
+          rate;
+      total += rate;
+    }
+
+    double chi2 = 0.0;
+    for (int b = 0; b < bins; ++b) {
+      const double expected =
+          weight[static_cast<std::size_t>(b)] / total * jobs.size();
+      const double diff = observed[static_cast<std::size_t>(b)] - expected;
+      chi2 += diff * diff / expected;
+    }
+    // 7 degrees of freedom; critical value at alpha = 0.0001 is ~33.7.
+    EXPECT_LT(chi2, 33.7) << "seed " << seed;
+
+    // And the qualitative day/night shape: the crest bins (phase ~ P/2)
+    // carry several times the trough bins (phase ~ 0), matching low = 0.2.
+    const double trough = observed[0] + observed[bins - 1];
+    const double crest = observed[bins / 2 - 1] + observed[bins / 2];
+    EXPECT_GT(crest, 2.0 * trough) << "seed " << seed;
+  }
+}
+
+TEST(OpenArrivals, StragglerFractionWithinBinomialBounds) {
+  OpenArrivalOptions options;
+  options.num_jobs = 2000;
+  options.straggler_fraction = 0.3;
+  options.straggler_slowdown = 5.0;
+  options.max_width = 4;
+  options.seed = 5;
+  const auto jobs = make_open_arrivals(options, 8);
+  int stragglers = 0;
+  for (const OpenJobSpec& job : jobs) {
+    if (job.straggler_rank < 0) continue;
+    ++stragglers;
+    EXPECT_LT(job.straggler_rank, job.width);
+    EXPECT_DOUBLE_EQ(job.straggler_slowdown, 5.0);
+  }
+  // Binomial(2000, 0.3): sd of the fraction is ~0.0102; allow 5 sigma.
+  const double frac = static_cast<double>(stragglers) / 2000.0;
+  EXPECT_NEAR(frac, 0.3, 5.0 * std::sqrt(0.3 * 0.7 / 2000.0));
+
+  // fraction = 0 must produce none at all.
+  options.straggler_fraction = 0.0;
+  for (const OpenJobSpec& job : make_open_arrivals(options, 8)) {
+    EXPECT_EQ(job.straggler_rank, -1);
+  }
+}
+
+TEST(OpenArrivals, SpecFieldsHonorTheOptions) {
+  OpenArrivalOptions options;
+  options.num_jobs = 500;
+  options.max_width = 3;
+  options.min_pages = 100;
+  options.max_pages = 200;
+  options.min_iterations = 5;
+  options.max_iterations = 9;
+  options.num_tenants = 3;
+  options.deadline_slack = 2.0;
+  options.seed = 11;
+  const auto jobs = make_open_arrivals(options, 4);
+  ASSERT_EQ(jobs.size(), 500u);
+  std::set<int> tenants_seen;
+  std::set<int> widths_seen;
+  for (const OpenJobSpec& job : jobs) {
+    EXPECT_GE(job.width, 1);
+    EXPECT_LE(job.width, 3);
+    widths_seen.insert(job.width);
+    EXPECT_GE(job.pages, 100);
+    EXPECT_LE(job.pages, 200);
+    EXPECT_GE(job.iterations, 5);
+    EXPECT_LE(job.iterations, 9);
+    EXPECT_GE(job.tenant, 0);
+    EXPECT_LT(job.tenant, 3);
+    tenants_seen.insert(job.tenant);
+    EXPECT_GT(job.estimated_runtime, 0);
+    ASSERT_TRUE(job.deadline.has_value());
+    EXPECT_EQ(*job.deadline, job.arrival + 2 * job.estimated_runtime);
+    const auto placement = job.placement(4);
+    ASSERT_EQ(static_cast<int>(placement.size()), job.width);
+    for (int node : placement) {
+      EXPECT_GE(node, 0);
+      EXPECT_LT(node, 4);
+    }
+  }
+  EXPECT_EQ(static_cast<int>(widths_seen.size()), 3);
+  EXPECT_EQ(static_cast<int>(tenants_seen.size()), 3);
+
+  // Same options, same stream: the generator is a pure function of the seed.
+  const auto again = make_open_arrivals(options, 4);
+  ASSERT_EQ(again.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(again[i].arrival, jobs[i].arrival);
+    EXPECT_EQ(again[i].pages, jobs[i].pages);
+    EXPECT_EQ(again[i].seed, jobs[i].seed);
+  }
+
+  // Per-rank programs build and terminate.
+  auto program = make_open_job_program(jobs[0], 0);
+  int guard = 0;
+  while (program->next().kind != Op::Kind::kDone) {
+    ASSERT_LT(++guard, 1000000);
+  }
 }
 
 TEST(Generators, RandomProgramSplitsReadsAndWrites) {
